@@ -1,0 +1,132 @@
+//! The FIFO pending list (Section 3).
+//!
+//! Client requests queue here until admission control lets them in. Only
+//! the head of the queue is ever offered for admission — a rejected head
+//! blocks everyone behind it, which is what makes the policy
+//! starvation-free: no late-arriving request that happens to fit a
+//! less-contended disk can indefinitely overtake an earlier one (the
+//! head's wait is bounded by the completion of currently playing clips).
+//!
+//! The list also records arrival rounds so the simulator can report
+//! response-time statistics (the §5 motivation for dynamic reservation).
+
+use cms_core::{RequestId, Round};
+use std::collections::VecDeque;
+
+/// A queued playback request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRequest<T> {
+    /// The request id.
+    pub id: RequestId,
+    /// Round the request arrived.
+    pub arrived: Round,
+    /// Scheme-independent payload (e.g. which clip to play).
+    pub payload: T,
+}
+
+/// FIFO queue of playback requests awaiting admission.
+#[derive(Debug, Clone, Default)]
+pub struct PendingList<T> {
+    queue: VecDeque<PendingRequest<T>>,
+}
+
+impl<T> PendingList<T> {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        PendingList { queue: VecDeque::new() }
+    }
+
+    /// Enqueues a request.
+    pub fn push(&mut self, id: RequestId, arrived: Round, payload: T) {
+        self.queue.push_back(PendingRequest { id, arrived, payload });
+    }
+
+    /// The head of the queue — the only request eligible for admission.
+    #[must_use]
+    pub fn head(&self) -> Option<&PendingRequest<T>> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the head (after a successful admission).
+    pub fn pop(&mut self) -> Option<PendingRequest<T>> {
+        self.queue.pop_front()
+    }
+
+    /// Number of waiting requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Is the queue empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Waiting time (in rounds) of the head at round `now`, if any.
+    #[must_use]
+    pub fn head_wait(&self, now: Round) -> Option<u64> {
+        self.head().map(|h| now.raw().saturating_sub(h.arrived.raw()))
+    }
+
+    /// The request at queue position `idx` (0 = head).
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&PendingRequest<T>> {
+        self.queue.get(idx)
+    }
+
+    /// Removes and returns the request at position `idx`, preserving the
+    /// order of the rest. Used by *bounded-bypass* admission (cf. ORS96's
+    /// starvation-free, bandwidth-effective controller): the server may
+    /// admit a later request whose resources happen to be free, as long
+    /// as the head has not waited beyond the aging limit — so utilization
+    /// stays high and the head's wait stays bounded.
+    pub fn remove_at(&mut self, idx: usize) -> Option<PendingRequest<T>> {
+        self.queue.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut list = PendingList::new();
+        list.push(RequestId(1), Round(0), "a");
+        list.push(RequestId(2), Round(1), "b");
+        list.push(RequestId(3), Round(1), "c");
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.head().unwrap().id, RequestId(1));
+        assert_eq!(list.pop().unwrap().payload, "a");
+        assert_eq!(list.pop().unwrap().payload, "b");
+        assert_eq!(list.pop().unwrap().payload, "c");
+        assert!(list.pop().is_none());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn head_wait_counts_rounds() {
+        let mut list = PendingList::new();
+        assert_eq!(list.head_wait(Round(5)), None);
+        list.push(RequestId(1), Round(3), ());
+        assert_eq!(list.head_wait(Round(3)), Some(0));
+        assert_eq!(list.head_wait(Round(10)), Some(7));
+    }
+
+    #[test]
+    fn indexed_access_and_removal_preserve_order() {
+        let mut list = PendingList::new();
+        list.push(RequestId(1), Round(0), ());
+        list.push(RequestId(2), Round(0), ());
+        list.push(RequestId(3), Round(0), ());
+        assert_eq!(list.get(1).unwrap().id, RequestId(2));
+        assert!(list.get(9).is_none());
+        let removed = list.remove_at(1).unwrap();
+        assert_eq!(removed.id, RequestId(2));
+        assert_eq!(list.pop().unwrap().id, RequestId(1));
+        assert_eq!(list.pop().unwrap().id, RequestId(3));
+    }
+}

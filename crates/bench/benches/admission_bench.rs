@@ -1,0 +1,76 @@
+//! Microbenchmarks for admission decision latency at realistic load — the
+//! per-request cost a production server would pay on its control path.
+
+use cms_admission::{
+    Admission, AdmitRequest, DeclusteredAdmission, DynamicAdmission, FlatAdmission,
+    PrefetchParityDiskAdmission,
+};
+use cms_bibd::{best_design, DesignRequest, Pgt};
+use cms_core::{DiskId, RequestId};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn req(id: u64, disk: u32, row: u32, index: u64) -> AdmitRequest {
+    AdmitRequest {
+        id: RequestId(id),
+        stream: 0,
+        start_index: index,
+        start_disk: DiskId(disk),
+        row,
+        len: 50,
+    }
+}
+
+/// Loads a controller to roughly half capacity, then measures one
+/// admit/remove cycle.
+fn bench_cycle<A: Admission + Clone>(c: &mut Criterion, label: &str, mut ctrl: A, q_half: u64) {
+    let mut id = 0u64;
+    let mut filled = 0u64;
+    'fill: for round in 0..64u64 {
+        for disk in 0..32u32 {
+            if filled >= q_half {
+                break 'fill;
+            }
+            id += 1;
+            let r = req(id, disk, (round % 3) as u32, u64::from(disk) + round * 32);
+            if ctrl.try_admit(r).is_ok() {
+                filled += 1;
+            }
+        }
+        ctrl.advance_round();
+    }
+    c.bench_function(label, |b| {
+        b.iter_batched(
+            || ctrl.clone(),
+            |mut ctrl| {
+                let r = req(u64::MAX, 7, 1, 7 + 32);
+                let ok = ctrl.try_admit(black_box(r)).is_ok();
+                if ok {
+                    ctrl.remove(RequestId(u64::MAX));
+                }
+                ok
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let declustered = DeclusteredAdmission::new(32, 11, 22, 1, 2).unwrap();
+    bench_cycle(c, "admit_declustered_d32", declustered, 300);
+
+    let design = best_design(DesignRequest::new(32, 4)).unwrap();
+    let pgt = Pgt::new(&design);
+    let deltas = (0..pgt.rows()).map(|r| pgt.row_deltas(r)).collect();
+    let dynamic = DynamicAdmission::new(32, 22, deltas).unwrap();
+    bench_cycle(c, "admit_dynamic_d32", dynamic, 300);
+
+    let flat = FlatAdmission::new(32, 4, 22, 2).unwrap();
+    bench_cycle(c, "admit_flat_d32", flat, 300);
+
+    let prefetch = PrefetchParityDiskAdmission::new(32, 4, 20).unwrap();
+    bench_cycle(c, "admit_prefetch_d32", prefetch, 300);
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

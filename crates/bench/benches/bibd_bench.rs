@@ -1,0 +1,56 @@
+//! Microbenchmarks for the combinatorial substrate: design construction
+//! (exact and fallback) and parity-group-table queries.
+
+use cms_bibd::{best_design, DesignRequest, Pgt};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_construction");
+    for (v, k, label) in [
+        (32u32, 2u32, "pairs_32_2"),
+        (33, 3, "bose_33_3"),
+        (31, 3, "stinson_31_3"),
+        (49, 7, "affine_49_7"),
+        (32, 4, "fallback_32_4"),
+        (32, 8, "fallback_32_8"),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| best_design(black_box(DesignRequest::new(v, k))).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgt(c: &mut Criterion) {
+    let design = best_design(DesignRequest::new(32, 8)).unwrap();
+    c.bench_function("pgt_build_32_8", |b| {
+        b.iter_batched(|| design.clone(), |d| Pgt::new(black_box(&d)), BatchSize::SmallInput)
+    });
+    let pgt = Pgt::new(&design);
+    c.bench_function("pgt_block_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for disk in 0..32u32 {
+                for block in 0..64u64 {
+                    acc ^= pgt.set_of_block(black_box(disk), black_box(block));
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("pgt_reconstruction_overlap", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..32 {
+                for j in 0..32 {
+                    acc += pgt.reconstruction_overlap(black_box(i), black_box(j));
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_constructions, bench_pgt);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmarks for the XOR parity codec at the paper's stripe-unit
+//! sizes.
+
+use cms_parity::{parity_of, reconstruct, Block};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_codec");
+    for (p, kb) in [(4usize, 64u64), (4, 256), (8, 256), (16, 256)] {
+        let bytes = (kb * 1024) as usize;
+        let data: Vec<Block> = (0..p - 1)
+            .map(|i| Block::synthetic(9, i as u64, bytes))
+            .collect();
+        let refs: Vec<&Block> = data.iter().collect();
+        group.throughput(Throughput::Bytes((bytes * (p - 1)) as u64));
+        group.bench_function(format!("encode_p{p}_{kb}KiB"), |b| {
+            b.iter(|| parity_of(black_box(&refs)).unwrap())
+        });
+        let parity = parity_of(&refs).unwrap();
+        let mut survivors: Vec<&Block> = data[1..].iter().collect();
+        survivors.push(&parity);
+        group.bench_function(format!("reconstruct_p{p}_{kb}KiB"), |b| {
+            b.iter(|| reconstruct(black_box(&survivors)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parity);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end benchmarks: one simulated round, and a full Figure 6 cell,
+//! at paper scale (d = 32, 1000 clips).
+
+use cms_core::Scheme;
+use cms_model::{tuned_point, ModelInput};
+use cms_sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn paper_cfg(scheme: Scheme) -> SimConfig {
+    let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(75_000);
+    let point = tuned_point(scheme, &input, 4, 1).expect("feasible");
+    SimConfig::sigmod96(scheme, &point, 32)
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_round");
+    group.sample_size(20);
+    for scheme in [Scheme::DeclusteredParity, Scheme::PrefetchParityDisks] {
+        // Warm the server to steady state, then measure one round.
+        let mut sim = Simulator::new(paper_cfg(scheme)).expect("constructs");
+        for _ in 0..100 {
+            sim.step();
+        }
+        group.bench_function(format!("steady_round_{scheme:?}"), |b| {
+            b.iter(|| {
+                sim.step();
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_cell");
+    group.sample_size(10);
+    group.bench_function("declustered_600_rounds", |b| {
+        b.iter_batched(
+            || paper_cfg(Scheme::DeclusteredParity),
+            |cfg| Simulator::new(cfg).expect("constructs").run(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_cell);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation A5 — grouped sweeping (GSS, CKY93) vs one-sweep C-SCAN.
+//!
+//! The paper fixes the disk schedule at C-SCAN with double buffering
+//! (`g = 1` in GSS terms). This ablation sweeps the group count on the
+//! reference disk: more groups pay more arm strokes but need smaller
+//! per-stream buffers, so under buffer pressure a `g > 1` schedule can
+//! serve more streams per megabyte — the CKY93 optimization the paper
+//! cites when deriving Equation 1.
+//!
+//! Usage: `cargo run -p cms-bench --bin ablation_gss [-- --json]`
+
+use cms_core::units::{kib, mbps};
+use cms_core::{DiskParams, GssBudget};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    block_kib: u64,
+    groups: u32,
+    q: u32,
+    buffer_blocks_total: f64,
+    streams_per_buffer_block: f64,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let disk = DiskParams::sigmod96();
+    let mut rows = Vec::new();
+    for block_kb in [128u64, 256, 512] {
+        for g in [1u32, 2, 4, 8, 16] {
+            let Ok(point) = GssBudget::solve(&disk, kib(block_kb), mbps(1.5), g) else {
+                continue;
+            };
+            rows.push(Row {
+                block_kib: block_kb,
+                groups: g,
+                q: point.q,
+                buffer_blocks_total: point.buffer_blocks_total(),
+                streams_per_buffer_block: f64::from(point.q) / point.buffer_blocks_total(),
+            });
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    println!("== A5: grouped sweeping vs C-SCAN (per disk, Figure 1 drive, 1.5 Mbps) ==");
+    println!(
+        "{:>9} {:>7} {:>5} {:>14} {:>18}",
+        "block", "groups", "q", "buffer (blocks)", "streams / buf-block"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} KiB {:>7} {:>5} {:>14.1} {:>18.3}",
+            r.block_kib, r.groups, r.q, r.buffer_blocks_total, r.streams_per_buffer_block
+        );
+    }
+    println!(
+        "\nReading: g = 1 (the paper's C-SCAN) maximizes raw streams; larger g\n\
+         maximizes streams per unit of buffer — the right choice when RAM,\n\
+         not disk bandwidth, binds (exactly the 256 MB regime of Figure 5)."
+    );
+}

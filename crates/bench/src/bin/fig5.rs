@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: analytical clips serviced vs parity group size,
+//! five schemes, two buffer sizes.
+//!
+//! Usage: `cargo run -p cms-bench --bin fig5 [-- --json]`
+
+use cms_bench::{fig5_rows, PAPER_PS};
+use cms_core::Scheme;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = fig5_rows();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    for (label, _) in cms_bench::PAPER_BUFFERS {
+        println!("== Figure 5, B = {label} — number of clips serviced (analytical) ==");
+        print!("{:<34}", "scheme");
+        for p in PAPER_PS {
+            print!("{:>8}", format!("p={p}"));
+        }
+        println!();
+        for scheme in Scheme::FIGURE_SCHEMES {
+            print!("{:<34}", scheme.label());
+            for p in PAPER_PS {
+                match rows
+                    .iter()
+                    .find(|r| r.buffer == label && r.scheme == scheme && r.p == p)
+                {
+                    Some(r) => print!("{:>8}", r.point.total_clips),
+                    None => print!("{:>8}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

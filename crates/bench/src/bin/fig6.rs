@@ -1,0 +1,55 @@
+//! Regenerates Figure 6: simulated clips serviced in 600 time units vs
+//! parity group size (Poisson λ = 20, 1000 clips × 50 rounds), five
+//! schemes, two buffer sizes.
+//!
+//! Usage: `cargo run --release -p cms-bench --bin fig6 [-- --json] [--rounds N] [--seed S]`
+
+use cms_bench::{fig6_rows, PAPER_PS};
+use cms_core::Scheme;
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rounds = arg_value("--rounds").unwrap_or(600);
+    let seed = arg_value("--seed").unwrap_or(0x51_6D0D);
+    let rows = fig6_rows(rounds, seed);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    for (label, _) in cms_bench::PAPER_BUFFERS {
+        println!("== Figure 6, B = {label} — clips serviced in {rounds} time units (simulated) ==");
+        print!("{:<34}", "scheme");
+        for p in PAPER_PS {
+            print!("{:>8}", format!("p={p}"));
+        }
+        println!();
+        for scheme in Scheme::FIGURE_SCHEMES {
+            print!("{:<34}", scheme.label());
+            for p in PAPER_PS {
+                match rows
+                    .iter()
+                    .find(|r| r.buffer == label && r.scheme == scheme && r.p == p)
+                {
+                    Some(r) => {
+                        assert_eq!(
+                            r.metrics.hiccups, 0,
+                            "{scheme} p={p}: fault-free run must not hiccup"
+                        );
+                        print!("{:>8}", r.metrics.admitted);
+                    }
+                    None => print!("{:>8}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates the Figure 4 `computeOptimal` table (experiment E6): the
+//! capacity-maximizing `(p, b, q, f)` per scheme and buffer size, with and
+//! without the paper's "if a BIBD exists" guard.
+//!
+//! Usage: `cargo run -p cms-bench --bin table_optimal [-- --json]`
+
+use cms_bench::optimal_rows;
+
+fn main() {
+    let rows = optimal_rows();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    println!("== computeOptimal (Figure 4): capacity-maximizing parameters ==");
+    println!(
+        "{:<8} {:<34} {:<7} {:>4} {:>10} {:>4} {:>3} {:>7}",
+        "buffer", "scheme", "designs", "p", "block", "q", "f", "clips"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:<34} {:<7} {:>4} {:>6} KiB {:>4} {:>3} {:>7}",
+            r.buffer,
+            r.scheme.label(),
+            if r.exact_designs_only { "exact" } else { "any" },
+            r.point.p,
+            r.point.block_bytes / 1024,
+            r.point.q,
+            r.point.f,
+            r.point.total_clips
+        );
+    }
+}

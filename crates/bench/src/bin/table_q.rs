@@ -1,0 +1,26 @@
+//! Regenerates the Equation 1 table (experiment E5): the per-disk round
+//! budget `q` as a function of block size for the paper's Figure 1
+//! reference disk and MPEG-1 playback.
+//!
+//! Usage: `cargo run -p cms-bench --bin table_q [-- --json]`
+
+use cms_bench::q_table_rows;
+
+fn main() {
+    let rows = q_table_rows();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    println!("== Equation 1: per-disk budget q vs block size (Figure 1 disk, 1.5 Mbps playback) ==");
+    println!("{:>12} {:>12} {:>6} {:>12}", "block", "round (s)", "q", "util @ q");
+    for r in rows {
+        println!(
+            "{:>9} KiB {:>12.4} {:>6} {:>11.1}%",
+            r.block_bytes / 1024,
+            r.round_seconds,
+            r.q,
+            r.utilization * 100.0
+        );
+    }
+}

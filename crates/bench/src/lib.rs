@@ -1,0 +1,17 @@
+//! # cms-bench — the experiment harness
+//!
+//! One function per paper artifact (Figures 5 and 6, the Equation 1 and
+//! `computeOptimal` tables, the failure drill) so binaries, integration
+//! tests and EXPERIMENTS.md all regenerate the same rows. Each row is a
+//! plain serializable struct; the binaries print aligned tables and can
+//! emit JSON.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+
+pub use figures::{
+    failure_drill, fig5_rows, fig6_rows, optimal_rows, q_table_rows, sim_point, DrillRow,
+    Fig5Row, Fig6Row, OptimalRow, QRow, PAPER_BUFFERS, PAPER_D, PAPER_PS,
+};

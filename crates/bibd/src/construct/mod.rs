@@ -1,0 +1,177 @@
+//! Design constructions: the replacement for Hall's 1986 BIBD tables.
+//!
+//! [`best_design`] dispatches `(v, k)` to the strongest available
+//! construction:
+//!
+//! 1. `k == v` → [`trivial`],
+//! 2. `k == 2` → [`pairs`] (exact, λ = 1, always exists),
+//! 3. `k == 3`, `v ≡ 1, 3 (mod 6)` → [`steiner`] (Bose for `v ≡ 3`,
+//!    Stinson hill-climbing otherwise),
+//! 4. `v == k²`, `k` a prime power → affine plane ([`planes`]),
+//! 5. `v == k² + k + 1`, `k − 1`… i.e. `k = q + 1` for a prime power `q`
+//!    → projective plane ([`planes`]),
+//! 6. anything else → [`fallback`] (greedy balanced partitions, relaxed
+//!    λ but exact replication).
+//!
+//! Every exact path is verified by `Design::is_exact_bibd(1)` in tests;
+//! the fallback is verified for equal replication and reported λ bounds.
+
+pub mod fallback;
+pub mod pairs;
+pub mod planes;
+pub mod steiner;
+pub mod trivial;
+
+use crate::design::Design;
+use crate::gf::prime_power;
+
+/// Parameters for requesting a design, with control over whether a relaxed
+/// (non-λ=1) fallback is acceptable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignRequest {
+    /// Number of objects (disks) `v`.
+    pub v: u32,
+    /// Set size (parity group size) `k`.
+    pub k: u32,
+    /// Permit the balanced-partition fallback when no exact construction
+    /// applies. When `false`, [`best_design`] returns `None` in that case
+    /// — mirroring the paper's "if a BIBD exists" guard in Figure 4.
+    pub allow_fallback: bool,
+    /// Seed for randomized constructions (Stinson hill-climbing, fallback
+    /// tie-breaking). Same seed ⇒ same design.
+    pub seed: u64,
+}
+
+impl DesignRequest {
+    /// A request with fallback enabled and a fixed default seed.
+    #[must_use]
+    pub fn new(v: u32, k: u32) -> Self {
+        DesignRequest { v, k, allow_fallback: true, seed: 0x5EED_CAFE }
+    }
+
+    /// Same, but requiring an exact λ = 1 design.
+    #[must_use]
+    pub fn exact(v: u32, k: u32) -> Self {
+        DesignRequest { allow_fallback: false, ..Self::new(v, k) }
+    }
+}
+
+/// Builds the best available design for the request. Returns `None` when
+/// `(v, k)` is structurally invalid (`k < 2` or `k > v`) or when no exact
+/// construction exists and the fallback is disallowed.
+#[must_use]
+pub fn best_design(req: DesignRequest) -> Option<Design> {
+    let DesignRequest { v, k, allow_fallback, seed } = req;
+    if k < 2 || k > v || v < 2 {
+        return None;
+    }
+    if k == v {
+        return Some(trivial::trivial(v));
+    }
+    if k == 2 {
+        return Some(pairs::complete_pairs(v));
+    }
+    if k == 3 && (v % 6 == 1 || v % 6 == 3) {
+        return Some(steiner::steiner_triple_system(v, seed));
+    }
+    if let Some(d) = try_plane(v, k) {
+        return Some(d);
+    }
+    if allow_fallback {
+        return Some(fallback::balanced_partitions(v, k, seed));
+    }
+    None
+}
+
+/// Affine plane when `v = k²` and `k` is a prime power; projective plane
+/// when `v = k² − k + 1`... more precisely `k = q + 1`, `v = q² + q + 1`.
+fn try_plane(v: u32, k: u32) -> Option<Design> {
+    if v == k * k && prime_power(k).is_some() {
+        return planes::affine_plane(k);
+    }
+    if k >= 3 {
+        let q = k - 1;
+        if v == q * q + q + 1 && prime_power(q).is_some() {
+            return planes::projective_plane(q);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignSource;
+
+    #[test]
+    fn dispatch_trivial() {
+        let d = best_design(DesignRequest::new(8, 8)).unwrap();
+        assert_eq!(d.source, DesignSource::Trivial);
+        assert_eq!(d.num_sets(), 1);
+    }
+
+    #[test]
+    fn dispatch_pairs() {
+        let d = best_design(DesignRequest::new(6, 2)).unwrap();
+        assert_eq!(d.source, DesignSource::CompletePairs);
+        assert!(d.is_exact_bibd(1));
+    }
+
+    #[test]
+    fn dispatch_steiner() {
+        let d = best_design(DesignRequest::new(9, 3)).unwrap();
+        assert!(
+            matches!(d.source, DesignSource::BoseSteiner | DesignSource::StinsonSteiner),
+            "source = {:?}",
+            d.source
+        );
+        assert!(d.is_exact_bibd(1));
+    }
+
+    #[test]
+    fn dispatch_affine_plane() {
+        let d = best_design(DesignRequest::new(16, 4)).unwrap();
+        assert_eq!(d.source, DesignSource::AffinePlane);
+        assert!(d.is_exact_bibd(1));
+    }
+
+    #[test]
+    fn dispatch_projective_plane() {
+        // q = 3: v = 13, k = 4.
+        let d = best_design(DesignRequest::new(13, 4)).unwrap();
+        assert_eq!(d.source, DesignSource::ProjectivePlane);
+        assert!(d.is_exact_bibd(1));
+    }
+
+    #[test]
+    fn dispatch_fallback_for_paper_config() {
+        // The paper's own d = 32, p = 8 point has no exact λ=1 BIBD.
+        let d = best_design(DesignRequest::new(32, 8)).unwrap();
+        assert_eq!(d.source, DesignSource::BalancedFallback);
+        assert!(d.stats().equal_replication());
+    }
+
+    #[test]
+    fn exact_request_fails_where_no_bibd_exists() {
+        assert!(best_design(DesignRequest::exact(32, 8)).is_none());
+        assert!(best_design(DesignRequest::exact(32, 4)).is_none());
+        // ... but succeeds where one does.
+        assert!(best_design(DesignRequest::exact(7, 3)).is_some());
+        assert!(best_design(DesignRequest::exact(32, 2)).is_some());
+        assert!(best_design(DesignRequest::exact(32, 32)).is_some());
+    }
+
+    #[test]
+    fn invalid_parameters_return_none() {
+        assert!(best_design(DesignRequest::new(8, 1)).is_none());
+        assert!(best_design(DesignRequest::new(8, 9)).is_none());
+        assert!(best_design(DesignRequest::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_design() {
+        let a = best_design(DesignRequest::new(32, 8)).unwrap();
+        let b = best_design(DesignRequest::new(32, 8)).unwrap();
+        assert_eq!(a, b);
+    }
+}

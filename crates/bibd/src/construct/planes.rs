@@ -1,0 +1,149 @@
+//! Affine and projective planes over finite fields — the classic families
+//! of exact `λ = 1` BIBDs with larger set sizes.
+//!
+//! * **Affine plane `AG(2, q)`**: points are `GF(q)²` (`v = q²`), lines are
+//!   `y = m·x + c` plus the verticals `x = c` (`s = q² + q`, `k = q`,
+//!   `r = q + 1`). The lines partition into `q + 1` parallel classes, which
+//!   makes the design *resolvable* — each PGT row can be one parallel
+//!   class, giving a perfectly regular declustering.
+//! * **Projective plane `PG(2, q)`**: points are the 1-dimensional
+//!   subspaces of `GF(q)³` (`v = q² + q + 1`), lines the 2-dimensional
+//!   ones (`k = q + 1`, `r = q + 1`, `s = v`). The paper's Example 1
+//!   (v = 7, k = 3) is `PG(2, 2)`, the Fano plane.
+
+use crate::design::{Design, DesignSource};
+use crate::gf::Gf;
+
+/// Builds the affine plane `AG(2, q)` as a `(q², q, 1)` design, or `None`
+/// if `q` is not a prime power.
+///
+/// Sets are emitted parallel class by parallel class (first all verticals,
+/// then slope 0, slope 1, …), so consumers that want a resolvable layout
+/// can chunk the set list into groups of `q`.
+#[must_use]
+pub fn affine_plane(q: u32) -> Option<Design> {
+    let f = Gf::new(q)?;
+    let v = q * q;
+    let point = |x: u32, y: u32| x * q + y;
+    let mut sets = Vec::with_capacity((q * (q + 1)) as usize);
+    // Parallel class of verticals: x = c.
+    for c in 0..q {
+        sets.push((0..q).map(|y| point(c, y)).collect());
+    }
+    // One parallel class per slope m: y = m·x + c.
+    for m in 0..q {
+        for c in 0..q {
+            sets.push((0..q).map(|x| point(x, f.mul_add(m, x, c))).collect());
+        }
+    }
+    Some(Design::new(v, q, sets, DesignSource::AffinePlane))
+}
+
+/// Builds the projective plane `PG(2, q)` as a `(q² + q + 1, q + 1, 1)`
+/// design, or `None` if `q` is not a prime power.
+#[must_use]
+pub fn projective_plane(q: u32) -> Option<Design> {
+    let f = Gf::new(q)?;
+    let v = q * q + q + 1;
+
+    // Canonical representatives of 1-dim subspaces of GF(q)³:
+    //   (1, a, b)  for a, b in GF(q)          — q² points
+    //   (0, 1, a)  for a in GF(q)             — q points
+    //   (0, 0, 1)                             — 1 point
+    let mut points: Vec<[u32; 3]> = Vec::with_capacity(v as usize);
+    for a in 0..q {
+        for b in 0..q {
+            points.push([1, a, b]);
+        }
+    }
+    for a in 0..q {
+        points.push([0, 1, a]);
+    }
+    points.push([0, 0, 1]);
+    debug_assert_eq!(points.len(), v as usize);
+
+    // A line is the set of points P with U·P = 0 for a dual representative
+    // U (also ranging over the canonical representatives).
+    let dot = |u: &[u32; 3], p: &[u32; 3]| {
+        let mut acc = 0;
+        for i in 0..3 {
+            acc = f.add(acc, f.mul(u[i], p[i]));
+        }
+        acc
+    };
+    let mut sets = Vec::with_capacity(v as usize);
+    for u in &points {
+        let line: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, p)| (dot(u, p) == 0).then_some(idx as u32))
+            .collect();
+        debug_assert_eq!(line.len(), (q + 1) as usize);
+        sets.push(line);
+    }
+    Some(Design::new(v, q + 1, sets, DesignSource::ProjectivePlane))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_planes_are_exact() {
+        for q in [2u32, 3, 4, 5, 7, 8, 9] {
+            let d = affine_plane(q).unwrap_or_else(|| panic!("AG(2,{q})"));
+            assert!(d.is_exact_bibd(1), "AG(2,{q}) must be a ({},{q},1) BIBD", q * q);
+            assert_eq!(d.num_sets() as u32, q * (q + 1));
+            assert_eq!(d.stats().r_min, q + 1);
+        }
+    }
+
+    #[test]
+    fn affine_plane_parallel_classes_partition() {
+        // Sets come out in q+1 chunks of q sets, each chunk a partition of
+        // the point set — the resolvability property.
+        let q = 4u32;
+        let d = affine_plane(q).unwrap();
+        for class in d.sets.chunks(q as usize) {
+            let mut seen = vec![false; (q * q) as usize];
+            for set in class {
+                for &pt in set {
+                    assert!(!seen[pt as usize], "parallel class must not repeat points");
+                    seen[pt as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "parallel class must cover all points");
+        }
+    }
+
+    #[test]
+    fn projective_planes_are_exact() {
+        for q in [2u32, 3, 4, 5, 7, 8] {
+            let d = projective_plane(q).unwrap_or_else(|| panic!("PG(2,{q})"));
+            assert!(
+                d.is_exact_bibd(1),
+                "PG(2,{q}) must be a ({},{},1) BIBD",
+                q * q + q + 1,
+                q + 1
+            );
+            assert_eq!(d.num_sets() as u32, q * q + q + 1);
+        }
+    }
+
+    #[test]
+    fn fano_plane_matches_paper_example_shape() {
+        // PG(2,2) is the (7,3,1) system of the paper's Example 1 (up to
+        // isomorphism): 7 sets, each point in 3.
+        let d = projective_plane(2).unwrap();
+        assert_eq!(d.v, 7);
+        assert_eq!(d.k, 3);
+        assert_eq!(d.num_sets(), 7);
+        assert_eq!(d.stats().r_max, 3);
+    }
+
+    #[test]
+    fn non_prime_power_orders_fail() {
+        assert!(affine_plane(6).is_none());
+        assert!(projective_plane(10).is_none());
+    }
+}

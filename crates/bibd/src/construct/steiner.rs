@@ -1,0 +1,273 @@
+//! Steiner triple systems — exact `(v, 3, 1)` BIBDs.
+//!
+//! An STS(v) exists iff `v ≡ 1 or 3 (mod 6)`. Two constructions:
+//!
+//! * **Bose (1939)** for `v = 6t + 3`: a closed-form construction over
+//!   `Z_{2t+1} × {0, 1, 2}` using the idempotent commutative quasigroup
+//!   `i ∘ j = (i + j)·(t + 1) mod (2t + 1)`. Deterministic and O(v²).
+//! * **Stinson's hill-climbing (1985)** for any admissible `v`: grow a
+//!   partial triple system, resolving collisions by evicting the covering
+//!   triple. Randomized but in practice converges in O(v²) steps; we seed
+//!   it deterministically so designs are reproducible.
+
+use crate::design::{Design, DesignSource};
+
+/// Tiny deterministic xorshift64* PRNG so this crate stays
+/// dependency-free. Quality is ample for hill-climb tie-breaking.
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `0..bound`.
+    pub(crate) fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+}
+
+/// Is an STS(v) admissible (`v ≡ 1, 3 (mod 6)`)?
+#[must_use]
+pub fn sts_admissible(v: u32) -> bool {
+    v >= 3 && (v % 6 == 1 || v % 6 == 3)
+}
+
+/// Builds a Steiner triple system on `v` points.
+///
+/// Uses Bose's construction when `v ≡ 3 (mod 6)` and hill-climbing
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `v` is not admissible.
+#[must_use]
+pub fn steiner_triple_system(v: u32, seed: u64) -> Design {
+    assert!(sts_admissible(v), "no STS exists for v = {v}");
+    if v % 6 == 3 {
+        bose(v)
+    } else {
+        stinson(v, seed)
+    }
+}
+
+/// Bose's construction for `v = 6t + 3`.
+#[must_use]
+pub fn bose(v: u32) -> Design {
+    assert_eq!(v % 6, 3, "Bose needs v ≡ 3 (mod 6)");
+    let t = (v - 3) / 6;
+    let n = 2 * t + 1; // order of the quasigroup
+    let point = |i: u32, level: u32| i + level * n;
+    let op = |i: u32, j: u32| ((i + j) * (t + 1)) % n;
+
+    let mut sets = Vec::with_capacity((v as usize * (v as usize - 1)) / 6);
+    // Type 1: the three levels of each quasigroup element.
+    for i in 0..n {
+        sets.push(vec![point(i, 0), point(i, 1), point(i, 2)]);
+    }
+    // Type 2: two points on one level plus their quasigroup product on the
+    // next level.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for level in 0..3 {
+                sets.push(vec![
+                    point(i, level),
+                    point(j, level),
+                    point(op(i, j), (level + 1) % 3),
+                ]);
+            }
+        }
+    }
+    Design::new(v, 3, sets, DesignSource::BoseSteiner)
+}
+
+/// Stinson's hill-climbing construction for any admissible `v`.
+///
+/// Invariant maintained throughout: the current set of triples is a
+/// *partial* triple system (every pair covered at most once). Each step
+/// either adds a triple covering three uncovered pairs (+1 triple) or
+/// swaps one triple for another (±0) — the covered-pair count never
+/// decreases by more than it gains, and in practice the system completes
+/// in a few `v²` iterations.
+#[must_use]
+pub fn stinson(v: u32, seed: u64) -> Design {
+    assert!(sts_admissible(v));
+    let vs = v as usize;
+    let target = vs * (vs - 1) / 6;
+    let mut rng = XorShift64::new(seed ^ 0x0053_1750_u64.rotate_left(17));
+
+    // cover[a*v+b] = id of the triple covering pair (a, b), or usize::MAX.
+    const NONE: usize = usize::MAX;
+    let mut cover = vec![NONE; vs * vs];
+    let mut triples: Vec<[u32; 3]> = Vec::with_capacity(target);
+    // degree[x] = number of points y such that (x, y) is covered.
+    let mut degree = vec![0u32; vs];
+
+    let pair = |a: u32, b: u32| -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo as usize * vs + hi as usize
+    };
+
+    // Free slots in `triples` from evictions, reused to keep ids dense.
+    let mut free: Vec<usize> = Vec::new();
+    let mut live_count = target; // triples still to place
+
+    let add = |triples: &mut Vec<[u32; 3]>,
+                   cover: &mut Vec<usize>,
+                   degree: &mut Vec<u32>,
+                   free: &mut Vec<usize>,
+                   t: [u32; 3]| {
+        let id = free.pop().unwrap_or_else(|| {
+            triples.push([0; 3]);
+            triples.len() - 1
+        });
+        triples[id] = t;
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                cover[pair(t[i], t[j])] = id;
+            }
+            degree[t[i] as usize] += 2;
+        }
+        id
+    };
+
+    let mut steps: u64 = 0;
+    let step_limit: u64 = 200_000_u64.max(u64::from(v) * u64::from(v) * 64);
+    while live_count > 0 {
+        steps += 1;
+        assert!(
+            steps < step_limit,
+            "hill climbing failed to converge for v = {v} (seed {seed})"
+        );
+        // Pick a live point x (one with uncovered pairs).
+        let x = loop {
+            let cand = rng.below(v);
+            if degree[cand as usize] < v - 1 {
+                break cand;
+            }
+        };
+        // Pick two distinct live partners y, z of x.
+        let pick_partner = |rng: &mut XorShift64, cover: &[usize], exclude: u32| loop {
+            let cand = rng.below(v);
+            if cand != x && cand != exclude && cover[pair(x, cand)] == NONE {
+                return cand;
+            }
+        };
+        let y = pick_partner(&mut rng, &cover, x);
+        let z = pick_partner(&mut rng, &cover, y);
+
+        let yz = cover[pair(y, z)];
+        if yz == NONE {
+            add(&mut triples, &mut cover, &mut degree, &mut free, [x, y, z]);
+            live_count -= 1;
+        } else {
+            // Evict the triple covering (y, z), then place {x, y, z}.
+            let old = triples[yz];
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    cover[pair(old[i], old[j])] = NONE;
+                }
+                degree[old[i] as usize] -= 2;
+            }
+            free.push(yz);
+            add(&mut triples, &mut cover, &mut degree, &mut free, [x, y, z]);
+            // Net triples unchanged: one removed, one added.
+        }
+    }
+
+    let sets = triples.into_iter().map(|t| t.to_vec()).collect();
+    Design::new(v, 3, sets, DesignSource::StinsonSteiner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admissibility() {
+        assert!(sts_admissible(3));
+        assert!(sts_admissible(7));
+        assert!(sts_admissible(9));
+        assert!(sts_admissible(13));
+        assert!(sts_admissible(15));
+        assert!(!sts_admissible(5));
+        assert!(!sts_admissible(6));
+        assert!(!sts_admissible(8));
+        assert!(!sts_admissible(11));
+    }
+
+    #[test]
+    fn bose_v9_is_exact() {
+        let d = bose(9);
+        assert!(d.is_exact_bibd(1));
+        assert_eq!(d.num_sets(), 12);
+    }
+
+    #[test]
+    fn bose_v15_v21_are_exact() {
+        for v in [15u32, 21, 27, 33] {
+            let d = bose(v);
+            assert!(d.is_exact_bibd(1), "v = {v}");
+            assert_eq!(d.num_sets(), (v as usize * (v as usize - 1)) / 6);
+        }
+    }
+
+    #[test]
+    fn stinson_v7_is_exact() {
+        let d = stinson(7, 42);
+        assert!(d.is_exact_bibd(1));
+        assert_eq!(d.num_sets(), 7);
+    }
+
+    #[test]
+    fn stinson_v13_v19_v25_are_exact() {
+        for v in [13u32, 19, 25, 31] {
+            let d = stinson(v, 7);
+            assert!(d.is_exact_bibd(1), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn stinson_is_deterministic_per_seed() {
+        let a = stinson(13, 99);
+        let b = stinson(13, 99);
+        assert_eq!(a, b);
+        // Different seeds usually give different systems (not guaranteed,
+        // but true for these seeds — a regression here means the seed is
+        // being ignored).
+        let c = stinson(13, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dispatcher_picks_construction_by_residue() {
+        assert_eq!(steiner_triple_system(9, 0).source, DesignSource::BoseSteiner);
+        assert_eq!(steiner_triple_system(13, 0).source, DesignSource::StinsonSteiner);
+    }
+
+    #[test]
+    #[should_panic(expected = "no STS exists")]
+    fn inadmissible_v_panics() {
+        let _ = steiner_triple_system(8, 0);
+    }
+
+    #[test]
+    fn xorshift_below_is_in_range() {
+        let mut rng = XorShift64::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The trivial design `k = v`: one set containing every object.
+//!
+//! This is the degenerate declustering where the whole array forms a
+//! single RAID-5 cluster — the paper's `p = d` data point. It is an exact
+//! BIBD with `λ = 1`, `r = 1`, `s = 1` (every pair co-occurs exactly once
+//! because there is exactly one set).
+
+use crate::design::{Design, DesignSource};
+
+/// Builds the single-set design over `v` objects.
+#[must_use]
+pub fn trivial(v: u32) -> Design {
+    Design::new(v, v, vec![(0..v).collect()], DesignSource::Trivial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_is_exact() {
+        for v in [2u32, 3, 7, 32] {
+            let d = trivial(v);
+            assert!(d.is_exact_bibd(1), "v = {v}");
+            let st = d.stats();
+            assert_eq!(st.r_min, 1);
+            assert_eq!(st.lambda_max, 1);
+            assert_eq!(d.num_sets(), 1);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # cms-bibd — balanced incomplete block designs and the parity group table
+//!
+//! Section 4.1 of the paper determines the declustered-parity layout from a
+//! *balanced incomplete block design* (BIBD): an arrangement of `v` objects
+//! (disks) into `s` sets of exactly `k` objects (parity-group stencils)
+//! such that each object occurs in exactly `r` sets and every pair of
+//! objects co-occurs in exactly `λ` sets. For `λ = 1` the two counting
+//! identities `r·(k−1) = λ·(v−1)` and `s·k = v·r` pin down `r` and `s`.
+//!
+//! The paper defers to Hall's 1986 tables for concrete designs. This crate
+//! replaces the tables with *constructions*:
+//!
+//! * the trivial design `k = v` (one set containing every disk),
+//! * the complete pair design for `k = 2` (λ = 1, r = v−1),
+//! * Steiner triple systems for `k = 3` (Bose's construction for
+//!   `v ≡ 3 (mod 6)`, Stinson's hill-climbing algorithm for any admissible
+//!   `v`),
+//! * affine planes `AG(2, q)` over finite fields (`v = q²`, `k = q`),
+//! * projective planes `PG(2, q)` (`v = q² + q + 1`, `k = q + 1`),
+//! * and, because exact `λ = 1` designs do not exist for most `(v, k)` —
+//!   including the paper's own `d = 32`, `p ∈ {4, 8, 16}` evaluation
+//!   points — a greedy *balanced-partition fallback* that keeps the
+//!   replication exact and drives the pair imbalance (`λ_max`) as close to
+//!   the ideal as possible.
+//!
+//! [`Pgt`] then rewrites any equal-replication design into the paper's
+//! *parity group table* — `r` rows by `v` columns, column `i` listing the
+//! sets containing disk `i` — which is the structure the layout and
+//! admission crates actually consume.
+//!
+//! ```
+//! use cms_bibd::{best_design, DesignRequest, Pgt};
+//!
+//! // An exact (7, 3, 1) design — the paper's Example 1 dimensions.
+//! let design = best_design(DesignRequest::new(7, 3)).unwrap();
+//! assert!(design.is_exact_bibd(1));
+//!
+//! let pgt = Pgt::new(&design);
+//! assert_eq!((pgt.rows(), pgt.disks()), (3, 7));
+//! // Disk block 5 of disk 2 maps to the set in row 5 mod 3 = 2.
+//! let set = pgt.set_of_block(2, 5);
+//! assert!(pgt.members(set).contains(&2));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod construct;
+pub mod design;
+pub mod gf;
+pub mod pgt;
+
+pub use construct::{best_design, DesignRequest};
+pub use design::{Design, DesignSource, DesignStats};
+pub use gf::Gf;
+pub use pgt::{Pgt, SetId};

@@ -1,0 +1,283 @@
+//! The continuity-of-playback constraint (the paper's Equation 1) and the
+//! quantities derived from it.
+//!
+//! A round lasts `b / r_p` seconds — the time a client takes to consume one
+//! block. During one round a disk serves at most `q` block retrievals under
+//! C-SCAN, where `q` is the largest integer satisfying
+//!
+//! ```text
+//! q · (b/r_d + t_rot + t_settle) + 2·t_seek  ≤  b / r_p        (Eq. 1)
+//! ```
+//!
+//! The left side charges each retrieval a worst-case rotation, a settle and
+//! the inner-track transfer, plus two full-stroke seeks per round for the
+//! two C-SCAN sweeps. Footnote 2 of the paper adds one more seek when a
+//! disk may fail *mid-round* and reconstruction reads must be inserted into
+//! an already-sorted sweep; [`ContinuityBudget::with_mid_round_failure`]
+//! models that variant.
+
+use crate::params::{DiskParams, ServerParams};
+use crate::units::{transfer_time, BitsPerSec, Seconds};
+use crate::CmsError;
+
+/// Duration of one service round for block size `b` and playback rate
+/// `r_p`: the time in which a client consumes exactly one block.
+#[must_use]
+pub fn round_duration(block_bytes: u64, playback_rate: BitsPerSec) -> Seconds {
+    transfer_time(block_bytes, playback_rate)
+}
+
+/// A solved instance of Equation 1: how much work one disk may accept per
+/// round without ever breaking a rate guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuityBudget {
+    /// Block size `b` in bytes the budget was computed for.
+    pub block_bytes: u64,
+    /// Round duration `b / r_p` in seconds.
+    pub round: Seconds,
+    /// Worst-case time to retrieve one block (transfer + rotation +
+    /// settle).
+    pub per_block: Seconds,
+    /// Seek overhead charged once per round (2·t_seek, or 3·t_seek in the
+    /// mid-round-failure model).
+    pub seek_overhead: Seconds,
+    /// Maximum number of block retrievals per disk per round (`q`).
+    pub q: u32,
+}
+
+impl ContinuityBudget {
+    /// Solves Equation 1 for `q` given a disk model, block size and
+    /// playback rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InfeasibleConfig`] when even a single retrieval
+    /// per round does not fit (the block is too small relative to the seek
+    /// overhead), which would make the configuration unable to serve any
+    /// client.
+    pub fn solve(
+        disk: &DiskParams,
+        block_bytes: u64,
+        playback_rate: BitsPerSec,
+    ) -> Result<Self, CmsError> {
+        Self::solve_with_seeks(disk, block_bytes, playback_rate, 2)
+    }
+
+    /// Footnote 2 variant: a disk failing in the middle of a round can
+    /// force one additional sweep to pick up reconstruction reads, so three
+    /// full-stroke seeks are charged per round.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ContinuityBudget::solve`].
+    pub fn with_mid_round_failure(
+        disk: &DiskParams,
+        block_bytes: u64,
+        playback_rate: BitsPerSec,
+    ) -> Result<Self, CmsError> {
+        Self::solve_with_seeks(disk, block_bytes, playback_rate, 3)
+    }
+
+    fn solve_with_seeks(
+        disk: &DiskParams,
+        block_bytes: u64,
+        playback_rate: BitsPerSec,
+        seeks_per_round: u32,
+    ) -> Result<Self, CmsError> {
+        disk.validate()?;
+        if block_bytes == 0 || playback_rate <= 0.0 {
+            return Err(CmsError::invalid_params(
+                "block size and playback rate must be positive",
+            ));
+        }
+        let round = round_duration(block_bytes, playback_rate);
+        let per_block = disk.block_service_time(block_bytes);
+        let seek_overhead = f64::from(seeks_per_round) * disk.seek_worst;
+        let budget = round - seek_overhead;
+        if budget < per_block {
+            return Err(CmsError::InfeasibleConfig {
+                reason: format!(
+                    "block size {block_bytes} B cannot sustain even one stream: \
+                     round {round:.4}s, seek overhead {seek_overhead:.4}s, \
+                     per-block {per_block:.4}s"
+                ),
+            });
+        }
+        // Floating-point guard: nudge by 1 ulp-ish epsilon so exact
+        // boundary cases round the way the closed form intends.
+        let q = ((budget / per_block) * (1.0 + 1e-12)).floor() as u32;
+        Ok(ContinuityBudget {
+            block_bytes,
+            round,
+            per_block,
+            seek_overhead,
+            q,
+        })
+    }
+
+    /// Verifies Equation 1 for an arbitrary load of `n` retrievals, e.g.
+    /// to check an admission decision.
+    #[must_use]
+    pub fn admits(&self, n: u32) -> bool {
+        n <= self.q
+    }
+
+    /// Worst-case busy time of the disk when serving `n` retrievals in one
+    /// round.
+    #[must_use]
+    pub fn busy_time(&self, n: u32) -> Seconds {
+        self.seek_overhead + f64::from(n) * self.per_block
+    }
+
+    /// Fraction of the round the disk is busy at load `n` (may exceed 1.0
+    /// for inadmissible loads).
+    #[must_use]
+    pub fn utilization(&self, n: u32) -> f64 {
+        self.busy_time(n) / self.round
+    }
+}
+
+/// Convenience wrapper: the per-disk service budget `q` for a full server
+/// configuration (Equation 1 with the server's block size and playback
+/// rate).
+///
+/// # Errors
+///
+/// See [`ContinuityBudget::solve`].
+pub fn max_clips_per_round(params: &ServerParams) -> Result<u32, CmsError> {
+    Ok(ContinuityBudget::solve(&params.disk, params.block_bytes, params.playback_rate)?.q)
+}
+
+/// Inverts Equation 1: the smallest block size (in bytes) for which a disk
+/// can serve `q` streams per round. Larger blocks only help (the transfer
+/// term grows more slowly than the round), so this is the cheapest feasible
+/// block for a target stream count.
+///
+/// Solving Eq. 1 for `b` with equality:
+///
+/// ```text
+/// q·(8b/r_d + t_rot + t_settle) + 2·t_seek = 8b/r_p
+/// b = [q·(t_rot + t_settle) + 2·t_seek] / (8/r_p − 8q/r_d)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CmsError::InfeasibleConfig`] when `q` exceeds the disk's
+/// streaming limit `r_d / r_p` (no block size can help past that point).
+pub fn max_block_size_for_q(
+    disk: &DiskParams,
+    q: u32,
+    playback_rate: BitsPerSec,
+) -> Result<u64, CmsError> {
+    disk.validate()?;
+    if q == 0 {
+        return Err(CmsError::invalid_params("q must be >= 1"));
+    }
+    let denom = 8.0 / playback_rate - 8.0 * f64::from(q) / disk.transfer_rate;
+    if denom <= 0.0 {
+        return Err(CmsError::InfeasibleConfig {
+            reason: format!(
+                "q = {q} exceeds the disk streaming limit r_d/r_p = {:.1}",
+                disk.transfer_rate / playback_rate
+            ),
+        });
+    }
+    let numer = f64::from(q) * (disk.rot_worst + disk.settle) + 2.0 * disk.seek_worst;
+    Ok((numer / denom).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{kib, mbps};
+
+    fn disk() -> DiskParams {
+        DiskParams::sigmod96()
+    }
+
+    #[test]
+    fn q_matches_hand_calculation() {
+        // b = 256 KiB, r_p = 1.5 Mbps.
+        // round = 262144*8/1.5e6 = 1.39810 s
+        // per_block = 262144*8/45e6 + 0.00834 + 0.0006 = 0.05554 s
+        // q = floor((1.39810 - 0.034) / 0.05554) = floor(24.56) = 24
+        let b = ContinuityBudget::solve(&disk(), kib(256), mbps(1.5)).unwrap();
+        assert_eq!(b.q, 24);
+        assert!(b.admits(24));
+        assert!(!b.admits(25));
+    }
+
+    #[test]
+    fn q_is_monotone_in_block_size() {
+        let mut last = 0;
+        for kb in [64u64, 128, 256, 512, 1024, 2048] {
+            let b = ContinuityBudget::solve(&disk(), kib(kb), mbps(1.5)).unwrap();
+            assert!(b.q >= last, "q must grow with block size");
+            last = b.q;
+        }
+    }
+
+    #[test]
+    fn q_saturates_at_streaming_limit() {
+        // r_d / r_p = 30: no block size can push q past 29 (seek/rot
+        // overhead always consumes something).
+        let b = ContinuityBudget::solve(&disk(), kib(64 * 1024), mbps(1.5)).unwrap();
+        assert!(b.q < 30, "q = {} must stay below r_d/r_p", b.q);
+    }
+
+    #[test]
+    fn mid_round_failure_charges_extra_seek() {
+        let normal = ContinuityBudget::solve(&disk(), kib(256), mbps(1.5)).unwrap();
+        let failure = ContinuityBudget::with_mid_round_failure(&disk(), kib(256), mbps(1.5)).unwrap();
+        assert!(failure.seek_overhead > normal.seek_overhead);
+        assert!(failure.q <= normal.q);
+    }
+
+    #[test]
+    fn tiny_blocks_are_infeasible() {
+        // A 1 KiB block gives a 5.5 ms round, less than 2 seeks (34 ms).
+        let err = ContinuityBudget::solve(&disk(), 1024, mbps(1.5));
+        assert!(matches!(err, Err(CmsError::InfeasibleConfig { .. })));
+    }
+
+    #[test]
+    fn busy_time_and_utilization_are_consistent() {
+        let b = ContinuityBudget::solve(&disk(), kib(256), mbps(1.5)).unwrap();
+        assert!(b.busy_time(b.q) <= b.round + 1e-9, "Eq. 1 must hold at q");
+        assert!(b.busy_time(b.q + 1) > b.round, "Eq. 1 must fail at q+1");
+        assert!(b.utilization(b.q) <= 1.0 + 1e-9);
+        assert!(b.utilization(0) > 0.0, "seek overhead is always paid");
+    }
+
+    #[test]
+    fn block_size_inversion_roundtrips() {
+        for q in [1u32, 5, 10, 20, 24] {
+            let b = max_block_size_for_q(&disk(), q, mbps(1.5)).unwrap();
+            let solved = ContinuityBudget::solve(&disk(), b, mbps(1.5)).unwrap();
+            assert!(
+                solved.q >= q,
+                "block {b} solved for q={q} must admit at least q, got {}",
+                solved.q
+            );
+        }
+    }
+
+    #[test]
+    fn block_size_inversion_rejects_impossible_q() {
+        assert!(max_block_size_for_q(&disk(), 30, mbps(1.5)).is_err());
+        assert!(max_block_size_for_q(&disk(), 0, mbps(1.5)).is_err());
+    }
+
+    #[test]
+    fn round_duration_is_block_over_rp() {
+        let r = round_duration(kib(256), mbps(1.5));
+        assert!((r - 1.398_101_3).abs() < 1e-5, "got {r}");
+    }
+
+    #[test]
+    fn max_clips_per_round_uses_server_params() {
+        let mut p = ServerParams::sigmod96_small_buffer();
+        p.block_bytes = kib(256);
+        assert_eq!(max_clips_per_round(&p).unwrap(), 24);
+    }
+}

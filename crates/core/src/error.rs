@@ -1,0 +1,104 @@
+//! The workspace-wide error type.
+//!
+//! Kept deliberately small: configuration errors, infeasible capacity
+//! math, admission rejections and layout/design construction failures
+//! cover every fallible path in the workspace. `CmsError` is `Clone` so
+//! the simulator can record rejection reasons in its metrics.
+
+use std::fmt;
+
+/// Errors produced anywhere in the CM-server workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CmsError {
+    /// A parameter value is structurally invalid (negative latency, p > d,
+    /// zero block size, …).
+    InvalidParams {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// The configuration is well-formed but cannot meet its guarantees
+    /// (e.g. Equation 1 admits zero streams, or no BIBD-like design
+    /// exists).
+    InfeasibleConfig {
+        /// Human-readable description of why capacity math failed.
+        reason: String,
+    },
+    /// An admission request was rejected; the request stays in the pending
+    /// list (the controllers are starvation-free, so this is a *not yet*,
+    /// never a *never*).
+    AdmissionRejected {
+        /// Which resource was exhausted.
+        reason: String,
+    },
+    /// A block address or id fell outside the configured array/layout.
+    OutOfBounds {
+        /// Description of the offending access.
+        reason: String,
+    },
+    /// The requested combinatorial design could not be constructed exactly
+    /// and no fallback was permitted.
+    DesignUnavailable {
+        /// Parameters of the missing design.
+        reason: String,
+    },
+}
+
+impl CmsError {
+    /// Shorthand for [`CmsError::InvalidParams`].
+    #[must_use]
+    pub fn invalid_params(reason: impl Into<String>) -> Self {
+        CmsError::InvalidParams { reason: reason.into() }
+    }
+
+    /// Shorthand for [`CmsError::OutOfBounds`].
+    #[must_use]
+    pub fn out_of_bounds(reason: impl Into<String>) -> Self {
+        CmsError::OutOfBounds { reason: reason.into() }
+    }
+
+    /// Shorthand for [`CmsError::AdmissionRejected`].
+    #[must_use]
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        CmsError::AdmissionRejected { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmsError::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            CmsError::InfeasibleConfig { reason } => write!(f, "infeasible configuration: {reason}"),
+            CmsError::AdmissionRejected { reason } => write!(f, "admission rejected: {reason}"),
+            CmsError::OutOfBounds { reason } => write!(f, "out of bounds: {reason}"),
+            CmsError::DesignUnavailable { reason } => write!(f, "design unavailable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = CmsError::invalid_params("p > d");
+        assert_eq!(e.to_string(), "invalid parameters: p > d");
+        let e = CmsError::InfeasibleConfig { reason: "q = 0".into() };
+        assert!(e.to_string().contains("q = 0"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CmsError::rejected("full"), CmsError::rejected("full"));
+        assert_ne!(CmsError::rejected("full"), CmsError::rejected("row full"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(CmsError::out_of_bounds("disk 99"));
+        assert!(e.to_string().contains("disk 99"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Grouped Sweeping Scheduling (GSS) — the Chen/Kandlur/Yu (ACM MM'93)
+//! generalization the paper cites alongside Equation 1.
+//!
+//! C-SCAN serves all `q` streams in one sweep per round, which forces
+//! full double buffering (`2b` per stream: a block being consumed plus a
+//! block that may arrive at any point of the round). GSS splits the round
+//! into `g` sub-rounds ("groups"), each serving `q/g` streams with its own
+//! mini-sweep:
+//!
+//! * **seeks** — each sub-round pays its own two arm strokes, so the
+//!   per-round seek charge grows to `2·g·t_seek`;
+//! * **buffers** — a stream's next block always lands within a known
+//!   `1/g` slice of the round, so per-stream buffering shrinks from `2b`
+//!   toward `(1 + 1/g)·b`.
+//!
+//! `g = 1` is exactly Equation 1 with double buffering; `g = q` is
+//! FCFS-like scheduling with minimal buffers and maximal seek overhead.
+//! [`GssBudget::optimize`] picks the `g` that maximizes streams per disk
+//! under a per-stream buffer budget — the knob the paper's Section 7
+//! implicitly fixes at `g = 1`.
+
+use crate::params::DiskParams;
+use crate::units::{transfer_time, BitsPerSec, Seconds};
+use crate::CmsError;
+
+/// A solved GSS operating point for one disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GssBudget {
+    /// Number of groups `g` (sub-rounds per round).
+    pub groups: u32,
+    /// Maximum streams per disk `q` (a multiple of the per-group count).
+    pub q: u32,
+    /// Streams per group (`q / g`, rounded down).
+    pub per_group: u32,
+    /// Per-stream buffer requirement in units of the block size:
+    /// `1 + 1/g` blocks.
+    pub buffer_blocks_per_stream: f64,
+    /// Round duration `b / r_p`, seconds.
+    pub round: Seconds,
+}
+
+impl GssBudget {
+    /// Solves the GSS continuity constraint for a given group count:
+    /// the largest `q` (multiple of `g`… conservatively `per_group·g`)
+    /// with
+    ///
+    /// ```text
+    /// q·(b/r_d + t_rot + t_settle) + 2·g·t_seek ≤ b / r_p
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] for `g = 0` and
+    /// [`CmsError::InfeasibleConfig`] when even one stream per group does
+    /// not fit.
+    pub fn solve(
+        disk: &DiskParams,
+        block_bytes: u64,
+        playback_rate: BitsPerSec,
+        groups: u32,
+    ) -> Result<Self, CmsError> {
+        disk.validate()?;
+        if groups == 0 {
+            return Err(CmsError::invalid_params("GSS needs g >= 1"));
+        }
+        if block_bytes == 0 || playback_rate <= 0.0 {
+            return Err(CmsError::invalid_params("block size and rate must be positive"));
+        }
+        let round = transfer_time(block_bytes, playback_rate);
+        let per_block = disk.block_service_time(block_bytes);
+        let seek_overhead = 2.0 * f64::from(groups) * disk.seek_worst;
+        let budget = round - seek_overhead;
+        if budget < per_block {
+            return Err(CmsError::InfeasibleConfig {
+                reason: format!(
+                    "g = {groups}: seek overhead {seek_overhead:.4}s leaves no room in a \
+                     {round:.4}s round"
+                ),
+            });
+        }
+        let q_raw = ((budget / per_block) * (1.0 + 1e-12)).floor() as u32;
+        // Streams are dealt to groups evenly; capacity is per_group·g.
+        let per_group = q_raw / groups;
+        if per_group == 0 {
+            return Err(CmsError::InfeasibleConfig {
+                reason: format!("g = {groups}: less than one stream per group"),
+            });
+        }
+        Ok(GssBudget {
+            groups,
+            q: per_group * groups,
+            per_group,
+            buffer_blocks_per_stream: 1.0 + 1.0 / f64::from(groups),
+            round,
+        })
+    }
+
+    /// Total buffer demand of a fully loaded disk, in blocks.
+    #[must_use]
+    pub fn buffer_blocks_total(&self) -> f64 {
+        f64::from(self.q) * self.buffer_blocks_per_stream
+    }
+
+    /// Sweeps `g` from 1 to the feasibility limit and returns the point
+    /// maximizing streams per disk subject to a per-disk buffer budget of
+    /// `max_buffer_blocks` blocks (`None` = unconstrained, which always
+    /// lands on `g = 1`, i.e. plain C-SCAN).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InfeasibleConfig`] when no `g` fits the budget.
+    pub fn optimize(
+        disk: &DiskParams,
+        block_bytes: u64,
+        playback_rate: BitsPerSec,
+        max_buffer_blocks: Option<f64>,
+    ) -> Result<Self, CmsError> {
+        let mut best: Option<GssBudget> = None;
+        for g in 1..=64 {
+            let Ok(point) = Self::solve(disk, block_bytes, playback_rate, g) else {
+                break; // seek overhead only grows with g
+            };
+            if let Some(cap) = max_buffer_blocks {
+                if point.buffer_blocks_total() > cap {
+                    continue;
+                }
+            }
+            let better = best.is_none_or(|b: GssBudget| {
+                (point.q, -point.buffer_blocks_total()) > (b.q, -b.buffer_blocks_total())
+            });
+            if better {
+                best = Some(point);
+            }
+        }
+        best.ok_or_else(|| CmsError::InfeasibleConfig {
+            reason: "no group count satisfies the buffer budget".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuity::ContinuityBudget;
+    use crate::units::{kib, mbps};
+
+    fn disk() -> DiskParams {
+        DiskParams::sigmod96()
+    }
+
+    #[test]
+    fn g1_matches_equation_1() {
+        let eq1 = ContinuityBudget::solve(&disk(), kib(256), mbps(1.5)).unwrap();
+        let gss = GssBudget::solve(&disk(), kib(256), mbps(1.5), 1).unwrap();
+        assert_eq!(gss.q, eq1.q);
+        assert!((gss.buffer_blocks_per_stream - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_groups_trade_streams_for_buffers() {
+        let g1 = GssBudget::solve(&disk(), kib(256), mbps(1.5), 1).unwrap();
+        let g4 = GssBudget::solve(&disk(), kib(256), mbps(1.5), 4).unwrap();
+        let g8 = GssBudget::solve(&disk(), kib(256), mbps(1.5), 8).unwrap();
+        // Capacity shrinks (more seek overhead)...
+        assert!(g1.q >= g4.q && g4.q >= g8.q);
+        // ... while the per-stream buffer shrinks too.
+        assert!(g4.buffer_blocks_per_stream < g1.buffer_blocks_per_stream);
+        assert!(g8.buffer_blocks_per_stream < g4.buffer_blocks_per_stream);
+        // Total buffer demand at full load strictly improves.
+        assert!(g8.buffer_blocks_total() < g1.buffer_blocks_total());
+    }
+
+    #[test]
+    fn excessive_groups_become_infeasible() {
+        // 2·g·t_seek eventually eats the whole round (1.398 s / 34 ms ≈ 41).
+        let mut last_ok = 0;
+        for g in 1..=64 {
+            if GssBudget::solve(&disk(), kib(256), mbps(1.5), g).is_ok() {
+                last_ok = g;
+            }
+        }
+        assert!((8..64).contains(&last_ok), "limit at g = {last_ok}");
+    }
+
+    #[test]
+    fn optimize_unconstrained_is_cscan() {
+        let best = GssBudget::optimize(&disk(), kib(256), mbps(1.5), None).unwrap();
+        assert_eq!(best.groups, 1, "without a buffer cap, one sweep wins");
+    }
+
+    #[test]
+    fn optimize_under_buffer_pressure_raises_g() {
+        let g1 = GssBudget::solve(&disk(), kib(256), mbps(1.5), 1).unwrap();
+        // Cap the buffer at 70% of what g = 1 needs: the optimizer must
+        // raise g (shrinking per-stream buffers) and still serve streams.
+        let cap = 0.7 * g1.buffer_blocks_total();
+        let best = GssBudget::optimize(&disk(), kib(256), mbps(1.5), Some(cap)).unwrap();
+        assert!(best.groups > 1, "buffer pressure must raise g");
+        assert!(best.buffer_blocks_total() <= cap);
+        assert!(best.q > 0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(GssBudget::solve(&disk(), kib(256), mbps(1.5), 0).is_err());
+        assert!(GssBudget::solve(&disk(), 0, mbps(1.5), 1).is_err());
+        assert!(GssBudget::optimize(&disk(), kib(256), mbps(1.5), Some(0.5)).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper juggles several integer index spaces — disks, clips, client
+//! requests, stripe blocks, rounds, PGT rows and sets. Mixing them up is
+//! the classic way a placement algorithm silently corrupts a layout, so
+//! each space gets its own newtype. All of them are `Copy`, ordered and
+//! hashable so they can key `BTreeMap`s and index service lists.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index.
+            #[must_use]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the raw index as `usize` for slice indexing.
+            #[must_use]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a physical disk in the array (column of the PGT).
+    DiskId,
+    u32,
+    "disk"
+);
+
+id_type!(
+    /// Identifier of a stored CM clip.
+    ClipId,
+    u64,
+    "clip"
+);
+
+id_type!(
+    /// Identifier of a client playback request (a clip may be requested by
+    /// many clients concurrently).
+    RequestId,
+    u64,
+    "req"
+);
+
+id_type!(
+    /// Index of a stripe block within a clip or super-clip (0-based).
+    BlockIndex,
+    u64,
+    "blk"
+);
+
+id_type!(
+    /// A service round. Rounds have fixed duration `b / r_p` (Section 3);
+    /// the simulator's clock is a round counter.
+    Round,
+    u64,
+    "round"
+);
+
+impl Round {
+    /// The round immediately after this one.
+    #[must_use]
+    pub fn next(self) -> Self {
+        Round(self.0 + 1)
+    }
+}
+
+impl DiskId {
+    /// The disk holding the next stripe unit under round-robin placement
+    /// over `d` disks (Section 3: "consecutive blocks for a clip are
+    /// retrieved from consecutive disks").
+    #[must_use]
+    pub fn successor(self, d: u32) -> Self {
+        debug_assert!(d > 0 && self.0 < d);
+        DiskId((self.0 + 1) % d)
+    }
+}
+
+impl BlockIndex {
+    /// The following block of the same clip.
+    #[must_use]
+    pub fn next(self) -> Self {
+        BlockIndex(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(DiskId(3).to_string(), "disk3");
+        assert_eq!(ClipId(12).to_string(), "clip12");
+        assert_eq!(Round(0).to_string(), "round0");
+    }
+
+    #[test]
+    fn successor_wraps_round_robin() {
+        let d = 7;
+        let mut disk = DiskId(0);
+        let mut seen = BTreeSet::new();
+        for _ in 0..d {
+            seen.insert(disk);
+            disk = disk.successor(d);
+        }
+        assert_eq!(seen.len(), d as usize);
+        assert_eq!(disk, DiskId(0), "cycle must return to the start");
+    }
+
+    #[test]
+    fn round_and_block_advance() {
+        assert_eq!(Round(9).next(), Round(10));
+        assert_eq!(BlockIndex(0).next(), BlockIndex(1));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(DiskId(1) < DiskId(2));
+        assert_eq!(DiskId(5).idx(), 5usize);
+        assert_eq!(BlockIndex(42).raw(), 42u64);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = ClipId(77);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "77");
+        let back: ClipId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

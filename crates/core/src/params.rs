@@ -1,0 +1,262 @@
+//! Disk and server parameters (the paper's Figure 1).
+//!
+//! The paper evaluates everything on a single reference disk model —
+//! a mid-1990s 2 GB drive — and two server configurations (256 MB and
+//! 2 GB of RAM buffer over a 32-disk array). [`DiskParams::sigmod96`]
+//! and [`ServerParams`] encode those defaults; every field can be
+//! overridden to model other hardware.
+
+use crate::units::{gib, mbps, mib, millis, transfer_time, BitsPerSec, Seconds};
+use crate::CmsError;
+use serde::{Deserialize, Serialize};
+
+/// Physical characteristics of one disk drive.
+///
+/// All latencies are *worst case*, as required by the paper's deterministic
+/// admission-control math: Equation 1 charges every block retrieval a full
+/// rotation plus settle, and every round two full-stroke seeks (C-SCAN
+/// sweeps the arm across the surface at most twice per round).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Inner-track transfer rate `r_d` in bits per second. Using the inner
+    /// (slowest) track keeps the guarantee valid wherever data lands.
+    pub transfer_rate: BitsPerSec,
+    /// Head settle time `t_settle` in seconds.
+    pub settle: Seconds,
+    /// Worst-case seek `t_seek` (full stroke) in seconds.
+    pub seek_worst: Seconds,
+    /// Worst-case rotational latency `t_rot` (one full revolution) in
+    /// seconds.
+    pub rot_worst: Seconds,
+    /// Formatted capacity `C_d` in bytes.
+    pub capacity: u64,
+}
+
+impl DiskParams {
+    /// The reference disk of the paper's Figure 1: 45 Mbps inner-track
+    /// rate, 0.6 ms settle, 17 ms worst-case seek, 8.34 ms worst-case
+    /// rotational latency, 2 GB capacity.
+    #[must_use]
+    pub fn sigmod96() -> Self {
+        DiskParams {
+            transfer_rate: mbps(45.0),
+            settle: millis(0.6),
+            seek_worst: millis(17.0),
+            rot_worst: millis(8.34),
+            capacity: gib(2),
+        }
+    }
+
+    /// Total worst-case latency (`t_lat = t_seek + t_rot`) quoted as
+    /// 25.5 ms in Figure 1 (with settle, 25.94 ms; the paper folds settle
+    /// into the per-block charge instead).
+    #[must_use]
+    pub fn worst_latency(&self) -> Seconds {
+        self.seek_worst + self.rot_worst
+    }
+
+    /// Worst-case time to retrieve one block of `block_bytes` bytes during
+    /// a C-SCAN sweep: settle + full rotation + transfer. Seeks are charged
+    /// separately, twice per round (Equation 1).
+    #[must_use]
+    pub fn block_service_time(&self, block_bytes: u64) -> Seconds {
+        transfer_time(block_bytes, self.transfer_rate) + self.rot_worst + self.settle
+    }
+
+    /// Validates physical plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if any rate/latency is
+    /// non-positive or the capacity is zero.
+    pub fn validate(&self) -> Result<(), CmsError> {
+        if self.transfer_rate <= 0.0 {
+            return Err(CmsError::invalid_params("transfer_rate must be > 0"));
+        }
+        if self.settle < 0.0 || self.seek_worst < 0.0 || self.rot_worst < 0.0 {
+            return Err(CmsError::invalid_params("latencies must be >= 0"));
+        }
+        if self.capacity == 0 {
+            return Err(CmsError::invalid_params("capacity must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self::sigmod96()
+    }
+}
+
+/// Server-wide configuration: the disk array, the RAM buffer, the clip
+/// playback rate and the striping/parity parameters chosen by the operator
+/// (typically via `cms-model`'s `compute_optimal`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerParams {
+    /// Number of disks `d` in the array.
+    pub disks: u32,
+    /// Total RAM buffer `B` in bytes.
+    pub buffer_bytes: u64,
+    /// Stripe-unit (block) size `b` in bytes.
+    pub block_bytes: u64,
+    /// Parity group size `p` (number of blocks per parity group, parity
+    /// block included).
+    pub parity_group: u32,
+    /// Clip playback rate `r_p` in bits per second (CBR; MPEG-1 in the
+    /// paper).
+    pub playback_rate: BitsPerSec,
+    /// Per-disk contingency reservation `f` in blocks per round. Only used
+    /// by the schemes that statically reserve bandwidth (declustered
+    /// parity, prefetch without parity disks); zero otherwise.
+    pub contingency: u32,
+    /// Physical disk model.
+    pub disk: DiskParams,
+}
+
+impl ServerParams {
+    /// The paper's Section 8 base configuration: `d = 32` disks of the
+    /// Figure 1 model, MPEG-1 playback (1.5 Mbps), buffer size as given.
+    /// Block size, parity group size and contingency must still be chosen;
+    /// the defaults here (`b = 256 KiB`, `p = 4`, `f = 1`) are placeholders
+    /// that `cms-model` overrides per experiment.
+    #[must_use]
+    pub fn sigmod96(buffer_bytes: u64) -> Self {
+        ServerParams {
+            disks: 32,
+            buffer_bytes,
+            block_bytes: 256 * 1024,
+            parity_group: 4,
+            playback_rate: mbps(1.5),
+            contingency: 1,
+            disk: DiskParams::sigmod96(),
+        }
+    }
+
+    /// The 256 MB-buffer configuration of Section 8.
+    #[must_use]
+    pub fn sigmod96_small_buffer() -> Self {
+        Self::sigmod96(mib(256))
+    }
+
+    /// The 2 GB-buffer configuration of Section 8.
+    #[must_use]
+    pub fn sigmod96_large_buffer() -> Self {
+        Self::sigmod96(gib(2))
+    }
+
+    /// Total raw capacity of the array in bytes.
+    #[must_use]
+    pub fn array_capacity(&self) -> u64 {
+        u64::from(self.disks) * self.disk.capacity
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] when any structural requirement
+    /// is violated (at least two disks, `2 <= p <= d`, positive block size
+    /// and playback rate, buffer large enough for at least one clip's
+    /// double buffer).
+    pub fn validate(&self) -> Result<(), CmsError> {
+        self.disk.validate()?;
+        if self.disks < 2 {
+            return Err(CmsError::invalid_params("need at least 2 disks"));
+        }
+        if self.parity_group < 2 || self.parity_group > self.disks {
+            return Err(CmsError::invalid_params("parity group must satisfy 2 <= p <= d"));
+        }
+        if self.block_bytes == 0 {
+            return Err(CmsError::invalid_params("block size must be > 0"));
+        }
+        if self.playback_rate <= 0.0 {
+            return Err(CmsError::invalid_params("playback rate must be > 0"));
+        }
+        if self.buffer_bytes < 2 * self.block_bytes {
+            return Err(CmsError::invalid_params(
+                "buffer must hold at least one clip's double buffer (2b)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        Self::sigmod96_small_buffer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_reference_values() {
+        let d = DiskParams::sigmod96();
+        assert_eq!(d.transfer_rate, 45_000_000.0);
+        assert!((d.settle - 0.0006).abs() < 1e-12);
+        assert!((d.seek_worst - 0.017).abs() < 1e-12);
+        assert!((d.rot_worst - 0.00834).abs() < 1e-12);
+        assert_eq!(d.capacity, 2 << 30);
+        // Figure 1 quotes t_lat = 25.5 ms ≈ seek + rotation (0.16 ms of
+        // rounding in the paper's table).
+        assert!((d.worst_latency() - 0.02534).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_service_time_grows_with_block_size() {
+        let d = DiskParams::sigmod96();
+        let small = d.block_service_time(64 * 1024);
+        let large = d.block_service_time(512 * 1024);
+        assert!(large > small);
+        // Fixed overhead is rotation + settle.
+        assert!(small > d.rot_worst + d.settle);
+    }
+
+    #[test]
+    fn default_server_is_valid() {
+        ServerParams::sigmod96_small_buffer().validate().unwrap();
+        ServerParams::sigmod96_large_buffer().validate().unwrap();
+    }
+
+    #[test]
+    fn array_capacity_is_d_times_cd() {
+        let s = ServerParams::sigmod96_small_buffer();
+        assert_eq!(s.array_capacity(), 32 * (2u64 << 30));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let base = ServerParams::sigmod96_small_buffer();
+
+        let mut s = base;
+        s.disks = 1;
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.parity_group = 1;
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.parity_group = 64; // > d
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.block_bytes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.playback_rate = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.buffer_bytes = s.block_bytes; // < 2b
+        assert!(s.validate().is_err());
+
+        let mut s = base;
+        s.disk.capacity = 0;
+        assert!(s.validate().is_err());
+    }
+}

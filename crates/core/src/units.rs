@@ -1,0 +1,113 @@
+//! Physical units used throughout the workspace.
+//!
+//! The paper quotes disk rates in megabits per second and buffer sizes in
+//! megabytes/gigabytes. Internally everything is carried as:
+//!
+//! * **time** — `f64` seconds,
+//! * **data rates** — `f64` bits per second,
+//! * **sizes** — `u64` bytes.
+//!
+//! The helpers here keep those conversions in one audited place; unit bugs
+//! in admission-control math silently destroy rate guarantees, so no module
+//! is allowed to do its own `* 1024` arithmetic.
+
+/// A duration in seconds.
+pub type Seconds = f64;
+
+/// A data rate in bits per second.
+pub type BitsPerSec = f64;
+
+/// Number of bits in one byte.
+pub const BITS_PER_BYTE: f64 = 8.0;
+
+/// Converts megabits per second (as quoted by the paper, decimal mega) to
+/// bits per second.
+#[must_use]
+pub fn mbps(megabits_per_second: f64) -> BitsPerSec {
+    megabits_per_second * 1_000_000.0
+}
+
+/// Converts milliseconds to seconds.
+#[must_use]
+pub fn millis(ms: f64) -> Seconds {
+    ms / 1_000.0
+}
+
+/// Converts binary kibibytes to bytes.
+#[must_use]
+pub fn kib(k: u64) -> u64 {
+    k * 1024
+}
+
+/// Converts binary mebibytes to bytes (the paper's "MB").
+#[must_use]
+pub fn mib(m: u64) -> u64 {
+    m * 1024 * 1024
+}
+
+/// Converts binary gibibytes to bytes (the paper's "GB").
+#[must_use]
+pub fn gib(g: u64) -> u64 {
+    g * 1024 * 1024 * 1024
+}
+
+/// Time in seconds needed to move `bytes` bytes at `rate` bits per second.
+///
+/// This is the `b / r_d` and `b / r_p` term that appears throughout the
+/// paper's Equation 1 and Section 7 constraints.
+#[must_use]
+pub fn transfer_time(bytes: u64, rate: BitsPerSec) -> Seconds {
+    debug_assert!(rate > 0.0, "transfer rate must be positive");
+    (bytes as f64) * BITS_PER_BYTE / rate
+}
+
+/// Number of whole bytes that can be moved in `seconds` at `rate` bits per
+/// second (floor).
+#[must_use]
+pub fn bytes_in(seconds: Seconds, rate: BitsPerSec) -> u64 {
+    debug_assert!(seconds >= 0.0 && rate >= 0.0);
+    (seconds * rate / BITS_PER_BYTE).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_is_decimal_mega() {
+        assert_eq!(mbps(1.5), 1_500_000.0);
+        assert_eq!(mbps(45.0), 45_000_000.0);
+    }
+
+    #[test]
+    fn millis_converts() {
+        assert!((millis(17.0) - 0.017).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_sizes() {
+        assert_eq!(kib(1), 1024);
+        assert_eq!(mib(1), 1 << 20);
+        assert_eq!(gib(2), 2 << 30);
+    }
+
+    #[test]
+    fn transfer_time_matches_hand_calc() {
+        // 64 KiB at 45 Mbps: 65536*8/45e6 s ≈ 11.65 ms.
+        let t = transfer_time(kib(64), mbps(45.0));
+        assert!((t - 0.011_650_8).abs() < 1e-5, "got {t}");
+    }
+
+    #[test]
+    fn transfer_time_roundtrips_with_bytes_in() {
+        let bytes = kib(256);
+        let rate = mbps(45.0);
+        let t = transfer_time(bytes, rate);
+        assert_eq!(bytes_in(t, rate), bytes);
+    }
+
+    #[test]
+    fn zero_bytes_takes_zero_time() {
+        assert_eq!(transfer_time(0, mbps(45.0)), 0.0);
+    }
+}

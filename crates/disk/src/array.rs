@@ -1,0 +1,384 @@
+//! The disk array: per-disk health state, failure injection, and
+//! round-by-round service-time accounting.
+//!
+//! [`DiskArray::service_round`] executes one service round on one disk: it
+//! C-SCAN-orders the round's requests, prices each retrieval under the
+//! configured [`TimingModel`], and reports whether the round met its
+//! deadline `b / r_p`. The simulator calls this for every disk every
+//! round; admission control is supposed to make deadline misses
+//! *impossible*, and the simulator asserts exactly that.
+
+use crate::cscan::{sweep_order, BlockRequest};
+use crate::timing::TimingModel;
+use cms_core::units::Seconds;
+use cms_core::{CmsError, DiskId, DiskParams};
+
+/// Health state of one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskStatus {
+    /// Operating normally.
+    Healthy,
+    /// Failed; all reads to it must be served by reconstruction.
+    Failed,
+}
+
+/// One physical disk.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    /// This disk's id (its column in the PGT).
+    pub id: DiskId,
+    /// Health state.
+    pub status: DiskStatus,
+    /// Current head cylinder (persisted across rounds).
+    head: u32,
+    /// Cumulative busy time, seconds.
+    busy_total: Seconds,
+    /// Number of blocks served over the disk's lifetime.
+    blocks_served: u64,
+}
+
+/// Outcome of servicing one round on one disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOutcome {
+    /// Number of block retrievals performed.
+    pub blocks: u32,
+    /// Total busy time for the round (seeks + rotations + settles +
+    /// transfers), seconds.
+    pub busy: Seconds,
+    /// The round deadline `b / r_p`, seconds.
+    pub deadline: Seconds,
+}
+
+impl RoundOutcome {
+    /// Did the disk finish within the round?
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.busy <= self.deadline + 1e-9
+    }
+
+    /// Utilization of the round (busy / deadline).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.deadline <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.busy / self.deadline
+    }
+}
+
+/// A homogeneous array of `d` disks.
+#[derive(Debug, Clone)]
+pub struct DiskArray {
+    disks: Vec<Disk>,
+    params: DiskParams,
+    timing: TimingModel,
+    block_bytes: u64,
+    blocks_per_disk: u64,
+}
+
+impl DiskArray {
+    /// Creates a healthy array of `d` disks with the given physical model
+    /// and block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] for zero disks or a block size
+    /// exceeding disk capacity.
+    pub fn new(
+        d: u32,
+        params: DiskParams,
+        timing: TimingModel,
+        block_bytes: u64,
+    ) -> Result<Self, CmsError> {
+        params.validate()?;
+        if d == 0 {
+            return Err(CmsError::invalid_params("array needs at least one disk"));
+        }
+        if block_bytes == 0 || block_bytes > params.capacity {
+            return Err(CmsError::invalid_params(
+                "block size must be in 1..=disk capacity",
+            ));
+        }
+        let disks = (0..d)
+            .map(|i| Disk {
+                id: DiskId(i),
+                status: DiskStatus::Healthy,
+                head: 0,
+                busy_total: 0.0,
+                blocks_served: 0,
+            })
+            .collect();
+        Ok(DiskArray {
+            disks,
+            params,
+            timing,
+            block_bytes,
+            blocks_per_disk: params.capacity / block_bytes,
+        })
+    }
+
+    /// Number of disks in the array.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.disks.len() as u32
+    }
+
+    /// Is the array empty? (Never true for a constructed array.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Blocks each disk can hold at the configured block size.
+    #[must_use]
+    pub fn blocks_per_disk(&self) -> u64 {
+        self.blocks_per_disk
+    }
+
+    /// The physical disk parameters.
+    #[must_use]
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Marks `disk` failed. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk id is out of range.
+    pub fn fail(&mut self, disk: DiskId) {
+        self.disks[disk.idx()].status = DiskStatus::Failed;
+    }
+
+    /// Repairs `disk` (models the completed replacement/rebuild).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk id is out of range.
+    pub fn repair(&mut self, disk: DiskId) {
+        self.disks[disk.idx()].status = DiskStatus::Healthy;
+    }
+
+    /// Health of a disk.
+    #[must_use]
+    pub fn status(&self, disk: DiskId) -> DiskStatus {
+        self.disks[disk.idx()].status
+    }
+
+    /// Is any disk failed? Returns the first failed disk, if any.
+    #[must_use]
+    pub fn failed_disk(&self) -> Option<DiskId> {
+        self.disks
+            .iter()
+            .find(|d| d.status == DiskStatus::Failed)
+            .map(|d| d.id)
+    }
+
+    /// Number of healthy disks.
+    #[must_use]
+    pub fn healthy_count(&self) -> u32 {
+        self.disks
+            .iter()
+            .filter(|d| d.status == DiskStatus::Healthy)
+            .count() as u32
+    }
+
+    /// Executes one round of requests on `disk`, in C-SCAN order, and
+    /// accounts the time. `deadline` is the round duration `b / r_p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] if any request addresses a
+    /// different disk or a block beyond the disk, and
+    /// [`CmsError::InvalidParams`] if the disk is failed (a failed disk
+    /// cannot serve; the caller must reroute to survivors).
+    pub fn service_round(
+        &mut self,
+        disk: DiskId,
+        requests: &[BlockRequest],
+        deadline: Seconds,
+    ) -> Result<RoundOutcome, CmsError> {
+        let state = self
+            .disks
+            .get_mut(disk.idx())
+            .ok_or_else(|| CmsError::out_of_bounds(format!("{disk} out of range")))?;
+        if state.status == DiskStatus::Failed {
+            return Err(CmsError::invalid_params(format!("{disk} is failed")));
+        }
+        let mut cylinders = Vec::with_capacity(requests.len());
+        for r in requests {
+            if r.disk != disk {
+                return Err(CmsError::out_of_bounds(format!(
+                    "request for {} routed to {disk}",
+                    r.disk
+                )));
+            }
+            if r.block_no >= self.blocks_per_disk {
+                return Err(CmsError::out_of_bounds(format!(
+                    "block {} beyond disk capacity ({} blocks)",
+                    r.block_no, self.blocks_per_disk
+                )));
+            }
+            cylinders.push(self.timing.cylinder_of(r.block_no, self.blocks_per_disk));
+        }
+
+        let order = sweep_order(&cylinders, state.head);
+        let mut busy = 0.0;
+        let mut pos = state.head;
+        for &i in &order {
+            let c = cylinders[i];
+            busy += self
+                .timing
+                .block_time(&self.params, pos.abs_diff(c), requests[i].block_no, self.block_bytes);
+            pos = c;
+        }
+        state.head = pos;
+        state.busy_total += busy;
+        state.blocks_served += requests.len() as u64;
+        Ok(RoundOutcome { blocks: requests.len() as u32, busy, deadline })
+    }
+
+    /// Lifetime statistics: `(total busy seconds, total blocks served)`
+    /// for a disk.
+    #[must_use]
+    pub fn lifetime_stats(&self, disk: DiskId) -> (Seconds, u64) {
+        let d = &self.disks[disk.idx()];
+        (d.busy_total, d.blocks_served)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_core::units::{kib, mbps};
+    use cms_core::{ClipId, ContinuityBudget};
+
+    fn array(timing: TimingModel) -> DiskArray {
+        DiskArray::new(4, DiskParams::sigmod96(), timing, kib(256)).unwrap()
+    }
+
+    fn reqs(disk: u32, blocks: &[u64]) -> Vec<BlockRequest> {
+        blocks
+            .iter()
+            .map(|&b| BlockRequest::new(DiskId(disk), b, ClipId(0)))
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DiskArray::new(0, DiskParams::sigmod96(), TimingModel::worst_case(), 1024).is_err());
+        assert!(DiskArray::new(
+            4,
+            DiskParams::sigmod96(),
+            TimingModel::worst_case(),
+            0
+        )
+        .is_err());
+        let a = array(TimingModel::worst_case());
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.blocks_per_disk(), (2u64 << 30) / kib(256));
+    }
+
+    #[test]
+    fn q_admitted_load_meets_deadline_under_worst_case_model() {
+        // The contract between Equation 1 and the execution engine: if we
+        // send exactly q requests — even spread over the whole surface —
+        // the round must finish in time under the worst-case model.
+        let budget = ContinuityBudget::solve(&DiskParams::sigmod96(), kib(256), mbps(1.5)).unwrap();
+        let mut a = array(TimingModel::worst_case());
+        let span = a.blocks_per_disk();
+        let spread = |n: u64| -> Vec<u64> { (0..n).map(|i| i * span / n).collect() };
+        let out = a
+            .service_round(DiskId(0), &reqs(0, &spread(u64::from(budget.q))), budget.round)
+            .unwrap();
+        assert_eq!(out.blocks, budget.q);
+        assert!(
+            out.met_deadline(),
+            "q = {} admitted blocks must meet the deadline (busy {:.4}s vs {:.4}s)",
+            budget.q,
+            out.busy,
+            out.deadline
+        );
+        // ... and q+1 full-surface requests miss it: Equation 1 is tight
+        // (up to the ≤ 2-stroke seek slack).
+        let mut a2 = array(TimingModel::worst_case());
+        let out = a2
+            .service_round(DiskId(0), &reqs(0, &spread(u64::from(budget.q) + 1)), budget.round)
+            .unwrap();
+        assert!(!out.met_deadline(), "q+1 must miss the deadline");
+    }
+
+    #[test]
+    fn sampled_round_is_cheaper_for_spread_loads() {
+        // For realistic spread loads the hashed-rotation savings dominate
+        // the sqrt-seek overhead, so sampled rounds come in cheaper.
+        let blocks: Vec<u64> = (0..20u64).map(|i| i * 409).collect();
+        let mut worst = array(TimingModel::worst_case());
+        let mut sampled = array(TimingModel::sampled());
+        let ow = worst.service_round(DiskId(1), &reqs(1, &blocks), 1.4).unwrap();
+        let os = sampled.service_round(DiskId(1), &reqs(1, &blocks), 1.4).unwrap();
+        assert!(
+            os.busy <= ow.busy + 1e-9,
+            "sampled {:.4}s vs worst {:.4}s",
+            os.busy,
+            ow.busy
+        );
+    }
+
+    #[test]
+    fn failed_disk_rejects_service() {
+        let mut a = array(TimingModel::worst_case());
+        a.fail(DiskId(2));
+        assert_eq!(a.status(DiskId(2)), DiskStatus::Failed);
+        assert_eq!(a.failed_disk(), Some(DiskId(2)));
+        assert_eq!(a.healthy_count(), 3);
+        let err = a.service_round(DiskId(2), &reqs(2, &[1]), 1.0);
+        assert!(err.is_err());
+        a.repair(DiskId(2));
+        assert_eq!(a.healthy_count(), 4);
+        assert!(a.service_round(DiskId(2), &reqs(2, &[1]), 1.0).is_ok());
+    }
+
+    #[test]
+    fn misrouted_and_oob_requests_are_rejected() {
+        let mut a = array(TimingModel::worst_case());
+        let err = a.service_round(DiskId(0), &reqs(1, &[0]), 1.0);
+        assert!(matches!(err, Err(CmsError::OutOfBounds { .. })));
+        let huge = a.blocks_per_disk();
+        let err = a.service_round(DiskId(0), &reqs(0, &[huge]), 1.0);
+        assert!(matches!(err, Err(CmsError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn head_position_persists_across_rounds() {
+        let mut a = array(TimingModel::sampled());
+        a.service_round(DiskId(0), &reqs(0, &[4000]), 10.0).unwrap();
+        // Second round over a nearby block should be cheap: the head is
+        // already deep into the surface.
+        let near = a.service_round(DiskId(0), &reqs(0, &[4001]), 10.0).unwrap();
+        let mut fresh = array(TimingModel::sampled());
+        let far = fresh.service_round(DiskId(0), &reqs(0, &[4001]), 10.0).unwrap();
+        assert!(near.busy < far.busy, "persisted head must shorten the seek");
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let mut a = array(TimingModel::worst_case());
+        a.service_round(DiskId(3), &reqs(3, &[1, 2, 3]), 10.0).unwrap();
+        a.service_round(DiskId(3), &reqs(3, &[4]), 10.0).unwrap();
+        let (busy, blocks) = a.lifetime_stats(DiskId(3));
+        assert_eq!(blocks, 4);
+        assert!(busy > 0.0);
+        let (b0, n0) = a.lifetime_stats(DiskId(0));
+        assert_eq!((b0, n0), (0.0, 0));
+    }
+
+    #[test]
+    fn empty_round_costs_nothing() {
+        let mut a = array(TimingModel::worst_case());
+        let out = a.service_round(DiskId(0), &[], 1.0).unwrap();
+        assert_eq!(out.blocks, 0);
+        assert_eq!(out.busy, 0.0);
+        assert!(out.met_deadline());
+    }
+}

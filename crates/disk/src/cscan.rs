@@ -1,0 +1,128 @@
+//! C-SCAN ordering of a round's block requests.
+//!
+//! Under C-SCAN the head services requests in ascending cylinder order; on
+//! reaching the highest request it returns to the lowest outstanding one
+//! and sweeps up again. Within a single round, requests are known up
+//! front, so the order is: all requests at or above the head's starting
+//! position (ascending), then a wrap, then the rest (ascending). The head
+//! therefore "travels across the disk at most twice" — exactly the premise
+//! of the paper's Equation 1, which charges `2·t_seek` per round.
+
+use cms_core::{ClipId, DiskId};
+
+/// One block retrieval request for a specific disk in the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// Disk the block lives on.
+    pub disk: DiskId,
+    /// Block number on that disk.
+    pub block_no: u64,
+    /// The clip the retrieval serves (parity reads use the clip they
+    /// reconstruct for).
+    pub clip: ClipId,
+    /// `true` when this is an extra retrieval triggered by a disk failure
+    /// (a surviving data/parity block of some group under reconstruction).
+    pub reconstruction: bool,
+}
+
+impl BlockRequest {
+    /// A normal (non-reconstruction) request.
+    #[must_use]
+    pub fn new(disk: DiskId, block_no: u64, clip: ClipId) -> Self {
+        BlockRequest { disk, block_no, clip, reconstruction: false }
+    }
+
+    /// A reconstruction request.
+    #[must_use]
+    pub fn reconstruction(disk: DiskId, block_no: u64, clip: ClipId) -> Self {
+        BlockRequest { disk, block_no, clip, reconstruction: true }
+    }
+}
+
+/// Orders the indices of `cylinders` into C-SCAN service order starting
+/// from `head`: ascending cylinders ≥ `head` first, then ascending
+/// cylinders < `head`.
+///
+/// Returns indices into the input slice. Stable for equal cylinders (FIFO
+/// among same-cylinder requests).
+#[must_use]
+pub fn sweep_order(cylinders: &[u32], head: u32) -> Vec<usize> {
+    let mut upper: Vec<usize> = (0..cylinders.len()).filter(|&i| cylinders[i] >= head).collect();
+    let mut lower: Vec<usize> = (0..cylinders.len()).filter(|&i| cylinders[i] < head).collect();
+    upper.sort_by_key(|&i| (cylinders[i], i));
+    lower.sort_by_key(|&i| (cylinders[i], i));
+    upper.extend(lower);
+    upper
+}
+
+/// Total head travel (in cylinders) of a C-SCAN pass over `cylinders`
+/// starting at `head`, counting the wrap-around as a seek from the top of
+/// the first sweep to the bottom of the second.
+#[must_use]
+pub fn sweep_travel(cylinders: &[u32], head: u32) -> u64 {
+    let order = sweep_order(cylinders, head);
+    let mut pos = head;
+    let mut travel: u64 = 0;
+    for &i in &order {
+        let c = cylinders[i];
+        travel += u64::from(pos.abs_diff(c));
+        pos = c;
+    }
+    travel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_ascending_from_head() {
+        let cyl = [50u32, 10, 90, 30, 70];
+        let order = sweep_order(&cyl, 40);
+        let served: Vec<u32> = order.iter().map(|&i| cyl[i]).collect();
+        assert_eq!(served, vec![50, 70, 90, 10, 30]);
+    }
+
+    #[test]
+    fn head_at_zero_is_one_sweep() {
+        let cyl = [5u32, 3, 9, 1];
+        let order = sweep_order(&cyl, 0);
+        let served: Vec<u32> = order.iter().map(|&i| cyl[i]).collect();
+        assert_eq!(served, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn empty_and_single_are_trivial() {
+        assert!(sweep_order(&[], 100).is_empty());
+        assert_eq!(sweep_order(&[42], 100), vec![0]);
+    }
+
+    #[test]
+    fn equal_cylinders_keep_fifo_order() {
+        let cyl = [7u32, 7, 7];
+        assert_eq!(sweep_order(&cyl, 0), vec![0, 1, 2]);
+        assert_eq!(sweep_order(&cyl, 8), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn travel_at_most_two_strokes() {
+        // The Equation-1 premise: C-SCAN travel never exceeds two full
+        // strokes of the surface.
+        let cyl: Vec<u32> = (0..100).map(|i| (i * 37) % 2000).collect();
+        for head in [0u32, 500, 1999] {
+            let travel = sweep_travel(&cyl, head);
+            assert!(
+                travel <= 2 * 1999,
+                "travel {travel} exceeds two strokes from head {head}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_constructors() {
+        let r = BlockRequest::new(DiskId(2), 77, ClipId(5));
+        assert!(!r.reconstruction);
+        let r = BlockRequest::reconstruction(DiskId(2), 77, ClipId(5));
+        assert!(r.reconstruction);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cms-disk — disk timing, C-SCAN scheduling, and the disk array
+//!
+//! The substrate under every scheme in the paper: a model of mid-1990s
+//! disk drives (Section 3 / Figure 1) with
+//!
+//! * a **timing model** ([`timing`]) offering both the worst-case costs
+//!   the admission math assumes and a sampled model (distance-dependent
+//!   seeks, uniform rotation) for the simulator's realistic mode,
+//! * a **C-SCAN scheduler** ([`cscan`]) that orders a round's block
+//!   requests into at most two ascending sweeps, matching the paper's
+//!   "disk heads travel across the disk at most twice" accounting,
+//! * a **disk array** ([`mod@array`]) with per-disk health state, failure
+//!   injection/repair and per-round service accounting, used by `cms-sim`
+//!   to execute rounds and verify that the round deadline `b / r_p` is
+//!   never violated for admitted loads.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod array;
+pub mod cscan;
+pub mod timing;
+
+pub use array::{Disk, DiskArray, DiskStatus, RoundOutcome};
+pub use cscan::{sweep_order, BlockRequest};
+pub use timing::{RotationModel, SeekModel, TimingModel};

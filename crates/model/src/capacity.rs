@@ -1,0 +1,582 @@
+//! Per-scheme capacity evaluation: one `(scheme, p)` point of Figure 5.
+
+use cms_bibd::Design;
+use cms_core::units::BitsPerSec;
+use cms_core::{ContinuityBudget, CmsError, DiskParams, Scheme};
+use serde::{Deserialize, Serialize};
+
+/// Server-level inputs to the analytical model (the paper's Section 8
+/// configuration: `d = 32`, Figure 1 disk, MPEG-1 playback, buffer `B`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelInput {
+    /// Number of disks `d`.
+    pub d: u32,
+    /// Total RAM buffer `B` in bytes.
+    pub buffer_bytes: u64,
+    /// Playback rate `r_p` in bits per second.
+    pub playback_rate: BitsPerSec,
+    /// Physical disk model.
+    pub disk: DiskParams,
+    /// Clip-library size in *blocks*, if the block size must also satisfy
+    /// the §7 storage constraint `S ≤ (p−1)/p · d·C_d` (with
+    /// `S = storage_blocks · b`). `None` leaves block sizing to the
+    /// buffer constraint alone, as the paper's Figure 5 does.
+    pub storage_blocks: Option<u64>,
+    /// Charge the §3 footnote-2 extra seek: a disk failing *mid-round*
+    /// can force one additional C-SCAN sweep to pick up reconstruction
+    /// reads, so Equation 1 pays `3·t_seek` instead of `2·t_seek`.
+    pub mid_round_failure: bool,
+}
+
+impl ModelInput {
+    /// The paper's evaluation configuration with the given buffer size.
+    #[must_use]
+    pub fn sigmod96(buffer_bytes: u64) -> Self {
+        ModelInput {
+            d: 32,
+            buffer_bytes,
+            playback_rate: cms_core::units::mbps(1.5),
+            disk: DiskParams::sigmod96(),
+            storage_blocks: None,
+            mid_round_failure: false,
+        }
+    }
+
+    /// Enables the footnote-2 mid-round-failure seek charge.
+    #[must_use]
+    pub fn with_mid_round_failure(mut self) -> Self {
+        self.mid_round_failure = true;
+        self
+    }
+
+    /// Adds the storage constraint for a library of `blocks` stripe units.
+    #[must_use]
+    pub fn with_storage_blocks(mut self, blocks: u64) -> Self {
+        self.storage_blocks = Some(blocks);
+        self
+    }
+
+    /// Largest block size storable for parity overhead `(p−1)/p`, or
+    /// `u64::MAX` when no storage constraint is set.
+    fn storage_block_cap(&self, p: u32) -> u64 {
+        match self.storage_blocks {
+            None => u64::MAX,
+            Some(blocks) => {
+                let data_capacity =
+                    u64::from(self.d) * self.disk.capacity / u64::from(p) * u64::from(p - 1);
+                (data_capacity / blocks.max(1)).max(1)
+            }
+        }
+    }
+}
+
+/// A solved capacity point: the parameters that maximize concurrent
+/// clips for one `(scheme, p)` combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPoint {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Parity group size `p`.
+    pub p: u32,
+    /// Chosen block size `b` in bytes.
+    pub block_bytes: u64,
+    /// Per-disk (per-cluster for streaming RAID) round budget `q`.
+    pub q: u32,
+    /// Contingency reservation `f` (0 for schemes without one).
+    pub f: u32,
+    /// PGT rows `r` (declustered family; 0 otherwise).
+    pub r: u32,
+    /// Total concurrently serviceable clips, server-wide.
+    pub total_clips: u32,
+}
+
+/// Ceiling on any per-disk `q`: the disk streaming limit `r_d / r_p`.
+fn q_ceiling(input: &ModelInput) -> u32 {
+    (input.disk.transfer_rate / input.playback_rate).floor() as u32
+}
+
+/// Evaluates the capacity of `scheme` at parity group size `p`,
+/// maximizing over block size and (where applicable) contingency `f`.
+///
+/// # Errors
+///
+/// Returns [`CmsError::InvalidParams`] for structurally impossible
+/// combinations (`p > d`, streaming/clustered schemes with `p ∤ d`, flat
+/// scheme with `p − 1 ≥ d`) and [`CmsError::InfeasibleConfig`] when no
+/// block size supports even one clip.
+pub fn capacity(scheme: Scheme, input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+    capacity_with_lambda(scheme, input, p, 1)
+}
+
+/// Like [`capacity`], but accounts for a relaxed declustering design's
+/// pair multiplicity `λ_max`: the per-disk contingency reserve becomes
+/// `λ_max·f` (a failed disk can push reconstruction reads through up to
+/// `λ_max` shared rows). `λ = 1` reproduces the paper's math exactly; the
+/// simulator passes the *achieved* λ of the design it actually built so
+/// its `(q, f, b)` choice matches what admission control can honor.
+/// Ignored by schemes without a PGT.
+///
+/// # Errors
+///
+/// As for [`capacity`].
+pub fn capacity_with_lambda(
+    scheme: Scheme,
+    input: &ModelInput,
+    p: u32,
+    lambda: u32,
+) -> Result<CapacityPoint, CmsError> {
+    if p < 2 || p > input.d {
+        return Err(CmsError::invalid_params("need 2 <= p <= d"));
+    }
+    if lambda == 0 {
+        return Err(CmsError::invalid_params("λ must be >= 1"));
+    }
+    match scheme {
+        Scheme::DeclusteredParity | Scheme::DynamicReservation => {
+            declustered(scheme, input, p, lambda)
+        }
+        Scheme::PrefetchFlat => prefetch_flat(input, p),
+        Scheme::PrefetchParityDisks => prefetch_parity_disks(input, p),
+        Scheme::StreamingRaid => streaming_raid(input, p),
+        Scheme::NonClustered => non_clustered(input, p),
+    }
+}
+
+/// §7.1: buffer constraint `2(q−f)(d−1)·b + (q−f)·p·b ≤ B`; Equation 1 for
+/// continuity; `f` swept from 1 until `r·f ≥ q − f`; maximize `q − f`.
+///
+/// The dynamic-reservation scheme shares this capacity math: it reserves
+/// the same worst-case contingency, just lazily, so its *analytical*
+/// ceiling coincides (its advantage is responsiveness under partial load,
+/// which the simulator measures).
+fn declustered(
+    scheme: Scheme,
+    input: &ModelInput,
+    p: u32,
+    lambda: u32,
+) -> Result<CapacityPoint, CmsError> {
+    let d = input.d;
+    let r = Design::ideal_replication(d, p);
+    let mut best: Option<CapacityPoint> = None;
+    // Sweep f; stop once the row constraint r·f ≥ q−λf is satisfiable for
+    // the best q seen (the paper's inner repeat loop).
+    for f in 1..=q_ceiling(input) {
+        // b is largest under the buffer constraint given (q, f):
+        // b ≤ B / ((q−λf)(2(d−1)+p)).
+        let denom_per_clip = u64::from(2 * (d - 1) + p);
+        let Some((q, b)) = best_q(input, p, |q| {
+            let clips = q.checked_sub(lambda * f)?;
+            if clips == 0 {
+                return None;
+            }
+            Some(input.buffer_bytes / (u64::from(clips) * denom_per_clip))
+        }) else {
+            continue;
+        };
+        let clips = q - lambda * f;
+        // Row-capacity requirement: at most f clips per (disk, row), so a
+        // disk can host at most r·f clips.
+        if r * f < clips {
+            continue;
+        }
+        let point = CapacityPoint {
+            scheme,
+            p,
+            block_bytes: b,
+            q,
+            f,
+            r,
+            total_clips: clips * d,
+        };
+        if best.is_none_or(|bst| point.total_clips > bst.total_clips) {
+            best = Some(point);
+        }
+    }
+    best.ok_or_else(|| CmsError::InfeasibleConfig {
+        reason: format!("declustered p={p}: no feasible (q, f)"),
+    })
+}
+
+/// §7.2, flat parity: buffer `p/2·b·(q−f)·d ≤ B` (staggered-group
+/// optimization); `f` swept until `f·(d−(p−1)) ≥ q−f`.
+fn prefetch_flat(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+    let d = input.d;
+    if p > d {
+        return Err(CmsError::invalid_params("flat scheme needs p−1 < d"));
+    }
+    let mut best: Option<CapacityPoint> = None;
+    for f in 1..=q_ceiling(input) {
+        let Some((q, b)) = best_q(input, p, |q| {
+            let clips = q.checked_sub(f)?;
+            if clips == 0 {
+                return None;
+            }
+            // b ≤ 2B / (p·(q−f)·d)
+            Some(2 * input.buffer_bytes / (u64::from(p) * u64::from(clips) * u64::from(d)))
+        }) else {
+            continue;
+        };
+        let clips = q - f;
+        // Parity-collision constraint: at most f clips per parity-target
+        // disk; each disk is parity target for d−(p−1) distinct residues.
+        if f * (d - (p - 1)) < clips {
+            continue;
+        }
+        let point = CapacityPoint {
+            scheme: Scheme::PrefetchFlat,
+            p,
+            block_bytes: b,
+            q,
+            f,
+            r: 0,
+            total_clips: clips * d,
+        };
+        if best.is_none_or(|bst| point.total_clips > bst.total_clips) {
+            best = Some(point);
+        }
+    }
+    best.ok_or_else(|| CmsError::InfeasibleConfig {
+        reason: format!("prefetch-flat p={p}: no feasible (q, f)"),
+    })
+}
+
+/// §7.2, dedicated parity disks: effective data disks `d·(p−1)/p`, buffer
+/// `p/2·b·q·d·(p−1)/p ≤ B`, no contingency.
+fn prefetch_parity_disks(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+    let d = input.d;
+    if !d.is_multiple_of(p) {
+        return Err(CmsError::invalid_params("parity-disk scheme needs p | d"));
+    }
+    let data_disks = u64::from(d) * u64::from(p - 1) / u64::from(p);
+    let (q, b) = best_q(input, p, |q| {
+        if q == 0 {
+            return None;
+        }
+        // b ≤ 2B / (p·q·d(p−1)/p) = 2B / (q·d·(p−1))
+        Some(2 * input.buffer_bytes / (u64::from(q) * u64::from(d) * u64::from(p - 1)))
+    })
+    .ok_or_else(|| CmsError::InfeasibleConfig {
+        reason: format!("prefetch-parity-disks p={p}: infeasible"),
+    })?;
+    Ok(CapacityPoint {
+        scheme: Scheme::PrefetchParityDisks,
+        p,
+        block_bytes: b,
+        q,
+        f: 0,
+        r: 0,
+        total_clips: (u64::from(q) * data_disks) as u32,
+    })
+}
+
+/// §7.3, streaming RAID: clusters of `p` act as a logical disk serving `q`
+/// clips over long rounds of `(p−1)·b/r_p`; buffer `2(p−1)·b·q·d/p ≤ B`.
+fn streaming_raid(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+    let d = input.d;
+    if !d.is_multiple_of(p) {
+        return Err(CmsError::invalid_params("streaming RAID needs p | d"));
+    }
+    let clusters = u64::from(d / p);
+    // Continuity: 2·t_seek + q·(t_rot + t_settle + b/r_d) ≤ (p−1)·b/r_p.
+    // With b(q) from the buffer bound, find max q by downward scan.
+    let disk = &input.disk;
+    let cap = input.storage_block_cap(p);
+    let mut best: Option<(u32, u64)> = None;
+    for q in 1..=q_ceiling(input) * p {
+        let b = (input.buffer_bytes * u64::from(p)
+            / (2 * u64::from(p - 1) * u64::from(q) * u64::from(d)))
+        .min(cap);
+        if b == 0 {
+            break;
+        }
+        let long_round =
+            u64::from(p - 1) as f64 * cms_core::units::transfer_time(b, input.playback_rate);
+        let per_block = disk.block_service_time(b);
+        let seeks = if input.mid_round_failure { 3.0 } else { 2.0 };
+        let lhs = seeks * disk.seek_worst + f64::from(q) * per_block;
+        if lhs <= long_round && best.is_none_or(|(bq, _)| q > bq) {
+            best = Some((q, b));
+        }
+    }
+    let (q, b) = best.ok_or_else(|| CmsError::InfeasibleConfig {
+        reason: format!("streaming RAID p={p}: infeasible"),
+    })?;
+    Ok(CapacityPoint {
+        scheme: Scheme::StreamingRaid,
+        p,
+        block_bytes: b,
+        q,
+        f: 0,
+        r: 0,
+        total_clips: (u64::from(q) * clusters) as u32,
+    })
+}
+
+/// §7.4, non-clustered: parity-disk placement but double buffering in
+/// normal mode; on failure the failed cluster's clips grow to `p/2·b`.
+/// Buffer: `2b·q·(d/p − 1)(p−1) + p/2·b·q·(p−1) ≤ B`.
+fn non_clustered(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+    let d = input.d;
+    if !d.is_multiple_of(p) {
+        return Err(CmsError::invalid_params("non-clustered needs p | d"));
+    }
+    let data_disks = u64::from(d) * u64::from(p - 1) / u64::from(p);
+    // Per the buffer constraint, with q clips per data disk:
+    //   b ≤ 2B / (q(p−1)·(4(d/p − 1) + p))
+    // (multiplying the constraint through by 2 to stay in integers).
+    let weight = u64::from(p - 1) * (4 * (u64::from(d / p) - 1) + u64::from(p));
+    let (q, b) = best_q(input, p, |q| {
+        if q == 0 || weight == 0 {
+            return None;
+        }
+        Some(2 * input.buffer_bytes / (u64::from(q) * weight))
+    })
+    .ok_or_else(|| CmsError::InfeasibleConfig {
+        reason: format!("non-clustered p={p}: infeasible"),
+    })?;
+    Ok(CapacityPoint {
+        scheme: Scheme::NonClustered,
+        p,
+        block_bytes: b,
+        q,
+        f: 0,
+        r: 0,
+        total_clips: (u64::from(q) * data_disks) as u32,
+    })
+}
+
+/// Finds the largest `q` for which Equation 1 holds when the block size is
+/// `block_for(q)` (the buffer-constraint bound). Returns `(q, b)`.
+///
+/// The interaction is monotone in the right direction — growing `q`
+/// shrinks `b`, which shrinks the round faster than the retrieval load —
+/// but we scan exhaustively anyway; `q` is bounded by `r_d / r_p ≈ 30`.
+fn best_q(
+    input: &ModelInput,
+    p: u32,
+    block_for: impl Fn(u32) -> Option<u64>,
+) -> Option<(u32, u64)> {
+    let cap = input.storage_block_cap(p);
+    let mut best = None;
+    for q in 1..=q_ceiling(input) {
+        let Some(b) = block_for(q).map(|b| b.min(cap)) else { continue };
+        if b == 0 {
+            continue;
+        }
+        let solved = if input.mid_round_failure {
+            ContinuityBudget::with_mid_round_failure(&input.disk, b, input.playback_rate)
+        } else {
+            ContinuityBudget::solve(&input.disk, b, input.playback_rate)
+        };
+        match solved {
+            Ok(budget) if budget.q >= q => best = Some((q, b)),
+            _ => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_core::units::{gib, mib};
+
+    fn small() -> ModelInput {
+        ModelInput::sigmod96(mib(256))
+    }
+
+    fn large() -> ModelInput {
+        ModelInput::sigmod96(gib(2))
+    }
+
+    const PAPER_PS: [u32; 5] = [2, 4, 8, 16, 32];
+
+    #[test]
+    fn all_schemes_solve_at_paper_points() {
+        for p in PAPER_PS {
+            for scheme in Scheme::FIGURE_SCHEMES {
+                let point = capacity(scheme, &small(), p)
+                    .unwrap_or_else(|e| panic!("{scheme} p={p}: {e}"));
+                assert!(point.total_clips > 0, "{scheme} p={p}");
+                assert!(point.block_bytes > 0);
+                assert!(point.q > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn declustered_declines_with_p() {
+        // Figure 5: both declustered and prefetch-flat serve fewer clips
+        // as p grows.
+        for input in [small(), large()] {
+            let clips: Vec<u32> = PAPER_PS
+                .iter()
+                .map(|&p| capacity(Scheme::DeclusteredParity, &input, p).unwrap().total_clips)
+                .collect();
+            for w in clips.windows(2) {
+                assert!(w[1] <= w[0], "declustered must decline: {clips:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_flat_declines_with_p() {
+        for input in [small(), large()] {
+            let clips: Vec<u32> = PAPER_PS
+                .iter()
+                .map(|&p| capacity(Scheme::PrefetchFlat, &input, p).unwrap().total_clips)
+                .collect();
+            for w in clips.windows(2) {
+                assert!(w[1] <= w[0], "prefetch-flat must decline: {clips:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_disk_schemes_rise_then_fall() {
+        // Figure 5: streaming RAID / prefetch-with-parity-disk /
+        // non-clustered rise from p = 2 (half the disks idle as parity) to
+        // a peak near p = 8..16, then fall as buffers dominate.
+        for scheme in [
+            Scheme::StreamingRaid,
+            Scheme::PrefetchParityDisks,
+            Scheme::NonClustered,
+        ] {
+            for input in [small(), large()] {
+                let clips: Vec<u32> = PAPER_PS
+                    .iter()
+                    .map(|&p| capacity(scheme, &input, p).unwrap().total_clips)
+                    .collect();
+                assert!(
+                    clips[1] > clips[0],
+                    "{scheme}: p=4 must beat p=2, got {clips:?}"
+                );
+                let peak = clips.iter().copied().max().unwrap();
+                assert!(
+                    clips[4] < peak,
+                    "{scheme}: p=32 must be below the peak, got {clips:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn declustered_wins_small_buffer_flat_wins_large() {
+        // The paper's headline: declustered best at 256 MB; at 2 GB the
+        // prefetch-without-parity-disk scheme overtakes it.
+        let at = |scheme, input: &ModelInput, p| capacity(scheme, input, p).unwrap().total_clips;
+        // Small buffer, small p: declustered ahead of the parity-disk
+        // schemes.
+        assert!(at(Scheme::DeclusteredParity, &small(), 4) > at(Scheme::StreamingRaid, &small(), 4));
+        assert!(
+            at(Scheme::DeclusteredParity, &small(), 4)
+                > at(Scheme::PrefetchParityDisks, &small(), 4)
+        );
+        // Large buffer: prefetch-flat beats declustered (bandwidth, not
+        // buffer, becomes the binding constraint).
+        assert!(
+            at(Scheme::PrefetchFlat, &large(), 8) > at(Scheme::DeclusteredParity, &large(), 8),
+            "flat {} vs declustered {}",
+            at(Scheme::PrefetchFlat, &large(), 8),
+            at(Scheme::DeclusteredParity, &large(), 8)
+        );
+    }
+
+    #[test]
+    fn non_clustered_peaks_at_16() {
+        // "the non-clustered and the pre-fetching with parity disk schemes
+        // perform the best for a parity group size of 16".
+        let clips: Vec<u32> = PAPER_PS
+            .iter()
+            .map(|&p| capacity(Scheme::NonClustered, &small(), p).unwrap().total_clips)
+            .collect();
+        let peak_idx = clips
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            PAPER_PS[peak_idx] == 16 || PAPER_PS[peak_idx] == 8,
+            "non-clustered peak at p={} ({clips:?})",
+            PAPER_PS[peak_idx]
+        );
+    }
+
+    #[test]
+    fn larger_buffer_never_hurts() {
+        for scheme in Scheme::FIGURE_SCHEMES {
+            for p in PAPER_PS {
+                let s = capacity(scheme, &small(), p).unwrap().total_clips;
+                let l = capacity(scheme, &large(), p).unwrap().total_clips;
+                assert!(l >= s, "{scheme} p={p}: 2GB ({l}) < 256MB ({s})");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_reservation_matches_declustered_analytically() {
+        for p in PAPER_PS {
+            let a = capacity(Scheme::DeclusteredParity, &small(), p).unwrap();
+            let b = capacity(Scheme::DynamicReservation, &small(), p).unwrap();
+            assert_eq!(a.total_clips, b.total_clips);
+            assert_eq!(a.block_bytes, b.block_bytes);
+        }
+    }
+
+    #[test]
+    fn row_constraint_is_respected() {
+        for p in PAPER_PS {
+            let pt = capacity(Scheme::DeclusteredParity, &small(), p).unwrap();
+            assert!(
+                pt.r * pt.f >= pt.q - pt.f,
+                "p={p}: r·f = {} < q−f = {}",
+                pt.r * pt.f,
+                pt.q - pt.f
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(capacity(Scheme::DeclusteredParity, &small(), 1).is_err());
+        assert!(capacity(Scheme::DeclusteredParity, &small(), 33).is_err());
+        assert!(capacity(Scheme::StreamingRaid, &small(), 12).is_err()); // 12 ∤ 32
+        assert!(capacity(Scheme::PrefetchParityDisks, &small(), 6).is_err());
+    }
+
+    #[test]
+    fn mid_round_failure_charge_never_helps() {
+        for scheme in Scheme::FIGURE_SCHEMES {
+            for p in PAPER_PS {
+                let normal = capacity(scheme, &small(), p).unwrap();
+                let strict =
+                    capacity(scheme, &small().with_mid_round_failure(), p).unwrap();
+                assert!(
+                    strict.total_clips <= normal.total_clips,
+                    "{scheme} p={p}: extra seek must not increase capacity"
+                );
+            }
+        }
+        // ... and it actually bites somewhere (q is seek-sensitive at
+        // small blocks).
+        let any_drop = Scheme::FIGURE_SCHEMES.iter().any(|&s| {
+            PAPER_PS.iter().any(|&p| {
+                let a = capacity(s, &small(), p).map(|x| x.total_clips).unwrap_or(0);
+                let b = capacity(s, &small().with_mid_round_failure(), p)
+                    .map(|x| x.total_clips)
+                    .unwrap_or(0);
+                b < a
+            })
+        });
+        assert!(any_drop, "the charge should be measurable somewhere");
+    }
+
+    #[test]
+    fn points_serialize() {
+        let pt = capacity(Scheme::DeclusteredParity, &small(), 4).unwrap();
+        let json = serde_json::to_string(&pt).unwrap();
+        let back: CapacityPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pt);
+    }
+}

@@ -1,0 +1,114 @@
+//! Array reliability: the arithmetic behind the paper's motivation.
+//!
+//! The introduction argues from disk MTTF: "For a single disk, the mean
+//! time to failure (MTTF) is about 300,000 hours. Thus, a server with,
+//! say, 200 disks has an MTTF of 1500 hours or about 60 days." This
+//! module provides that calculation plus the standard Markov-model mean
+//! time to *data loss* (MTTDL) for single-failure-tolerant arrays
+//! (Patterson/Gibson/Katz 1988), which quantifies what the paper's
+//! schemes buy: with parity and a rebuild that takes `T_r`, data is lost
+//! only when a *second* disk of the same parity group fails during the
+//! rebuild window.
+
+use cms_core::CmsError;
+
+/// Hours in a (non-leap) year, for convenience conversions.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Mean time to the *first* disk failure in an array of `d` disks with
+/// per-disk MTTF `mttf_hours` (exponential failures): `MTTF / d`.
+///
+/// The paper's example: 300,000 h disks, 200 of them → 1,500 h.
+#[must_use]
+pub fn array_mttf_hours(mttf_hours: f64, d: u32) -> f64 {
+    if d == 0 {
+        return f64::INFINITY;
+    }
+    mttf_hours / f64::from(d)
+}
+
+/// Mean time to data loss for a single-failure-tolerant array: after any
+/// first failure (rate `d/MTTF`), data is lost only if one of the failed
+/// disk's `g − 1` parity-group partners fails within the repair/rebuild
+/// time `repair_hours`. The standard two-state Markov approximation
+/// (PGK88):
+///
+/// ```text
+/// MTTDL ≈ MTTF² / (d · (g − 1) · T_repair)
+/// ```
+///
+/// `g` is the number of disks a failure exposes: `p` for clustered
+/// schemes; for declustered parity every disk shares a group with every
+/// other, so pass `g = d` (and enjoy the much shorter `T_repair` that
+/// declustering buys — the A3 experiment measures it).
+///
+/// # Errors
+///
+/// Returns [`CmsError::InvalidParams`] for non-positive times or `d < 2`
+/// or `g < 2`.
+pub fn mttdl_hours(mttf_hours: f64, d: u32, g: u32, repair_hours: f64) -> Result<f64, CmsError> {
+    // `<=` would be wrong for NaN (incomparable must also be rejected).
+    if mttf_hours.is_nan() || repair_hours.is_nan() || mttf_hours <= 0.0 || repair_hours <= 0.0 {
+        return Err(CmsError::invalid_params("MTTF and repair time must be positive"));
+    }
+    if d < 2 || g < 2 || g > d {
+        return Err(CmsError::invalid_params("need d >= 2 and 2 <= g <= d"));
+    }
+    Ok(mttf_hours * mttf_hours / (f64::from(d) * f64::from(g - 1) * repair_hours))
+}
+
+/// Converts a simulated rebuild duration in *rounds* to hours, given the
+/// round length in seconds — glue between the A3 rebuild experiment and
+/// [`mttdl_hours`].
+#[must_use]
+pub fn rounds_to_hours(rounds: u64, round_seconds: f64) -> f64 {
+    rounds as f64 * round_seconds / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_motivating_example() {
+        // "a server with, say, 200 disks has an MTTF of 1500 hours or
+        // about 60 days."
+        let mttf = array_mttf_hours(300_000.0, 200);
+        assert!((mttf - 1_500.0).abs() < 1e-9);
+        assert!((mttf / 24.0 - 62.5).abs() < 1.0, "≈ 60 days");
+    }
+
+    #[test]
+    fn parity_buys_orders_of_magnitude() {
+        // 32 disks, clustered p = 4, 1-hour rebuild.
+        let unprotected = array_mttf_hours(300_000.0, 32);
+        let protected = mttdl_hours(300_000.0, 32, 4, 1.0).unwrap();
+        assert!(protected / unprotected > 1e4, "redundancy must dominate");
+        // Concretely: 9.375e8 / 96 hours ≈ 10⁸ years-ish scale.
+        assert!((protected - 300_000.0f64.powi(2) / 96.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn declustering_tradeoff_is_visible() {
+        // Declustered (g = d) exposes more disks per failure, but its
+        // rebuild is much faster (the A3 measurement: ~10× at p = 16).
+        let clustered = mttdl_hours(300_000.0, 32, 16, 10.0).unwrap();
+        let declustered = mttdl_hours(300_000.0, 32, 32, 1.0).unwrap();
+        assert!(
+            declustered > clustered,
+            "fast rebuild more than offsets the wider exposure"
+        );
+    }
+
+    #[test]
+    fn conversions_and_validation() {
+        // A 1.4-second round, 1000 rounds ≈ 0.39 h.
+        let h = rounds_to_hours(1000, 1.398);
+        assert!((h - 0.3883).abs() < 1e-3);
+        assert!(mttdl_hours(0.0, 32, 4, 1.0).is_err());
+        assert!(mttdl_hours(3e5, 1, 4, 1.0).is_err());
+        assert!(mttdl_hours(3e5, 32, 1, 1.0).is_err());
+        assert!(mttdl_hours(3e5, 32, 64, 1.0).is_err());
+        assert_eq!(array_mttf_hours(3e5, 0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-size data blocks with deterministic synthetic content.
+//!
+//! A [`Block`] is the unit the striping layer places on disks — the
+//! paper's stripe unit `b`. For the simulator, block content is generated
+//! from `(clip id, block index)` by a splitmix-style hash, so any block can
+//! be re-derived for verification without storing the whole clip library
+//! in memory.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// A fixed-size byte block.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Block {
+    data: Vec<u8>,
+}
+
+impl Block {
+    /// An all-zero block of `len` bytes — the XOR identity.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        Block { data: vec![0; len] }
+    }
+
+    /// Wraps raw bytes.
+    #[must_use]
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Block { data }
+    }
+
+    /// Deterministic synthetic content for block `index` of clip `clip`:
+    /// every byte is derived from a splitmix64 stream seeded by
+    /// `(clip, index)`. Two calls with equal arguments always produce
+    /// identical blocks.
+    #[must_use]
+    pub fn synthetic(clip: u64, index: u64, len: usize) -> Self {
+        let mut state = clip
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ 0x94D0_49BB_1331_11EB;
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            state = splitmix64(&mut state);
+            data.extend_from_slice(&state.to_le_bytes());
+        }
+        data.truncate(len);
+        Block { data }
+    }
+
+    /// Block length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the block empty (zero-length)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to the bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// A short checksum for logging/assertions (FNV-1a).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &self.data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block[{} B, fnv {:016x}]", self.len(), self.checksum())
+    }
+}
+
+impl BitXorAssign<&Block> for Block {
+    fn bitxor_assign(&mut self, rhs: &Block) {
+        assert_eq!(self.len(), rhs.len(), "XOR of blocks of unequal length");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a ^= *b;
+        }
+    }
+}
+
+impl BitXor<&Block> for Block {
+    type Output = Block;
+
+    fn bitxor(mut self, rhs: &Block) -> Block {
+        self ^= rhs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Block::synthetic(7, 42, 4096);
+        let b = Block::synthetic(7, 42, 4096);
+        assert_eq!(a, b);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn synthetic_differs_across_clips_and_indices() {
+        let a = Block::synthetic(7, 42, 512);
+        let b = Block::synthetic(7, 43, 512);
+        let c = Block::synthetic(8, 42, 512);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn synthetic_handles_odd_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 1023] {
+            let b = Block::synthetic(1, 2, len);
+            assert_eq!(b.len(), len);
+        }
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Block::synthetic(1, 0, 256);
+        let b = Block::synthetic(2, 0, 256);
+        let x = a.clone() ^ &b;
+        let back = x ^ &b;
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn zero_is_xor_identity() {
+        let a = Block::synthetic(5, 5, 128);
+        let z = Block::zeroed(128);
+        assert_eq!(a.clone() ^ &z, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal length")]
+    fn xor_length_mismatch_panics() {
+        let mut a = Block::zeroed(16);
+        let b = Block::zeroed(8);
+        a ^= &b;
+    }
+
+    #[test]
+    fn debug_shows_length_and_checksum() {
+        let s = format!("{:?}", Block::zeroed(32));
+        assert!(s.contains("32 B"), "{s}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Parity computation and single-erasure reconstruction.
+//!
+//! A parity group of `p` blocks consists of `p − 1` data blocks and one
+//! parity block equal to their XOR. Any single missing block — data or
+//! parity — is the XOR of the surviving `p − 1`. This is exactly the
+//! RAID-5-style redundancy all six schemes in the paper build on; they
+//! differ only in *where* group members live and *when* they are fetched.
+
+use crate::block::Block;
+use std::fmt;
+
+/// Errors from parity operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParityError {
+    /// Fewer than two blocks were supplied; parity over a single block is
+    /// a degenerate copy and almost certainly a caller bug.
+    GroupTooSmall {
+        /// Number of blocks supplied.
+        got: usize,
+    },
+    /// Supplied blocks have differing lengths.
+    LengthMismatch {
+        /// Length of the first block.
+        expected: usize,
+        /// The offending length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ParityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParityError::GroupTooSmall { got } => {
+                write!(f, "parity group needs at least 2 blocks, got {got}")
+            }
+            ParityError::LengthMismatch { expected, got } => {
+                write!(f, "block length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParityError {}
+
+/// Computes the parity block (XOR) of the given data blocks.
+///
+/// # Errors
+///
+/// Returns [`ParityError`] if fewer than one block is given or lengths
+/// differ. A single data block is allowed (its parity is a copy — the
+/// `p = 2` mirroring case).
+pub fn parity_of(data: &[&Block]) -> Result<Block, ParityError> {
+    let first = data.first().ok_or(ParityError::GroupTooSmall { got: 0 })?;
+    let mut parity = Block::zeroed(first.len());
+    for block in data {
+        if block.len() != first.len() {
+            return Err(ParityError::LengthMismatch {
+                expected: first.len(),
+                got: block.len(),
+            });
+        }
+        parity ^= block;
+    }
+    Ok(parity)
+}
+
+/// Reconstructs a missing block from the `p − 1` survivors of its parity
+/// group (the survivors may include the parity block; XOR doesn't care).
+///
+/// # Errors
+///
+/// Returns [`ParityError`] on an empty survivor list or length mismatch.
+pub fn reconstruct(survivors: &[&Block]) -> Result<Block, ParityError> {
+    parity_of(survivors)
+}
+
+/// Verifies that a full parity group (data blocks plus parity block) XORs
+/// to zero.
+///
+/// # Errors
+///
+/// Returns [`ParityError`] when the group is smaller than two blocks or
+/// lengths differ.
+pub fn verify_group(group: &[&Block]) -> Result<bool, ParityError> {
+    if group.len() < 2 {
+        return Err(ParityError::GroupTooSmall { got: group.len() });
+    }
+    let folded = parity_of(group)?;
+    Ok(folded.bytes().iter().all(|&b| b == 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(p: usize, len: usize) -> Vec<Block> {
+        (0..p - 1)
+            .map(|i| Block::synthetic(100, i as u64, len))
+            .collect()
+    }
+
+    #[test]
+    fn parity_completes_the_group() {
+        for p in [2usize, 3, 4, 8, 16] {
+            let data = group(p, 1024);
+            let refs: Vec<&Block> = data.iter().collect();
+            let parity = parity_of(&refs).unwrap();
+            let mut full: Vec<&Block> = data.iter().collect();
+            full.push(&parity);
+            assert!(verify_group(&full).unwrap(), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn any_single_erasure_is_recoverable() {
+        let p = 5;
+        let data = group(p, 512);
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).unwrap();
+        let mut full: Vec<Block> = data.clone();
+        full.push(parity);
+        for missing in 0..full.len() {
+            let survivors: Vec<&Block> = full
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| (i != missing).then_some(b))
+                .collect();
+            let rebuilt = reconstruct(&survivors).unwrap();
+            assert_eq!(rebuilt, full[missing], "erasure at position {missing}");
+        }
+    }
+
+    #[test]
+    fn mirroring_case_p2() {
+        // p = 2: parity of a single data block is the block itself.
+        let d = Block::synthetic(1, 2, 64);
+        let parity = parity_of(&[&d]).unwrap();
+        assert_eq!(parity, d);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = group(4, 256);
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).unwrap();
+        let mut corrupted = data[1].bytes().to_vec();
+        corrupted[17] ^= 0xFF;
+        let bad = Block::from_bytes(corrupted);
+        let full = [&data[0], &bad, &data[2], &parity];
+        assert!(!verify_group(&full).unwrap());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parity_of(&[]),
+            Err(ParityError::GroupTooSmall { got: 0 })
+        ));
+        let a = Block::zeroed(8);
+        let b = Block::zeroed(16);
+        assert!(matches!(
+            parity_of(&[&a, &b]),
+            Err(ParityError::LengthMismatch { expected: 8, got: 16 })
+        ));
+        assert!(verify_group(&[&a]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParityError::GroupTooSmall { got: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = ParityError::LengthMismatch { expected: 4, got: 8 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the parity codec: for arbitrary group sizes,
+//! block lengths and contents, parity completes the group and any single
+//! erasure is recoverable.
+
+use cms_parity::{parity_of, reconstruct, verify_group, Block};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parity_group_always_verifies(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..12),
+        len in 0usize..256,
+    ) {
+        // Normalize all blocks to one length.
+        let data: Vec<Block> = blocks
+            .into_iter()
+            .map(|mut v| {
+                v.resize(len, 0xAB);
+                Block::from_bytes(v)
+            })
+            .collect();
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).unwrap();
+        let mut full: Vec<&Block> = data.iter().collect();
+        full.push(&parity);
+        prop_assert!(verify_group(&full).unwrap());
+    }
+
+    #[test]
+    fn any_erasure_reconstructs(
+        seed in any::<u64>(),
+        p in 2usize..10,
+        len in 1usize..512,
+        missing_sel in any::<prop::sample::Index>(),
+    ) {
+        let data: Vec<Block> = (0..p - 1)
+            .map(|i| Block::synthetic(seed, i as u64, len))
+            .collect();
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).unwrap();
+        let mut full: Vec<Block> = data;
+        full.push(parity);
+        let missing = missing_sel.index(full.len());
+        let survivors: Vec<&Block> = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| (i != missing).then_some(b))
+            .collect();
+        let rebuilt = reconstruct(&survivors).unwrap();
+        prop_assert_eq!(&rebuilt, &full[missing]);
+    }
+
+    #[test]
+    fn xor_algebra_commutative_associative(
+        a in prop::collection::vec(any::<u8>(), 64..65),
+        b in prop::collection::vec(any::<u8>(), 64..65),
+        c in prop::collection::vec(any::<u8>(), 64..65),
+    ) {
+        let (a, b, c) = (Block::from_bytes(a), Block::from_bytes(b), Block::from_bytes(c));
+        let ab_c = (a.clone() ^ &b) ^ &c;
+        let a_bc = a.clone() ^ &(b.clone() ^ &c);
+        prop_assert_eq!(ab_c.bytes(), a_bc.bytes());
+        let ab = a.clone() ^ &b;
+        let ba = b ^ &a;
+        prop_assert_eq!(ab.bytes(), ba.bytes());
+    }
+}

@@ -1,0 +1,314 @@
+//! The [`CmServer`] facade.
+
+use crate::builder::CmServerBuilder;
+use cms_core::{ClipId, CmsError, DiskId, RequestId, Scheme};
+use cms_model::CapacityPoint;
+use cms_sim::{Metrics, SimConfig, Simulator};
+
+/// A snapshot of the server's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// Current round (one round = the playback time of one block).
+    pub round: u64,
+    /// Active playback sessions.
+    pub active: usize,
+    /// Requests waiting for admission.
+    pub pending: usize,
+    /// The failed disk, if one is down.
+    pub failed_disk: Option<DiskId>,
+}
+
+/// A fault-tolerant continuous media server: the paper's system behind a
+/// library API. Drive it with [`CmServer::request`] and [`CmServer::tick`];
+/// inject faults with [`CmServer::fail_disk`].
+pub struct CmServer {
+    sim: Simulator,
+    point: CapacityPoint,
+    scheme: Scheme,
+}
+
+impl CmServer {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder(scheme: Scheme) -> CmServerBuilder {
+        CmServerBuilder::new(scheme)
+    }
+
+    pub(crate) fn from_builder(builder: CmServerBuilder) -> Result<Self, CmsError> {
+        let (point, cfg) = builder.solve()?;
+        Self::from_parts(point, cfg)
+    }
+
+    /// Builds a server directly from a solved capacity point and sim
+    /// config (advanced; the builder is the normal entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn from_parts(point: CapacityPoint, cfg: SimConfig) -> Result<Self, CmsError> {
+        let scheme = cfg.scheme;
+        Ok(CmServer { sim: Simulator::new(cfg)?, point, scheme })
+    }
+
+    /// The scheme this server runs.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The tuned capacity point: parity group size, block size, round
+    /// budget, contingency and the analytical concurrent-stream ceiling.
+    #[must_use]
+    pub fn capacity(&self) -> &CapacityPoint {
+        &self.point
+    }
+
+    /// Queues a playback request for `clip`. Admission happens on
+    /// subsequent [`CmServer::tick`]s, FIFO with bounded bypass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] for an unknown clip.
+    pub fn request(&mut self, clip: ClipId) -> Result<RequestId, CmsError> {
+        self.sim.submit(clip)
+    }
+
+    /// Advances the server by one round: admissions, block retrievals
+    /// (with reconstruction when a disk is down), and delivery.
+    pub fn tick(&mut self) -> &Metrics {
+        self.sim.step();
+        self.sim.metrics()
+    }
+
+    /// Like [`CmServer::tick`], but returns the per-round record
+    /// (arrivals, admissions, completions, recovery reads, queue depth) —
+    /// what an operator's dashboard would ingest.
+    pub fn tick_report(&mut self) -> cms_sim::RoundReport {
+        self.sim.step_report()
+    }
+
+    /// Runs `n` rounds.
+    pub fn run_rounds(&mut self, n: u64) -> &Metrics {
+        for _ in 0..n {
+            self.sim.step();
+        }
+        self.sim.metrics()
+    }
+
+    /// Fails a disk (single-failure model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if another disk is already
+    /// failed or the id is out of range.
+    pub fn fail_disk(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        self.sim.fail_disk(disk)
+    }
+
+    /// Repairs the failed disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if `disk` is not the failed
+    /// one.
+    pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        self.sim.repair_disk(disk)
+    }
+
+    /// Current status snapshot.
+    #[must_use]
+    pub fn status(&self) -> ServerStatus {
+        ServerStatus {
+            round: self.sim.now(),
+            active: self.sim.active_clients(),
+            pending: self.sim.pending_requests(),
+            failed_disk: self.sim.failed_disk(),
+        }
+    }
+
+    /// Cumulative metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Background rebuild progress as `(rebuilt, total)` blocks, if one
+    /// is running (requires [`crate::CmServerBuilder::auto_rebuild`]).
+    #[must_use]
+    pub fn rebuild_progress(&self) -> Option<(u64, u64)> {
+        self.sim.rebuild_progress()
+    }
+
+    /// VCR pause: stops a playing session, releasing its bandwidth slot
+    /// (the buffer is dropped; resuming re-admits through the controller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if the session is not playing.
+    pub fn pause(&mut self, id: RequestId) -> Result<(), CmsError> {
+        self.sim.pause(id)
+    }
+
+    /// VCR resume: re-queues a paused session's remainder for admission.
+    /// Returns the new request id tracking the resumed playback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if the session is not paused.
+    pub fn resume(&mut self, id: RequestId) -> Result<RequestId, CmsError> {
+        self.sim.resume(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(scheme: Scheme) -> CmServer {
+        CmServer::builder(scheme)
+            .disks(8)
+            .buffer_bytes(64 << 20)
+            .catalog(40, 20)
+            .verify_reconstructions()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_playback_for_every_scheme() {
+        for scheme in Scheme::ALL {
+            let mut server = small(scheme);
+            let ids: Vec<RequestId> = (0..10u64)
+                .map(|c| server.request(ClipId(c)).unwrap())
+                .collect();
+            assert_eq!(ids.len(), 10);
+            assert_eq!(server.status().pending, 10);
+            server.run_rounds(80);
+            let m = server.metrics();
+            assert_eq!(m.completed, 10, "{scheme}: all clips must finish");
+            assert_eq!(m.hiccups, 0, "{scheme}");
+            assert_eq!(server.status().active, 0);
+        }
+    }
+
+    #[test]
+    fn guarantee_through_failure_and_repair() {
+        let mut server = small(Scheme::DeclusteredParity);
+        for c in 0..12u64 {
+            server.request(ClipId(c)).unwrap();
+        }
+        server.run_rounds(8);
+        server.fail_disk(DiskId(1)).unwrap();
+        assert_eq!(server.status().failed_disk, Some(DiskId(1)));
+        server.run_rounds(15);
+        server.repair_disk(DiskId(1)).unwrap();
+        server.run_rounds(60);
+        let m = server.metrics();
+        assert_eq!(m.completed, 12);
+        assert_eq!(m.hiccups, 0);
+        assert_eq!(m.parity_mismatches, 0);
+        assert!(m.reconstructions > 0, "failure must exercise reconstruction");
+    }
+
+    #[test]
+    fn auto_rebuild_restores_the_array() {
+        let mut server = CmServer::builder(Scheme::DeclusteredParity)
+            .disks(8)
+            .buffer_bytes(64 << 20)
+            .catalog(40, 20)
+            .verify_reconstructions()
+            .auto_rebuild()
+            .build()
+            .unwrap();
+        for c in 0..8u64 {
+            server.request(ClipId(c)).unwrap();
+        }
+        server.run_rounds(5);
+        server.fail_disk(DiskId(2)).unwrap();
+        assert!(server.rebuild_progress().is_some());
+        // Run until the rebuild completes (bounded).
+        let mut rounds = 0;
+        while server.status().failed_disk.is_some() {
+            server.run_rounds(10);
+            rounds += 10;
+            assert!(rounds < 5_000, "rebuild must finish");
+        }
+        let m = server.metrics();
+        assert!(m.rebuild_completed_round.is_some());
+        assert_eq!(m.hiccups, 0);
+        assert!(server.rebuild_progress().is_none());
+        // Another failure is survivable after the rebuild (redundancy is
+        // conceptually restored; we model the spare as the same slot).
+        server.fail_disk(DiskId(5)).unwrap();
+        server.run_rounds(50);
+        assert_eq!(server.metrics().hiccups, 0);
+    }
+
+    #[test]
+    fn tick_report_tracks_a_failure_live() {
+        let mut server = small(Scheme::DeclusteredParity);
+        for c in 0..8u64 {
+            server.request(ClipId(c)).unwrap();
+        }
+        server.run_rounds(4);
+        server.fail_disk(DiskId(1)).unwrap();
+        let mut saw_recovery = false;
+        for _ in 0..30 {
+            let r = server.tick_report();
+            assert_eq!(r.hiccups, 0);
+            if r.recovery_reads > 0 {
+                saw_recovery = true;
+            }
+        }
+        assert!(saw_recovery, "round reports must surface recovery traffic");
+    }
+
+    #[test]
+    fn vcr_pause_resume_roundtrip() {
+        let mut server = small(Scheme::DeclusteredParity);
+        let id = server.request(ClipId(3)).unwrap();
+        server.run_rounds(5);
+        server.pause(id).unwrap();
+        let at_pause = server.status().active;
+        server.run_rounds(3);
+        let resumed = server.resume(id).unwrap();
+        server.run_rounds(60);
+        let m = server.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.hiccups, 0);
+        assert!(at_pause == 0, "pause must free the slot immediately");
+        let _ = resumed;
+    }
+
+    #[test]
+    fn capacity_point_is_exposed() {
+        let server = small(Scheme::StreamingRaid);
+        let point = server.capacity();
+        assert!(point.total_clips > 0);
+        assert!(point.block_bytes > 0);
+        assert_eq!(server.scheme(), Scheme::StreamingRaid);
+    }
+
+    #[test]
+    fn rejects_unknown_clips() {
+        let mut server = small(Scheme::PrefetchFlat);
+        assert!(server.request(ClipId(40)).is_err());
+        assert!(server.request(ClipId(39)).is_ok());
+    }
+
+    #[test]
+    fn overload_queues_and_drains() {
+        let mut server = small(Scheme::PrefetchParityDisks);
+        let burst = 4 * u64::from(server.capacity().total_clips);
+        for i in 0..burst {
+            server.request(ClipId(i % 40)).unwrap();
+        }
+        server.run_rounds(5);
+        let st = server.status();
+        assert!(st.pending > 0, "a 4× burst must queue (capacity {burst})");
+        assert!(st.active > 0);
+        server.run_rounds(20 * burst + 600);
+        assert_eq!(u64::from(server.metrics().completed as u32), burst, "queue must drain");
+        assert_eq!(server.metrics().hiccups, 0);
+    }
+}

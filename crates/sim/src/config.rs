@@ -1,0 +1,203 @@
+//! Simulation configuration.
+
+use cms_core::{CmsError, DiskId, Scheme};
+use cms_model::CapacityPoint;
+
+/// A single-disk failure (and optional repair) to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureScenario {
+    /// Round at which the disk fails.
+    pub fail_round: u64,
+    /// The failing disk.
+    pub disk: DiskId,
+    /// Optional round at which the disk returns to service.
+    pub repair_round: Option<u64>,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The fault-tolerance scheme under test.
+    pub scheme: Scheme,
+    /// Number of disks `d`.
+    pub d: u32,
+    /// Parity group size `p`.
+    pub p: u32,
+    /// Per-disk (per-cluster for streaming RAID) round budget `q`.
+    pub q: u32,
+    /// Contingency reservation `f` (ignored by schemes without one).
+    pub f: u32,
+    /// Stripe-unit size `b` in bytes (drives round timing).
+    pub block_bytes: u64,
+    /// Number of clips in the catalog.
+    pub catalog_clips: u64,
+    /// Clip length in blocks (= rounds of playback).
+    pub clip_len: u64,
+    /// Heterogeneous lengths: each clip is `clip_len + h` blocks for a
+    /// seeded `h ∈ 0..=clip_len_spread`. 0 (the paper) = uniform lengths.
+    pub clip_len_spread: u64,
+    /// Mean Poisson arrivals per round.
+    pub arrival_rate: f64,
+    /// Zipf exponent for clip choice; 0 = uniform (the paper).
+    pub zipf_theta: f64,
+    /// Rounds to simulate.
+    pub rounds: u64,
+    /// Failure to inject, if any.
+    pub failure: Option<FailureScenario>,
+    /// Verify reconstructed blocks byte-for-byte against synthetic
+    /// content (slower; used by the failure drills).
+    pub verify_parity: bool,
+    /// Bytes of synthetic content per block used for verification
+    /// (decoupled from the modeled block size `b` so drills stay fast).
+    pub content_bytes: usize,
+    /// RNG seed (arrivals + clip choice + design construction).
+    pub seed: u64,
+    /// How many queued requests the admission pass may inspect per round
+    /// (FIFO order). 1 = strict head-of-line; larger values let requests
+    /// whose resources are free bypass a blocked head (cf. ORS96).
+    pub admission_scan: usize,
+    /// Once the head has waited this many rounds, bypass is suspended
+    /// until it is admitted — the bound that keeps bypass starvation-free.
+    pub aging_limit: u64,
+    /// Rebuild the failed disk's contents onto a hot spare in the
+    /// background, using only slack bandwidth (per-disk budget left after
+    /// client and recovery reads). When the last block is rebuilt the
+    /// array returns to normal operation.
+    pub auto_rebuild: bool,
+}
+
+impl SimConfig {
+    /// The paper's Section 8.2 experiment for a given scheme and a solved
+    /// capacity point: 1000 clips × 50 rounds, Poisson λ = 20, uniform
+    /// choice, 600 rounds.
+    #[must_use]
+    pub fn sigmod96(scheme: Scheme, point: &CapacityPoint, d: u32) -> Self {
+        SimConfig {
+            scheme,
+            d,
+            p: point.p,
+            q: point.q,
+            f: point.f,
+            block_bytes: point.block_bytes,
+            catalog_clips: 1000,
+            clip_len: 50,
+            clip_len_spread: 0,
+            arrival_rate: 20.0,
+            zipf_theta: 0.0,
+            rounds: 600,
+            failure: None,
+            verify_parity: false,
+            content_bytes: 512,
+            seed: 0x51_6D0D,
+            admission_scan: 64,
+            aging_limit: 200,
+            auto_rebuild: false,
+        }
+    }
+
+    /// Enables background rebuild onto a hot spare.
+    #[must_use]
+    pub fn with_rebuild(mut self) -> Self {
+        self.auto_rebuild = true;
+        self
+    }
+
+    /// Adds a failure scenario.
+    #[must_use]
+    pub fn with_failure(mut self, fail_round: u64, disk: DiskId) -> Self {
+        self.failure = Some(FailureScenario { fail_round, disk, repair_round: None });
+        self
+    }
+
+    /// Enables byte-level verification of every reconstruction.
+    #[must_use]
+    pub fn with_verification(mut self) -> Self {
+        self.verify_parity = true;
+        self
+    }
+
+    /// Validates structural requirements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] for empty catalogs, zero-length
+    /// clips, zero budgets or out-of-range failure disks.
+    pub fn validate(&self) -> Result<(), CmsError> {
+        if self.d < 2 || self.p < 2 || self.p > self.d {
+            return Err(CmsError::invalid_params("need d >= 2 and 2 <= p <= d"));
+        }
+        if self.q == 0 || self.catalog_clips == 0 || self.clip_len == 0 || self.rounds == 0 {
+            return Err(CmsError::invalid_params(
+                "q, catalog size, clip length and duration must be >= 1",
+            ));
+        }
+        if self.block_bytes == 0 {
+            return Err(CmsError::invalid_params("block size must be >= 1"));
+        }
+        if let Some(fs) = &self.failure {
+            if fs.disk.raw() >= self.d {
+                return Err(CmsError::invalid_params("failure disk out of range"));
+            }
+        }
+        if self.arrival_rate < 0.0 || !self.arrival_rate.is_finite() {
+            return Err(CmsError::invalid_params("arrival rate must be finite and >= 0"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> CapacityPoint {
+        CapacityPoint {
+            scheme: Scheme::DeclusteredParity,
+            p: 4,
+            block_bytes: 256 * 1024,
+            q: 20,
+            f: 2,
+            r: 11,
+            total_clips: 576,
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
+        assert_eq!(c.catalog_clips, 1000);
+        assert_eq!(c.clip_len, 50);
+        assert_eq!(c.arrival_rate, 20.0);
+        assert_eq!(c.rounds, 600);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
+            .with_failure(100, DiskId(3))
+            .with_verification();
+        assert!(c.verify_parity);
+        assert_eq!(c.failure.unwrap().fail_round, 100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
+        c.p = 64;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
+        c.q = 0;
+        assert!(c.validate().is_err());
+
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
+            .with_failure(1, DiskId(99));
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
+        c.arrival_rate = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

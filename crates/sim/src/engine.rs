@@ -1,0 +1,1376 @@
+//! The simulation engine: see the crate docs for the per-round pipeline.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use cms_admission::{
+    Admission, AdmitRequest, DeclusteredAdmission, DynamicAdmission, FlatAdmission,
+    NonClusteredAdmission, PendingList, PrefetchParityDiskAdmission, StreamingRaidAdmission,
+};
+use cms_bibd::{best_design, DesignRequest, Pgt};
+use cms_core::units::transfer_time;
+use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
+use cms_disk::{BlockRequest, DiskArray, TimingModel};
+use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
+use cms_parity::Block;
+use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
+use std::collections::HashMap;
+
+/// One scheduled disk read.
+#[derive(Debug, Clone, Copy)]
+struct Fetch {
+    client: RequestId,
+    clip: ClipId,
+    loc: BlockLocation,
+    /// Round the block this read contributes to will be consumed.
+    needed: u64,
+    /// Clip-block index this read delivers directly, if any.
+    serves: Option<u64>,
+    /// Clip-block index whose reconstruction this read contributes to,
+    /// if any.
+    recon_for: Option<u64>,
+    /// Failed-disk block number this read helps rebuild onto the spare,
+    /// if this is a background-rebuild read.
+    rebuild_for: Option<u64>,
+}
+
+/// An active playback session.
+#[derive(Debug)]
+struct Client {
+    placement: ClipPlacement,
+    admitted_at: u64,
+    /// For streaming RAID: first long-round fetch boundary.
+    first_boundary: u64,
+    /// Blocks whose fetches have been issued (count, in order).
+    issued: u64,
+    /// Consumption progress (blocks, in order; skipped blocks count).
+    consumed: u64,
+    /// idx → round from which the block is available in the buffer.
+    avail: HashMap<u64, u64>,
+    /// idx → outstanding reads before reconstruction completes.
+    recon_pending: HashMap<u64, u32>,
+}
+
+impl Client {
+    /// The round at which clip-block `idx` is due for transmission.
+    fn consume_round(&self, idx: u64, scheme: Scheme, p: u32) -> u64 {
+        match scheme {
+            Scheme::StreamingRaid => self.first_boundary + u64::from(p - 1) + idx,
+            _ => self.admitted_at + idx + 1,
+        }
+    }
+}
+
+/// A queued unit of playback: a clip, possibly resumed from an offset
+/// (VCR resume re-queues the remainder of the clip for admission).
+#[derive(Debug, Clone, Copy)]
+struct PendingPlay {
+    clip: ClipId,
+    /// Blocks already consumed before the (re-)queueing.
+    offset: u64,
+}
+
+/// A paused session, parked outside admission (its bandwidth slot is
+/// released; its buffer is dropped).
+#[derive(Debug, Clone, Copy)]
+struct PausedClient {
+    clip: ClipId,
+    consumed: u64,
+}
+
+/// Background rebuild of a failed disk onto a hot spare: blocks of the
+/// failed disk are reconstructed in order from their surviving group
+/// members, using only bandwidth left over after client traffic
+/// (rebuild reads sort last in each disk's EDF queue).
+#[derive(Debug)]
+struct RebuildState {
+    disk: DiskId,
+    /// Next failed-disk block number to schedule.
+    next_block: u64,
+    /// Total blocks to rebuild (the disk's used prefix).
+    total: u64,
+    /// block_no → outstanding reads before it is rebuilt.
+    outstanding: HashMap<u64, u32>,
+    /// Blocks fully rebuilt so far.
+    rebuilt: u64,
+}
+
+/// The simulator: owns the layout, the admission controller, the disk
+/// array and all client state. Construct with [`Simulator::new`], then
+/// call [`Simulator::run`] (or [`Simulator::step`] for fine control).
+pub struct Simulator {
+    cfg: SimConfig,
+    layout: MaterializedLayout,
+    catalog: Catalog,
+    admission: Box<dyn Admission>,
+    pending: PendingList<PendingPlay>,
+    paused: HashMap<RequestId, PausedClient>,
+    arrivals: PoissonArrivals,
+    choice: ClipChoice,
+    clients: HashMap<RequestId, Client>,
+    array: DiskArray,
+    queues: Vec<Vec<Fetch>>,
+    round_duration: f64,
+    t: u64,
+    next_request: u64,
+    failed: Option<DiskId>,
+    rebuild: Option<RebuildState>,
+    metrics: Metrics,
+}
+
+impl Simulator {
+    /// Builds a simulator: catalog → layout → admission controller →
+    /// disk array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and construction errors from
+    /// any of the substrates.
+    pub fn new(cfg: SimConfig) -> Result<Self, CmsError> {
+        cfg.validate()?;
+        // Start-disk jitter reproduces the paper's random disk(C)/row(C);
+        // when the catalog barely fits the array, padding is shrunk until
+        // the layout fits (halving down to none).
+        let mut jitter = u64::from(cfg.d);
+        loop {
+            match Self::build(&cfg, jitter) {
+                Err(CmsError::InfeasibleConfig { reason }) if jitter > 1 => {
+                    let _ = reason;
+                    jitter /= 2;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn build(cfg: &SimConfig, jitter: u64) -> Result<Self, CmsError> {
+        let cfg = cfg.clone();
+        let span = u64::from(cfg.p - 1).max(1);
+        let (catalog, layout) = match cfg.scheme {
+            Scheme::DeclusteredParity => {
+                let pgt = build_pgt(cfg.d, cfg.p, cfg.seed)?;
+                let catalog = Catalog::mixed(
+                    cfg.catalog_clips,
+                    cfg.clip_len,
+                    cfg.clip_len_spread,
+                    1,
+                    1,
+                    jitter,
+                    cfg.seed,
+                )?;
+                let layout = declustered::build(&pgt, catalog.max_stream_len())?;
+                (catalog, layout)
+            }
+            Scheme::DynamicReservation => {
+                let pgt = build_pgt(cfg.d, cfg.p, cfg.seed)?;
+                let catalog = Catalog::mixed(
+                    cfg.catalog_clips,
+                    cfg.clip_len,
+                    cfg.clip_len_spread,
+                    pgt.rows(),
+                    1,
+                    jitter,
+                    cfg.seed,
+                )?;
+                let layout = declustered::build_super_clips(&pgt, catalog.max_stream_len())?;
+                (catalog, layout)
+            }
+            Scheme::PrefetchParityDisks | Scheme::StreamingRaid | Scheme::NonClustered => {
+                let align = if cfg.scheme == Scheme::NonClustered { 1 } else { span };
+                let catalog = Catalog::mixed(
+                    cfg.catalog_clips,
+                    cfg.clip_len,
+                    cfg.clip_len_spread,
+                    1,
+                    align,
+                    jitter,
+                    cfg.seed,
+                )?;
+                let layout =
+                    clustered::build(cfg.scheme, cfg.d, cfg.p, catalog.max_stream_len())?;
+                (catalog, layout)
+            }
+            Scheme::PrefetchFlat => {
+                let catalog = Catalog::mixed(
+                    cfg.catalog_clips,
+                    cfg.clip_len,
+                    cfg.clip_len_spread,
+                    1,
+                    span,
+                    jitter,
+                    cfg.seed,
+                )?;
+                let layout = flat::build(cfg.d, cfg.p, catalog.max_stream_len())?;
+                (catalog, layout)
+            }
+        };
+        let admission: Box<dyn Admission> = match cfg.scheme {
+            Scheme::DeclusteredParity => {
+                let pgt = layout.pgt().expect("declustered layout has a PGT");
+                Box::new(DeclusteredAdmission::new(
+                    cfg.d,
+                    pgt.rows(),
+                    cfg.q,
+                    cfg.f.max(1),
+                    pgt.lambda_max(),
+                )?)
+            }
+            Scheme::DynamicReservation => {
+                let pgt = layout.pgt().expect("dynamic layout has a PGT");
+                let deltas = (0..pgt.rows()).map(|r| pgt.row_deltas(r)).collect();
+                Box::new(DynamicAdmission::new(cfg.d, cfg.q, deltas)?)
+            }
+            Scheme::PrefetchParityDisks => {
+                Box::new(PrefetchParityDiskAdmission::new(cfg.d, cfg.p, cfg.q)?)
+            }
+            Scheme::StreamingRaid => Box::new(StreamingRaidAdmission::new(cfg.d, cfg.p, cfg.q)?),
+            Scheme::NonClustered => Box::new(NonClusteredAdmission::new(cfg.d, cfg.p, cfg.q)?),
+            Scheme::PrefetchFlat => {
+                Box::new(FlatAdmission::new(cfg.d, cfg.p, cfg.q, cfg.f.max(1))?)
+            }
+        };
+        let array = DiskArray::new(
+            cfg.d,
+            DiskParams::sigmod96(),
+            TimingModel::worst_case(),
+            cfg.block_bytes,
+        )?;
+        // The layout must fit the physical disks.
+        for disk in 0..cfg.d {
+            if layout.blocks_used(DiskId(disk)) > array.blocks_per_disk() {
+                return Err(CmsError::InfeasibleConfig {
+                    reason: format!(
+                        "layout needs {} blocks on disk {disk}, capacity {}",
+                        layout.blocks_used(DiskId(disk)),
+                        array.blocks_per_disk()
+                    ),
+                });
+            }
+        }
+        let round_duration = transfer_time(cfg.block_bytes, cms_core::units::mbps(1.5));
+        Ok(Simulator {
+            arrivals: PoissonArrivals::new(cfg.arrival_rate, cfg.seed ^ 0xA11),
+            choice: if cfg.zipf_theta > 0.0 {
+                ClipChoice::zipf(cfg.catalog_clips, cfg.zipf_theta, cfg.seed ^ 0xC11)
+            } else {
+                ClipChoice::uniform(cfg.catalog_clips, cfg.seed ^ 0xC11)
+            },
+            queues: vec![Vec::new(); cfg.d as usize],
+            pending: PendingList::new(),
+            paused: HashMap::new(),
+            clients: HashMap::new(),
+            layout,
+            catalog,
+            admission,
+            array,
+            round_duration,
+            t: 0,
+            next_request: 0,
+            failed: None,
+            rebuild: None,
+            metrics: Metrics::default(),
+            cfg,
+        })
+    }
+
+    /// Runs the configured number of rounds and returns the metrics.
+    pub fn run(mut self) -> Metrics {
+        for _ in 0..self.cfg.rounds {
+            self.step();
+        }
+        self.metrics.still_pending = self.pending.len() as u64;
+        self.metrics
+    }
+
+    /// Executes one round of the server pipeline.
+    pub fn step(&mut self) {
+        let _ = self.step_report();
+    }
+
+    /// Executes one round and returns what happened in it — the per-tick
+    /// record an operator's dashboard would ingest.
+    pub fn step_report(&mut self) -> crate::metrics::RoundReport {
+        let before = (
+            self.metrics.arrivals,
+            self.metrics.admitted,
+            self.metrics.completed,
+            self.metrics.blocks_fetched,
+            self.metrics.recovery_reads,
+            self.metrics.hiccups,
+        );
+        let round = self.t;
+        self.metrics.rounds += 1;
+        self.inject_failure();
+        self.generate_arrivals();
+        self.admit_from_head();
+        self.schedule_fetches();
+        self.schedule_rebuild();
+        self.execute_disks();
+        self.consume_and_complete();
+        self.admission.advance_round();
+        self.t += 1;
+        crate::metrics::RoundReport {
+            round,
+            arrivals: self.metrics.arrivals - before.0,
+            admissions: self.metrics.admitted - before.1,
+            completions: self.metrics.completed - before.2,
+            blocks_served: self.metrics.blocks_fetched - before.3,
+            recovery_reads: self.metrics.recovery_reads - before.4,
+            hiccups: self.metrics.hiccups - before.5,
+            active: self.clients.len() as u64,
+            pending: self.pending.len() as u64,
+        }
+    }
+
+    /// Read-only access to the accumulated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current round.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of active playback sessions.
+    #[must_use]
+    pub fn active_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of requests waiting in the pending list.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The currently failed disk, if any.
+    #[must_use]
+    pub fn failed_disk(&self) -> Option<DiskId> {
+        self.failed
+    }
+
+    /// Submits an external playback request for `clip` (in addition to —
+    /// or instead of, when `arrival_rate` is 0 — the generated workload).
+    /// The request queues in the FIFO pending list like any arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] for an unknown clip id.
+    pub fn submit(&mut self, clip: ClipId) -> Result<RequestId, CmsError> {
+        if clip.raw() >= self.cfg.catalog_clips {
+            return Err(CmsError::out_of_bounds(format!(
+                "{clip} outside catalog of {} clips",
+                self.cfg.catalog_clips
+            )));
+        }
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
+        self.metrics.arrivals += 1;
+        Ok(id)
+    }
+
+    /// Pauses an active session (VCR pause): its admission slot and
+    /// buffer are released; [`Simulator::resume`] re-queues the remainder
+    /// through admission control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if `id` is not an active
+    /// session.
+    pub fn pause(&mut self, id: RequestId) -> Result<(), CmsError> {
+        let Some(client) = self.clients.remove(&id) else {
+            return Err(CmsError::invalid_params(format!("{id} is not playing")));
+        };
+        self.admission.remove(id);
+        self.paused.insert(
+            id,
+            PausedClient { clip: client.placement.id, consumed: client.consumed },
+        );
+        Ok(())
+    }
+
+    /// Resumes a paused session: the remainder of the clip re-enters the
+    /// pending list (aligned down to the scheme's group boundary, so a
+    /// resumed viewer may re-watch up to `p−2` blocks). Returns the new
+    /// request id tracking the resumed playback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if `id` is not paused.
+    pub fn resume(&mut self, id: RequestId) -> Result<RequestId, CmsError> {
+        let Some(parked) = self.paused.remove(&id) else {
+            return Err(CmsError::invalid_params(format!("{id} is not paused")));
+        };
+        let span = u64::from(self.cfg.p - 1).max(1);
+        let offset = if self.cfg.scheme.prefetches_groups() {
+            (parked.consumed / span) * span
+        } else {
+            parked.consumed
+        };
+        let new_id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.pending
+            .push(new_id, Round(self.t), PendingPlay { clip: parked.clip, offset });
+        Ok(new_id)
+    }
+
+    /// Number of paused sessions.
+    #[must_use]
+    pub fn paused_sessions(&self) -> usize {
+        self.paused.len()
+    }
+
+    /// Fails `disk` immediately (single-failure model: a second failure
+    /// while one is outstanding is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if a disk is already failed or
+    /// the id is out of range.
+    pub fn fail_disk(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        if disk.raw() >= self.cfg.d {
+            return Err(CmsError::invalid_params("disk id out of range"));
+        }
+        if self.failed.is_some() {
+            return Err(CmsError::invalid_params(
+                "single-failure model: repair the failed disk first",
+            ));
+        }
+        self.fail_now(disk);
+        Ok(())
+    }
+
+    /// Repairs the currently failed disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] if that disk is not failed.
+    pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        if self.failed != Some(disk) {
+            return Err(CmsError::invalid_params(format!("{disk} is not failed")));
+        }
+        self.array.repair(disk);
+        self.failed = None;
+        self.rebuild = None;
+        Ok(())
+    }
+
+    /// Rebuild progress as `(rebuilt, total)` blocks, if a rebuild is
+    /// running.
+    #[must_use]
+    pub fn rebuild_progress(&self) -> Option<(u64, u64)> {
+        self.rebuild.as_ref().map(|r| (r.rebuilt, r.total))
+    }
+
+    /// Feeds the background rebuild: keeps a bounded window of failed-disk
+    /// blocks in flight, each rebuilt by reading its surviving group
+    /// members at the lowest priority.
+    fn schedule_rebuild(&mut self) {
+        let Some(rb) = &mut self.rebuild else { return };
+        let window = 2 * self.cfg.d as usize;
+        let failed = rb.disk;
+        // Collect the reads to issue first (borrow juggling: layout is
+        // immutable, queues are mutated after).
+        let mut to_issue: Vec<(u64, Vec<BlockLocation>)> = Vec::new();
+        while rb.outstanding.len() < window && rb.next_block < rb.total {
+            let block_no = rb.next_block;
+            rb.next_block += 1;
+            let reads: Vec<BlockLocation> = match self.layout.slot(failed, block_no) {
+                cms_layout::Slot::Free => Vec::new(),
+                cms_layout::Slot::Data(addr) => self.layout.reconstruction_reads(addr),
+                cms_layout::Slot::Parity(gid) => {
+                    let g = self.layout.group(gid);
+                    g.data.iter().map(|&a| self.layout.locate(a)).collect()
+                }
+            };
+            if reads.is_empty() {
+                // Unused slot: nothing to copy.
+                rb.rebuilt += 1;
+                self.metrics.rebuilt_blocks += 1;
+                continue;
+            }
+            rb.outstanding.insert(block_no, reads.len() as u32);
+            to_issue.push((block_no, reads));
+        }
+        for (block_no, reads) in to_issue {
+            for loc in reads {
+                debug_assert_ne!(Some(loc.disk), self.failed);
+                self.metrics.rebuild_reads += 1;
+                self.queues[loc.disk.idx()].push(Fetch {
+                    client: RequestId(u64::MAX),
+                    clip: ClipId(u64::MAX),
+                    loc,
+                    needed: u64::MAX, // lowest EDF priority: slack only
+                    serves: None,
+                    recon_for: None,
+                    rebuild_for: Some(block_no),
+                });
+            }
+        }
+        self.check_rebuild_complete();
+    }
+
+    fn check_rebuild_complete(&mut self) {
+        let done = self
+            .rebuild
+            .as_ref()
+            .is_some_and(|rb| rb.rebuilt == rb.total && rb.outstanding.is_empty());
+        if done {
+            let disk = self.rebuild.take().expect("checked").disk;
+            // The spare now holds the full contents: the array is whole
+            // again (modeled as the failed slot returning to service).
+            self.array.repair(disk);
+            self.failed = None;
+            self.metrics.rebuild_completed_round = Some(self.t);
+        }
+    }
+
+    fn fail_now(&mut self, disk: DiskId) {
+        self.array.fail(disk);
+        self.failed = Some(disk);
+        if self.cfg.auto_rebuild {
+            self.rebuild = Some(RebuildState {
+                disk,
+                next_block: 0,
+                total: self.layout.blocks_used(disk),
+                outstanding: HashMap::new(),
+                rebuilt: 0,
+            });
+        }
+        // Re-route already queued, unserved reads on the failed disk.
+        let stranded: Vec<Fetch> = std::mem::take(&mut self.queues[disk.idx()]);
+        for fetch in stranded {
+            if let Some(idx) = fetch.serves {
+                self.schedule_recovery(fetch.client, idx, fetch.needed);
+            }
+            // Pure recovery reads on the failed disk cannot occur:
+            // recovery targets survivors only, and two failures are out
+            // of scope.
+        }
+    }
+
+    fn inject_failure(&mut self) {
+        let Some(fs) = self.cfg.failure else { return };
+        if self.t == fs.fail_round && self.failed.is_none() {
+            self.fail_now(fs.disk);
+        }
+        if let Some(repair) = fs.repair_round {
+            if self.t == repair && self.failed == Some(fs.disk) {
+                self.array.repair(fs.disk);
+                self.failed = None;
+            }
+        }
+    }
+
+    fn generate_arrivals(&mut self) {
+        for _ in 0..self.arrivals.next_round() {
+            let clip = self.choice.next_clip();
+            let id = RequestId(self.next_request);
+            self.next_request += 1;
+            self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
+            self.metrics.arrivals += 1;
+        }
+    }
+
+    /// Admission with bounded FIFO bypass (cf. ORS96): requests are
+    /// considered in arrival order; a request whose resources are free is
+    /// admitted even if earlier ones are blocked — *unless* the head has
+    /// aged past [`SimConfig::aging_limit`], in which case nothing may
+    /// overtake it. Bypass keeps the disks busy; the aging guard keeps
+    /// the policy starvation-free (a head's wait is bounded by the limit
+    /// plus one clip duration).
+    fn admit_from_head(&mut self) {
+        let head_aged = self
+            .pending
+            .head_wait(Round(self.t))
+            .is_some_and(|w| w >= self.cfg.aging_limit);
+        let scan = if head_aged { 1 } else { self.cfg.admission_scan.max(1) };
+        let mut idx = 0usize;
+        let mut inspected = 0usize;
+        while inspected < scan {
+            let Some(cand) = self.pending.get(idx) else { break };
+            inspected += 1;
+            let mut placement = self.catalog.placement(cand.payload.clip);
+            // A resumed session plays only the remainder of the clip.
+            let offset = cand.payload.offset.min(placement.len);
+            placement.start_index += offset;
+            placement.len -= offset;
+            if placement.len == 0 {
+                // Paused at the very end: nothing left to play.
+                self.pending.remove_at(idx);
+                self.metrics.completed += 1;
+                continue;
+            }
+            let start = StreamAddr::new(placement.stream, placement.start_index);
+            let loc = self.layout.locate(start);
+            let req = AdmitRequest {
+                id: cand.id,
+                stream: placement.stream,
+                start_index: placement.start_index,
+                start_disk: loc.disk,
+                row: self.layout.row_of(start).unwrap_or(0),
+                len: placement.len,
+            };
+            if self.admission.try_admit(req).is_err() {
+                idx += 1;
+                continue;
+            }
+            let cand = self.pending.remove_at(idx).expect("candidate exists");
+            // A successful admission may have freed nothing, but it does
+            // not invalidate earlier rejections this round; keep scanning
+            // from the same position (the next element shifted into it)
+            // without charging another inspection for the admit itself.
+            inspected -= 1;
+            let wait = self.t - cand.arrived.raw();
+            self.metrics.admitted += 1;
+            self.metrics.wait_rounds_total += wait;
+            self.metrics.wait_rounds_max = self.metrics.wait_rounds_max.max(wait);
+            self.metrics.record_wait(wait);
+            let span = u64::from(self.cfg.p - 1).max(1);
+            self.clients.insert(
+                cand.id,
+                Client {
+                    placement,
+                    admitted_at: self.t,
+                    first_boundary: self.t.div_ceil(span) * span,
+                    issued: 0,
+                    consumed: 0,
+                    avail: HashMap::new(),
+                    recon_pending: HashMap::new(),
+                },
+            );
+            self.metrics.peak_active = self.metrics.peak_active.max(self.clients.len() as u64);
+        }
+    }
+
+    fn schedule_fetches(&mut self) {
+        let span = u64::from(self.cfg.p - 1).max(1);
+        let scheme = self.cfg.scheme;
+        let ids: Vec<RequestId> = self.clients.keys().copied().collect();
+        for id in ids {
+            let (placement, admitted_at, first_boundary, issued) = {
+                let c = &self.clients[&id];
+                (c.placement, c.admitted_at, c.first_boundary, c.issued)
+            };
+            if issued >= placement.len {
+                continue;
+            }
+            match scheme {
+                Scheme::DeclusteredParity
+                | Scheme::DynamicReservation
+                | Scheme::NonClustered => {
+                    // Double-buffered single-block retrieval: one block per
+                    // round, in lock-step with admission's rotation model.
+                    if self.t < admitted_at + issued {
+                        continue;
+                    }
+                    let idx = issued;
+                    let needed = self.clients[&id].consume_round(idx, scheme, self.cfg.p);
+                    self.issue_data_fetch(id, idx, needed);
+                    self.clients.get_mut(&id).expect("exists").issued = idx + 1;
+                }
+                Scheme::PrefetchParityDisks | Scheme::PrefetchFlat => {
+                    // Staggered group fetch every p−1 rounds.
+                    if !(self.t - admitted_at).is_multiple_of(span) {
+                        continue;
+                    }
+                    let group_end = (issued + span).min(placement.len);
+                    self.issue_group_fetch(id, issued, group_end, false);
+                    self.clients.get_mut(&id).expect("exists").issued = group_end;
+                }
+                Scheme::StreamingRaid => {
+                    // Lock-step long rounds: whole group plus its parity.
+                    if self.t < first_boundary || !(self.t - first_boundary).is_multiple_of(span) {
+                        continue;
+                    }
+                    let group_end = (issued + span).min(placement.len);
+                    self.issue_group_fetch(id, issued, group_end, true);
+                    self.clients.get_mut(&id).expect("exists").issued = group_end;
+                }
+            }
+        }
+    }
+
+    /// Issues the single-block fetch for `idx`, or recovery reads if its
+    /// disk is down.
+    fn issue_data_fetch(&mut self, id: RequestId, idx: u64, needed: u64) {
+        let c = &self.clients[&id];
+        let addr = StreamAddr::new(c.placement.stream, c.placement.start_index + idx);
+        let clip = c.placement.id;
+        let loc = self.layout.locate(addr);
+        if Some(loc.disk) == self.failed {
+            self.schedule_recovery(id, idx, needed);
+        } else {
+            self.push_fetch(Fetch {
+                client: id,
+                clip,
+                loc,
+                needed,
+                serves: Some(idx),
+                recon_for: None,
+                rebuild_for: None,
+            });
+        }
+    }
+
+    /// Issues a whole-group fetch for blocks `start..end` of the clip.
+    /// With `with_parity`, also reads the group's parity block (streaming
+    /// RAID). Reads on a failed disk are replaced by the pre-fetching
+    /// recovery rule: the parity block substitutes, and the sibling reads
+    /// of the same fetch double as reconstruction inputs.
+    fn issue_group_fetch(&mut self, id: RequestId, start: u64, end: u64, with_parity: bool) {
+        let c = &self.clients[&id];
+        let placement = c.placement;
+        let clip = placement.id;
+        let scheme = self.cfg.scheme;
+        let p = self.cfg.p;
+
+        let mut lost: Option<u64> = None;
+        let mut healthy: Vec<(u64, BlockLocation)> = Vec::new();
+        for idx in start..end {
+            let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
+            let loc = self.layout.locate(addr);
+            if Some(loc.disk) == self.failed {
+                debug_assert!(lost.is_none(), "one failure cannot hit two disks of a group");
+                lost = Some(idx);
+            } else {
+                healthy.push((idx, loc));
+            }
+        }
+        let first_addr = StreamAddr::new(placement.stream, placement.start_index + start);
+        let group = self.layout.group(self.layout.group_id_of(first_addr));
+        let parity_loc = group.parity;
+        let needed_of = |client: &Client, idx: u64| client.consume_round(idx, scheme, p);
+
+        let lost_needed = lost.map(|idx| needed_of(&self.clients[&id], idx));
+        for (idx, loc) in healthy {
+            let needed = needed_of(&self.clients[&id], idx);
+            self.push_fetch(Fetch {
+                client: id,
+                clip,
+                loc,
+                needed: lost_needed.map_or(needed, |ln| needed.min(ln)),
+                serves: Some(idx),
+                recon_for: lost,
+                rebuild_for: None,
+            });
+        }
+        // Parity read: always for streaming RAID; on failure for the
+        // pre-fetching schemes (unless the parity disk itself died, in
+        // which case the data is all there and nothing is lost).
+        let parity_alive = Some(parity_loc.disk) != self.failed;
+        if parity_alive && (with_parity || lost.is_some()) {
+            let needed = lost_needed.unwrap_or_else(|| needed_of(&self.clients[&id], start));
+            self.push_fetch(Fetch {
+                client: id,
+                clip,
+                loc: parity_loc,
+                needed,
+                serves: None,
+                recon_for: lost,
+                rebuild_for: None,
+            });
+            if lost.is_some() {
+                self.metrics.recovery_reads += 1;
+            }
+        }
+        if let Some(idx) = lost {
+            // Reconstruction waits for every surviving group read that
+            // carries recon_for: the healthy siblings of this fetch plus
+            // the parity block (when alive).
+            let survivors = (end - start - 1) + u64::from(parity_alive);
+            if survivors == 0 {
+                // Degenerate single-block group whose parity died with the
+                // data: unrecoverable only under a double failure, which
+                // cannot happen; a lone lost block with dead parity means
+                // p = 2 mirror with both copies on failed disks.
+                unreachable!("single failure cannot erase both data and parity");
+            }
+            let client = self.clients.get_mut(&id).expect("exists");
+            client.recon_pending.insert(idx, survivors as u32);
+        }
+    }
+
+    /// Schedules the declustered/non-clustered recovery reads that rebuild
+    /// clip block `idx` after its disk failed.
+    fn schedule_recovery(&mut self, id: RequestId, idx: u64, needed: u64) {
+        let c = &self.clients[&id];
+        let placement = c.placement;
+        let clip = placement.id;
+        let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
+        let reads = self.layout.reconstruction_reads(addr);
+        let mut survivors = 0u32;
+        for loc in reads {
+            if Some(loc.disk) == self.failed {
+                // The parity block (or a sibling) shares the failed disk —
+                // impossible for valid layouts; guarded by layout
+                // invariants.
+                continue;
+            }
+            self.push_fetch(Fetch {
+                client: id,
+                clip,
+                loc,
+                needed,
+                serves: None,
+                recon_for: Some(idx),
+                rebuild_for: None,
+            });
+            survivors += 1;
+            self.metrics.recovery_reads += 1;
+        }
+        let client = self.clients.get_mut(&id).expect("exists");
+        client.recon_pending.insert(idx, survivors);
+    }
+
+    fn push_fetch(&mut self, fetch: Fetch) {
+        debug_assert!(Some(fetch.loc.disk) != self.failed, "fetch routed to failed disk");
+        self.queues[fetch.loc.disk.idx()].push(fetch);
+    }
+
+    fn execute_disks(&mut self) {
+        let span = u64::from(self.cfg.p - 1).max(1);
+        let streaming = self.cfg.scheme == Scheme::StreamingRaid;
+        // Streaming RAID disks work in long rounds; others every round.
+        if streaming && !self.t.is_multiple_of(span) {
+            return;
+        }
+        let deadline = if streaming {
+            self.round_duration * span as f64
+        } else {
+            self.round_duration
+        };
+        let budget = self.cfg.q as usize;
+        for disk in 0..self.cfg.d {
+            let queue = &mut self.queues[disk as usize];
+            if queue.is_empty() {
+                continue;
+            }
+            self.metrics.peak_disk_queue = self.metrics.peak_disk_queue.max(queue.len() as u32);
+            // Earliest-deadline-first within the per-round budget.
+            queue.sort_by_key(|f| f.needed);
+            let take = queue.len().min(budget);
+            let served: Vec<Fetch> = queue.drain(..take).collect();
+            let requests: Vec<BlockRequest> = served
+                .iter()
+                .map(|f| BlockRequest {
+                    disk: DiskId(disk),
+                    block_no: f.loc.block_no,
+                    clip: f.clip,
+                    reconstruction: f.recon_for.is_some(),
+                })
+                .collect();
+            let outcome = self
+                .array
+                .service_round(DiskId(disk), &requests, deadline)
+                .expect("healthy disk serves within capacity");
+            self.metrics.peak_utilization =
+                self.metrics.peak_utilization.max(outcome.utilization());
+            for fetch in served {
+                self.deliver(fetch);
+            }
+        }
+    }
+
+    fn deliver(&mut self, fetch: Fetch) {
+        self.metrics.blocks_fetched += 1;
+        if let Some(block_no) = fetch.rebuild_for {
+            if let Some(rb) = &mut self.rebuild {
+                if let Some(outstanding) = rb.outstanding.get_mut(&block_no) {
+                    *outstanding -= 1;
+                    if *outstanding == 0 {
+                        rb.outstanding.remove(&block_no);
+                        rb.rebuilt += 1;
+                        self.metrics.rebuilt_blocks += 1;
+                        self.check_rebuild_complete();
+                    }
+                }
+            }
+            return;
+        }
+        if fetch.needed > 0 && self.t + 1 > fetch.needed {
+            self.metrics.late_serves += 1;
+        }
+        let Some(client) = self.clients.get_mut(&fetch.client) else {
+            return; // client already completed (stale recovery read)
+        };
+        if let Some(idx) = fetch.serves {
+            client.avail.entry(idx).or_insert(self.t + 1);
+        }
+        if let Some(idx) = fetch.recon_for {
+            if let Some(pending) = client.recon_pending.get_mut(&idx) {
+                *pending -= 1;
+                if *pending == 0 {
+                    client.recon_pending.remove(&idx);
+                    client.avail.insert(idx, self.t + 1);
+                    self.metrics.reconstructions += 1;
+                    if self.cfg.verify_parity {
+                        let placement = self.clients[&fetch.client].placement;
+                        if !self.verify_reconstruction(placement, idx) {
+                            self.metrics.parity_mismatches += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Byte-level check: XOR of the surviving group members equals the
+    /// synthetic content of the lost block.
+    fn verify_reconstruction(&self, placement: ClipPlacement, idx: u64) -> bool {
+        let lost = StreamAddr::new(placement.stream, placement.start_index + idx);
+        let group = self.layout.group(self.layout.group_id_of(lost));
+        let n = self.cfg.content_bytes;
+        let content = |a: StreamAddr| Block::synthetic(u64::from(a.stream), a.index, n);
+        // Parity block content is the XOR of all the group's data blocks.
+        let mut parity = Block::zeroed(n);
+        for &a in &group.data {
+            parity ^= &content(a);
+        }
+        // Reconstruct from survivors: all data except the lost one, plus
+        // parity.
+        let mut rebuilt = parity;
+        for &a in group.data.iter().filter(|&&a| a != lost) {
+            rebuilt ^= &content(a);
+        }
+        rebuilt == content(lost)
+    }
+
+    fn consume_and_complete(&mut self) {
+        let scheme = self.cfg.scheme;
+        let p = self.cfg.p;
+        let mut done: Vec<RequestId> = Vec::new();
+        let mut buffered = 0u64;
+        for (&id, client) in &mut self.clients {
+            while client.consumed < client.placement.len
+                && self.t >= client.consume_round(client.consumed, scheme, p)
+            {
+                let idx = client.consumed;
+                match client.avail.get(&idx) {
+                    Some(&at) if at <= self.t => {
+                        client.avail.remove(&idx);
+                        self.metrics.blocks_consumed += 1;
+                    }
+                    _ => {
+                        // Not in the buffer when its round came: the
+                        // playback glitch the guarantee schemes must
+                        // never produce.
+                        self.metrics.hiccups += 1;
+                    }
+                }
+                client.consumed += 1;
+            }
+            buffered += client.avail.len() as u64;
+            if client.consumed >= client.placement.len {
+                done.push(id);
+            }
+        }
+        self.metrics.peak_buffered_blocks = self.metrics.peak_buffered_blocks.max(buffered);
+        for id in done {
+            self.clients.remove(&id);
+            self.admission.remove(id);
+            self.metrics.completed += 1;
+        }
+    }
+}
+
+/// Builds the PGT for a declustered-family configuration.
+fn build_pgt(d: u32, p: u32, seed: u64) -> Result<Pgt, CmsError> {
+    let design = best_design(DesignRequest { v: d, k: p, allow_fallback: true, seed })
+        .ok_or_else(|| CmsError::DesignUnavailable {
+            reason: format!("no design for (d = {d}, p = {p})"),
+        })?;
+    Ok(Pgt::new(&design))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_model::{capacity, ModelInput};
+
+    /// A small, fast configuration used by most tests.
+    fn small_cfg(scheme: Scheme) -> SimConfig {
+        SimConfig {
+            scheme,
+            d: 8,
+            p: 4,
+            q: 8,
+            f: 2,
+            block_bytes: 1 << 20, // generous round so q = 8 fits Eq. 1
+            catalog_clips: 40,
+            clip_len: 20,
+            clip_len_spread: 0,
+            arrival_rate: 3.0,
+            zipf_theta: 0.0,
+            rounds: 120,
+            failure: None,
+            verify_parity: false,
+            content_bytes: 256,
+            seed: 7,
+            admission_scan: 64,
+            aging_limit: 200,
+            auto_rebuild: false,
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_are_clean_for_all_schemes() {
+        for scheme in Scheme::ALL {
+            let m = Simulator::new(small_cfg(scheme)).unwrap().run();
+            assert!(m.admitted > 0, "{scheme}: nothing admitted");
+            assert!(m.completed > 0, "{scheme}: nothing completed");
+            assert_eq!(m.hiccups, 0, "{scheme}: fault-free run must not hiccup");
+            assert_eq!(m.parity_mismatches, 0);
+            assert!(
+                m.peak_utilization <= 1.0 + 1e-9,
+                "{scheme}: round deadline violated ({})",
+                m.peak_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn consumption_matches_fetches_in_fault_free_runs() {
+        let m = Simulator::new(small_cfg(Scheme::DeclusteredParity)).unwrap().run();
+        // Every consumed block was fetched; completed clips consumed all
+        // their blocks.
+        assert!(m.blocks_consumed <= m.blocks_fetched);
+        assert!(m.blocks_consumed >= m.completed * 20);
+    }
+
+    #[test]
+    fn guarantee_schemes_survive_failure_without_hiccups() {
+        for scheme in [
+            Scheme::DeclusteredParity,
+            Scheme::DynamicReservation,
+            Scheme::PrefetchParityDisks,
+            Scheme::PrefetchFlat,
+            Scheme::StreamingRaid,
+        ] {
+            let cfg = small_cfg(scheme).with_failure(40, DiskId(2)).with_verification();
+            let m = Simulator::new(cfg).unwrap().run();
+            assert!(m.admitted > 0, "{scheme}");
+            assert_eq!(
+                m.hiccups, 0,
+                "{scheme} must keep rate guarantees through a failure"
+            );
+            assert_eq!(m.parity_mismatches, 0, "{scheme}: reconstruction corrupt");
+            assert!(
+                m.reconstructions > 0 || m.recovery_reads == 0,
+                "{scheme}: recovery accounting inconsistent"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_triggers_reconstructions_with_correct_bytes() {
+        let cfg = small_cfg(Scheme::DeclusteredParity)
+            .with_failure(30, DiskId(1))
+            .with_verification();
+        let m = Simulator::new(cfg).unwrap().run();
+        assert!(m.reconstructions > 0, "failure must force reconstructions");
+        assert_eq!(m.parity_mismatches, 0);
+        assert!(m.recovery_reads >= m.reconstructions);
+    }
+
+    #[test]
+    fn streaming_raid_reads_parity_even_when_healthy() {
+        let m = Simulator::new(small_cfg(Scheme::StreamingRaid)).unwrap().run();
+        // Group fetches include the parity block: fetched strictly exceeds
+        // consumed even with full completion.
+        assert!(m.blocks_fetched > m.blocks_consumed);
+    }
+
+    #[test]
+    fn non_clustered_hiccups_under_failure_when_saturated() {
+        // Saturate a small non-clustered server, then kill a disk: the
+        // §7.4 caveat — transition reads exceed budgets and clips glitch.
+        let mut cfg = small_cfg(Scheme::NonClustered);
+        cfg.arrival_rate = 30.0; // saturate
+        cfg.q = 4;
+        cfg = cfg.with_failure(40, DiskId(1));
+        let m = Simulator::new(cfg).unwrap().run();
+        assert!(
+            m.hiccups > 0,
+            "saturated non-clustered must glitch on failure (got {m:?})"
+        );
+    }
+
+    #[test]
+    fn repair_restores_normal_operation() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.failure = Some(crate::config::FailureScenario {
+            fail_round: 30,
+            disk: DiskId(0),
+            repair_round: Some(60),
+        });
+        cfg.rounds = 150;
+        let sim = Simulator::new(cfg).unwrap();
+        let m = sim.run();
+        assert_eq!(m.hiccups, 0);
+        assert!(m.reconstructions > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Simulator::new(small_cfg(Scheme::PrefetchFlat)).unwrap().run();
+        let b = Simulator::new(small_cfg(Scheme::PrefetchFlat)).unwrap().run();
+        assert_eq!(a, b);
+        let mut cfg = small_cfg(Scheme::PrefetchFlat);
+        cfg.seed = 8;
+        let c = Simulator::new(cfg).unwrap().run();
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn admission_is_fifo_and_starvation_free() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.arrival_rate = 50.0; // deep queue
+        let m = Simulator::new(cfg).unwrap().run();
+        // Saturated: many still pending, but throughput continued all run
+        // (admissions keep happening as clips complete).
+        assert!(m.still_pending > 0);
+        assert!(m.admitted > 40, "server must keep admitting under overload");
+    }
+
+    #[test]
+    fn paper_scale_configuration_runs() {
+        // One full Figure 6 cell: d = 32, B = 256 MB, declustered, p = 4.
+        let input = ModelInput::sigmod96(cms_core::units::mib(256));
+        let point = capacity(Scheme::DeclusteredParity, &input, 4).unwrap();
+        let mut cfg = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, 32);
+        cfg.rounds = 120; // keep the unit test quick
+        let m = Simulator::new(cfg).unwrap().run();
+        assert!(m.admitted > 300, "expected saturation-level admissions");
+        assert_eq!(m.hiccups, 0);
+        assert!(m.peak_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn round_reports_sum_to_cumulative_metrics() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg = cfg.with_failure(40, DiskId(1));
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut arrivals = 0;
+        let mut admissions = 0;
+        let mut completions = 0;
+        let mut blocks = 0;
+        let mut recovery = 0;
+        for expected_round in 0..100u64 {
+            let r = sim.step_report();
+            assert_eq!(r.round, expected_round);
+            arrivals += r.arrivals;
+            admissions += r.admissions;
+            completions += r.completions;
+            blocks += r.blocks_served;
+            recovery += r.recovery_reads;
+            assert_eq!(r.active as usize, sim.active_clients());
+            assert_eq!(r.pending as usize, sim.pending_requests());
+        }
+        let m = sim.metrics();
+        assert_eq!(arrivals, m.arrivals);
+        assert_eq!(admissions, m.admitted);
+        assert_eq!(completions, m.completed);
+        assert_eq!(blocks, m.blocks_fetched);
+        assert_eq!(recovery, m.recovery_reads);
+        assert!(recovery > 0, "failure must show up in some round report");
+    }
+
+    #[test]
+    fn step_api_exposes_progress() {
+        let mut sim = Simulator::new(small_cfg(Scheme::DeclusteredParity)).unwrap();
+        assert_eq!(sim.now(), 0);
+        sim.step();
+        assert_eq!(sim.now(), 1);
+        assert_eq!(sim.metrics().rounds, 1);
+        for _ in 0..30 {
+            sim.step();
+        }
+        assert!(sim.active_clients() > 0);
+    }
+
+    #[test]
+    fn external_submission_and_manual_failure() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.arrival_rate = 0.0; // fully externally driven
+        cfg.verify_parity = true;
+        let mut sim = Simulator::new(cfg).unwrap();
+        assert!(sim.submit(ClipId(999)).is_err(), "unknown clip rejected");
+        for clip in 0..10u64 {
+            sim.submit(ClipId(clip)).unwrap();
+        }
+        assert_eq!(sim.pending_requests(), 10);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert!(sim.active_clients() > 0);
+        // Manual failure mid-run; single-failure model enforced.
+        sim.fail_disk(DiskId(3)).unwrap();
+        assert_eq!(sim.failed_disk(), Some(DiskId(3)));
+        assert!(sim.fail_disk(DiskId(4)).is_err());
+        assert!(sim.repair_disk(DiskId(4)).is_err());
+        for _ in 0..10 {
+            sim.step();
+        }
+        sim.repair_disk(DiskId(3)).unwrap();
+        assert_eq!(sim.failed_disk(), None);
+        for _ in 0..40 {
+            sim.step();
+        }
+        let m = sim.metrics();
+        assert_eq!(m.hiccups, 0);
+        assert_eq!(m.parity_mismatches, 0);
+        assert_eq!(m.completed, 10);
+    }
+
+    #[test]
+    fn background_rebuild_restores_redundancy() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.auto_rebuild = true;
+        cfg.verify_parity = true;
+        cfg.rounds = 400;
+        cfg.arrival_rate = 1.0; // leave slack for the rebuild
+        cfg = cfg.with_failure(30, DiskId(2));
+        let m = Simulator::new(cfg).unwrap().run();
+        assert_eq!(m.hiccups, 0, "client guarantees hold during rebuild");
+        assert!(m.rebuild_reads > 0, "rebuild must issue reads");
+        assert!(m.rebuilt_blocks > 0);
+        let done = m
+            .rebuild_completed_round
+            .expect("rebuild must finish within the run");
+        assert!(done > 30, "completion after the failure");
+        assert_eq!(m.parity_mismatches, 0);
+    }
+
+    #[test]
+    fn rebuild_has_lowest_priority() {
+        // Saturate the server; the rebuild must progress only via slack
+        // and never cause a client hiccup.
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.auto_rebuild = true;
+        cfg.arrival_rate = 20.0; // saturated
+        cfg.rounds = 300;
+        cfg = cfg.with_failure(50, DiskId(1));
+        let m = Simulator::new(cfg).unwrap().run();
+        assert_eq!(m.hiccups, 0, "rebuild must never displace client reads");
+        assert!(m.rebuilt_blocks > 0, "rebuild still progresses via slack");
+    }
+
+    #[test]
+    fn manual_repair_cancels_rebuild() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.auto_rebuild = true;
+        cfg.arrival_rate = 0.0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        sim.fail_disk(DiskId(3)).unwrap();
+        assert!(sim.rebuild_progress().is_some());
+        sim.step();
+        sim.repair_disk(DiskId(3)).unwrap();
+        assert!(sim.rebuild_progress().is_none());
+        assert_eq!(sim.failed_disk(), None);
+    }
+
+    #[test]
+    fn pause_releases_bandwidth_and_resume_replays() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.arrival_rate = 0.0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let ids: Vec<RequestId> =
+            (0..6u64).map(|c| sim.submit(ClipId(c)).unwrap()).collect();
+        for _ in 0..6 {
+            sim.step();
+        }
+        assert_eq!(sim.active_clients(), 6);
+        // Pause half of them: slots free immediately.
+        for &id in &ids[..3] {
+            sim.pause(id).unwrap();
+        }
+        assert_eq!(sim.active_clients(), 3);
+        assert_eq!(sim.paused_sessions(), 3);
+        assert!(sim.pause(ids[0]).is_err(), "double pause rejected");
+        for _ in 0..5 {
+            sim.step();
+        }
+        // Resume them; all must complete without a glitch.
+        for &id in &ids[..3] {
+            sim.resume(id).unwrap();
+        }
+        assert_eq!(sim.paused_sessions(), 0);
+        assert!(sim.resume(ids[0]).is_err(), "double resume rejected");
+        for _ in 0..60 {
+            sim.step();
+        }
+        let m = sim.metrics();
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.hiccups, 0);
+    }
+
+    #[test]
+    fn pause_resume_for_prefetch_aligns_to_groups() {
+        let mut cfg = small_cfg(Scheme::PrefetchParityDisks);
+        cfg.arrival_rate = 0.0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let id = sim.submit(ClipId(0)).unwrap();
+        for _ in 0..8 {
+            sim.step();
+        }
+        sim.pause(id).unwrap();
+        let resumed = sim.resume(id).unwrap();
+        assert_ne!(resumed, id);
+        for _ in 0..60 {
+            sim.step();
+        }
+        let m = sim.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.hiccups, 0);
+    }
+
+    #[test]
+    fn pause_at_clip_end_completes_on_resume() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.arrival_rate = 0.0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let id = sim.submit(ClipId(1)).unwrap();
+        // Play to the penultimate round, then pause and resume.
+        for _ in 0..20 {
+            sim.step();
+        }
+        if sim.active_clients() == 1 {
+            sim.pause(id).unwrap();
+            sim.resume(id).unwrap();
+            for _ in 0..30 {
+                sim.step();
+            }
+        }
+        assert_eq!(sim.metrics().completed, 1);
+        assert_eq!(sim.metrics().hiccups, 0);
+    }
+
+    #[test]
+    fn heterogeneous_clip_lengths_play_cleanly() {
+        for scheme in Scheme::ALL {
+            let mut cfg = small_cfg(scheme);
+            cfg.clip_len_spread = 15; // clips of 20..=35 blocks
+            cfg.rounds = 160;
+            cfg = cfg.with_failure(60, DiskId(2)).with_verification();
+            let m = Simulator::new(cfg).unwrap().run();
+            assert!(m.completed > 0, "{scheme}");
+            let allowed_hiccups = if scheme == Scheme::NonClustered { u64::MAX } else { 0 };
+            assert!(m.hiccups <= allowed_hiccups, "{scheme}");
+            assert_eq!(m.parity_mismatches, 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.block_bytes = 0;
+        assert!(Simulator::new(cfg).is_err());
+        let mut cfg = small_cfg(Scheme::StreamingRaid);
+        cfg.p = 3; // 3 ∤ 8
+        assert!(Simulator::new(cfg).is_err());
+    }
+}

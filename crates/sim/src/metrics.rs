@@ -1,0 +1,196 @@
+//! Simulation metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened in a single round — the per-tick observability record a
+/// deployment would feed its dashboards. Produced by the simulator's
+/// `step_report` (and `CmServer::tick_report`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// The round that just executed (0-based).
+    pub round: u64,
+    /// Client requests that arrived this round.
+    pub arrivals: u64,
+    /// Requests admitted this round.
+    pub admissions: u64,
+    /// Clips that finished playback this round.
+    pub completions: u64,
+    /// Blocks served by all disks this round (recovery and rebuild reads
+    /// included).
+    pub blocks_served: u64,
+    /// Recovery (failure-mode) reads issued this round.
+    pub recovery_reads: u64,
+    /// Playback glitches this round (always 0 for the guarantee schemes).
+    pub hiccups: u64,
+    /// Active playback sessions at end of round.
+    pub active: u64,
+    /// Requests still queued at end of round.
+    pub pending: u64,
+}
+
+/// Everything a run reports. The Figure 6 metric is
+/// [`Metrics::admitted`]; the fault-tolerance claims are
+/// [`Metrics::hiccups`] (must be 0 for schemes 1–5 through a failure) and
+/// [`Metrics::parity_mismatches`] (must always be 0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Client requests that arrived.
+    pub arrivals: u64,
+    /// Requests admitted (the paper's "clips serviced").
+    pub admitted: u64,
+    /// Clips that played to completion.
+    pub completed: u64,
+    /// Requests still waiting at the end.
+    pub still_pending: u64,
+    /// Sum of admission waiting times (rounds), over admitted requests.
+    pub wait_rounds_total: u64,
+    /// Largest admission wait seen.
+    pub wait_rounds_max: u64,
+    /// Blocks delivered to clients.
+    pub blocks_consumed: u64,
+    /// Blocks fetched from disks (including recovery reads).
+    pub blocks_fetched: u64,
+    /// Extra reads caused by the failure (group members, parity).
+    pub recovery_reads: u64,
+    /// Blocks reconstructed by XOR.
+    pub reconstructions: u64,
+    /// Reconstructed blocks that failed byte-level verification.
+    /// Anything above zero is a layout/codec bug.
+    pub parity_mismatches: u64,
+    /// Playback discontinuities: a block missing in the round it was due.
+    pub hiccups: u64,
+    /// Fetches served later than the round before they were needed.
+    pub late_serves: u64,
+    /// Peak simultaneous per-disk queue depth observed.
+    pub peak_disk_queue: u32,
+    /// Peak buffered (fetched, unconsumed) blocks across all clients.
+    pub peak_buffered_blocks: u64,
+    /// Highest per-disk round utilization observed (busy / deadline,
+    /// worst-case timing model).
+    pub peak_utilization: f64,
+    /// Highest concurrently active client count.
+    pub peak_active: u64,
+    /// Background-rebuild reads issued (reconstructing the failed disk
+    /// onto a spare from slack bandwidth).
+    pub rebuild_reads: u64,
+    /// Failed-disk blocks rebuilt onto the spare.
+    pub rebuilt_blocks: u64,
+    /// Round at which the rebuild finished (the array returned to full
+    /// redundancy), if it did.
+    pub rebuild_completed_round: Option<u64>,
+    /// Histogram of admission waits, log₂-bucketed: `wait_histogram[k]`
+    /// counts admissions that waited in `[2^k − 1, 2^(k+1) − 1)` rounds
+    /// (bucket 0 = admitted immediately). Drives the percentile queries.
+    pub wait_histogram: Vec<u64>,
+}
+
+impl Metrics {
+    /// Mean admission wait in rounds.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.wait_rounds_total as f64 / self.admitted as f64
+        }
+    }
+
+    /// Admissions per round — the paper's "clips serviced per unit time".
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.rounds as f64
+        }
+    }
+
+    /// Did every rate guarantee hold?
+    #[must_use]
+    pub fn guarantees_held(&self) -> bool {
+        self.hiccups == 0 && self.parity_mismatches == 0
+    }
+
+    /// Records one admission wait into the histogram.
+    pub fn record_wait(&mut self, wait_rounds: u64) {
+        let bucket = (u64::BITS - (wait_rounds + 1).leading_zeros() - 1) as usize;
+        if self.wait_histogram.len() <= bucket {
+            self.wait_histogram.resize(bucket + 1, 0);
+        }
+        self.wait_histogram[bucket] += 1;
+    }
+
+    /// Approximate wait percentile (upper bound of the bucket containing
+    /// the requested quantile), in rounds. `pct` in `0.0..=1.0`.
+    #[must_use]
+    pub fn wait_percentile(&self, pct: f64) -> u64 {
+        let total: u64 = self.wait_histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (pct.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (bucket, &count) in self.wait_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank.max(1) {
+                // Upper edge of bucket k is 2^(k+1) − 2.
+                return (1u64 << (bucket + 1)) - 2;
+            }
+        }
+        self.wait_rounds_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let m = Metrics {
+            rounds: 600,
+            admitted: 6000,
+            wait_rounds_total: 12_000,
+            ..Metrics::default()
+        };
+        assert!((m.mean_wait() - 2.0).abs() < 1e-12);
+        assert!((m.throughput() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_wait(), 0.0);
+        assert_eq!(m.throughput(), 0.0);
+        assert!(m.guarantees_held());
+    }
+
+    #[test]
+    fn wait_histogram_buckets_and_percentiles() {
+        let mut m = Metrics::default();
+        // 90 immediate admissions, 10 that waited ~20 rounds.
+        for _ in 0..90 {
+            m.record_wait(0);
+        }
+        for _ in 0..10 {
+            m.record_wait(20);
+        }
+        assert_eq!(m.wait_percentile(0.5), 0, "median is immediate");
+        let p99 = m.wait_percentile(0.99);
+        assert!((15..=62).contains(&p99), "p99 covers the slow bucket, got {p99}");
+        // Monotone in pct.
+        assert!(m.wait_percentile(0.95) >= m.wait_percentile(0.50));
+        // Empty histogram is safe.
+        assert_eq!(Metrics::default().wait_percentile(0.9), 0);
+    }
+
+    #[test]
+    fn guarantee_flag_trips_on_hiccups() {
+        let m = Metrics { hiccups: 1, ..Metrics::default() };
+        assert!(!m.guarantees_held());
+        let m = Metrics { parity_mismatches: 1, ..Metrics::default() };
+        assert!(!m.guarantees_held());
+    }
+}

@@ -1,0 +1,122 @@
+//! Poisson arrival process (Section 8.2: "Arrival of client requests into
+//! the system is assumed to be Poisson", mean 20 per time unit).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded Poisson arrival generator: one draw per round.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    lambda: f64,
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a generator with mean `lambda` arrivals per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    #[must_use]
+    pub fn new(lambda: f64, seed: u64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "λ must be finite and >= 0");
+        PoissonArrivals { lambda, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The mean arrival rate λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Samples the number of arrivals in the next round.
+    ///
+    /// Uses Knuth's product method for λ ≤ 30 and a normal approximation
+    /// (clamped at zero) beyond — arrival rates in CM-server experiments
+    /// are small, so the exact path is the common one.
+    pub fn next_round(&mut self) -> u32 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda <= 30.0 {
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = 1.0;
+            let mut count = 0u32;
+            loop {
+                product *= self.rng.gen::<f64>();
+                if product <= limit {
+                    return count;
+                }
+                count += 1;
+            }
+        } else {
+            // Normal approximation N(λ, λ).
+            let (u1, u2): (f64, f64) = (self.rng.gen(), self.rng.gen());
+            let z = (-2.0 * u1.max(f64::MIN_POSITIVE).ln()).sqrt()
+                * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + z * self.lambda.sqrt()).round().max(0.0) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lambda_never_arrives() {
+        let mut a = PoissonArrivals::new(0.0, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_round(), 0);
+        }
+    }
+
+    #[test]
+    fn mean_is_close_to_lambda() {
+        for lambda in [0.5f64, 5.0, 20.0] {
+            let mut a = PoissonArrivals::new(lambda, 42);
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| u64::from(a.next_round())).sum();
+            let mean = total as f64 / f64::from(n);
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "λ = {lambda}: sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_is_close_to_lambda() {
+        let lambda = 20.0;
+        let mut a = PoissonArrivals::new(lambda, 7);
+        let n = 20_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| f64::from(a.next_round())).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(
+            (var - lambda).abs() < lambda * 0.1,
+            "Poisson variance should equal λ, got {var}"
+        );
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = PoissonArrivals::new(20.0, 9);
+        let mut b = PoissonArrivals::new(20.0, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+        let mut c = PoissonArrivals::new(20.0, 10);
+        let differs = (0..100).any(|_| a.next_round() != c.next_round());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn large_lambda_uses_normal_path() {
+        let mut a = PoissonArrivals::new(100.0, 3);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| u64::from(a.next_round())).sum();
+        let mean = total as f64 / f64::from(n);
+        assert!((mean - 100.0).abs() < 3.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Clip selection: which clip an arriving client asks for.
+//!
+//! The paper draws uniformly ("the choice of the clip for playback by a
+//! request is assumed to be random"); Zipf popularity is the standard
+//! video-on-demand refinement and is provided as an extension for the
+//! skew experiments in the bench harness.
+
+use cms_core::ClipId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded clip-selection distribution over `n` clips.
+#[derive(Debug, Clone)]
+pub enum ClipChoice {
+    /// Uniform over `0..n` (the paper's workload).
+    Uniform {
+        /// Catalog size.
+        n: u64,
+        /// Generator state.
+        rng: StdRng,
+    },
+    /// Zipf with exponent `theta`: clip `k` (0-based rank) has weight
+    /// `1/(k+1)^theta`. Sampled via the precomputed CDF.
+    Zipf {
+        /// Catalog size.
+        n: u64,
+        /// Cumulative distribution, ascending, last element 1.0.
+        cdf: Vec<f64>,
+        /// Generator state.
+        rng: StdRng,
+    },
+}
+
+impl ClipChoice {
+    /// Uniform selection over `n` clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn uniform(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "catalog must be non-empty");
+        ClipChoice::Uniform { n, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Zipf(θ) selection over `n` clips (rank 0 most popular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/not finite.
+    #[must_use]
+    pub fn zipf(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "catalog must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ClipChoice::Zipf { n, cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draws the next requested clip.
+    pub fn next_clip(&mut self) -> ClipId {
+        match self {
+            ClipChoice::Uniform { n, rng } => ClipId(rng.gen_range(0..*n)),
+            ClipChoice::Zipf { n, cdf, rng } => {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u) as u64;
+                ClipId(idx.min(*n - 1))
+            }
+        }
+    }
+
+    /// Catalog size.
+    #[must_use]
+    pub fn catalog_size(&self) -> u64 {
+        match self {
+            ClipChoice::Uniform { n, .. } | ClipChoice::Zipf { n, .. } => *n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_catalog_evenly() {
+        let mut c = ClipChoice::uniform(10, 5);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[c.next_clip().idx()] += 1;
+        }
+        for (k, &n) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&n), "clip {k}: {n} draws");
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut c = ClipChoice::zipf(100, 1.0, 5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[c.next_clip().idx()] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 gets ≈ 1/H_100 ≈ 19% of requests.
+        assert!((counts[0] as f64 / 50_000.0 - 0.192).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut c = ClipChoice::zipf(10, 0.0, 5);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[c.next_clip().idx()] += 1;
+        }
+        for &n in &counts {
+            assert!((800..1200).contains(&n));
+        }
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let mut u = ClipChoice::uniform(3, 0);
+        let mut z = ClipChoice::zipf(3, 2.0, 0);
+        for _ in 0..1000 {
+            assert!(u.next_clip().raw() < 3);
+            assert!(z.next_clip().raw() < 3);
+        }
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let mut a = ClipChoice::uniform(1000, 77);
+        let mut b = ClipChoice::uniform(1000, 77);
+        for _ in 0..50 {
+            assert_eq!(a.next_clip(), b.next_clip());
+        }
+    }
+}

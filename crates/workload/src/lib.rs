@@ -1,0 +1,24 @@
+//! # cms-workload — clips, arrivals and popularity
+//!
+//! The paper's Section 8.2 workload: a catalog of 1000 clips of 50 time
+//! units each, striped over the array; client requests arriving as a
+//! Poisson process with mean 20 per time unit; the requested clip chosen
+//! uniformly at random. This crate generalizes all three knobs:
+//!
+//! * [`Catalog`] — clip lengths and their placement (stream, start
+//!   offset), with alignment control so prefetch schemes can pin clip
+//!   starts to parity-group boundaries,
+//! * [`PoissonArrivals`] — seeded per-round arrival counts,
+//! * [`ClipChoice`] — uniform or Zipf-popular selection (Zipf is the
+//!   standard VoD extension; uniform reproduces the paper).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod catalog;
+pub mod choice;
+
+pub use arrivals::PoissonArrivals;
+pub use catalog::{Catalog, ClipPlacement};
+pub use choice::ClipChoice;

@@ -1,0 +1,50 @@
+//! Failure drill: run all six schemes through the same disk failure at
+//! identical hardware and watch how each recovers — including the
+//! non-clustered baseline breaking exactly the way Section 7.4 warns.
+//!
+//! Run with: `cargo run --release --example failure_drill`
+
+use cms_core::{ClipId, DiskId, Scheme};
+use cms_server::CmServer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== one failed disk, 30 streams, verification on ==");
+    println!(
+        "{:<34} {:>7} {:>9} {:>9} {:>8} {:>10}",
+        "scheme", "p", "recovery", "rebuilds", "hiccups", "guarantee"
+    );
+    for scheme in Scheme::ALL {
+        let mut server = CmServer::builder(scheme)
+            .disks(8)
+            .buffer_bytes(96 << 20)
+            .catalog(60, 30)
+            .verify_reconstructions()
+            .build()?;
+        for i in 0..30u64 {
+            server.request(ClipId(i % 60))?;
+        }
+        server.run_rounds(10);
+        server.fail_disk(DiskId(1))?;
+        server.run_rounds(120);
+        let m = server.metrics();
+        println!(
+            "{:<34} {:>7} {:>9} {:>9} {:>8} {:>10}",
+            scheme.label(),
+            server.capacity().p,
+            m.recovery_reads,
+            m.reconstructions,
+            m.hiccups,
+            if m.guarantees_held() { "HELD" } else { "BROKEN" }
+        );
+        assert_eq!(m.parity_mismatches, 0, "{scheme}: corrupt rebuild");
+        if scheme != Scheme::NonClustered {
+            assert_eq!(m.hiccups, 0, "{scheme} promised a guarantee");
+        }
+    }
+    println!(
+        "\nEvery parity reconstruction was XOR-verified byte-for-byte against\n\
+         the original content. Only the non-clustered baseline is allowed to\n\
+         glitch — and then only under load, which is the paper's §7.4 caveat."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a fault-tolerant CM server, play some clips, kill a
+//! disk mid-playback, and verify nobody noticed.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cms_core::{ClipId, DiskId, Scheme};
+use cms_server::CmServer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small array: 8 disks of the paper's 1996 reference model, 64 MB
+    // of RAM buffer, a library of 40 clips of 20 blocks each. The builder
+    // auto-tunes the parity group size, block size and contingency
+    // bandwidth with the paper's Section 7 capacity model.
+    let mut server = CmServer::builder(Scheme::DeclusteredParity)
+        .disks(8)
+        .buffer_bytes(64 << 20)
+        .catalog(40, 20)
+        .verify_reconstructions() // byte-check every parity rebuild
+        .build()?;
+
+    let cap = server.capacity();
+    println!(
+        "tuned: p = {}, block = {} KiB, q = {}, f = {}, analytic capacity = {} streams",
+        cap.p,
+        cap.block_bytes / 1024,
+        cap.q,
+        cap.f,
+        cap.total_clips
+    );
+
+    // Ask for a dozen concurrent playbacks.
+    for clip in 0..12u64 {
+        server.request(ClipId(clip))?;
+    }
+
+    // Play for a few rounds, then lose a disk.
+    server.run_rounds(6);
+    println!("round 6: {:?}", server.status());
+    server.fail_disk(DiskId(2))?;
+    println!("disk 2 failed!");
+
+    // Keep playing straight through the failure; watch one round live.
+    let report = server.tick_report();
+    println!(
+        "round {} during failure: {} blocks served ({} recovery reads), {} active",
+        report.round, report.blocks_served, report.recovery_reads, report.active
+    );
+    server.run_rounds(9);
+    server.repair_disk(DiskId(2))?;
+    println!("disk 2 repaired");
+    server.run_rounds(60);
+
+    let m = server.metrics();
+    println!(
+        "completed {} clips; {} blocks reconstructed from parity; \
+         hiccups = {}, parity mismatches = {}",
+        m.completed, m.reconstructions, m.hiccups, m.parity_mismatches
+    );
+    assert_eq!(m.completed, 12);
+    assert_eq!(m.hiccups, 0, "the rate guarantee held through the failure");
+    assert_eq!(m.parity_mismatches, 0, "every rebuilt block was byte-identical");
+    println!("OK: every stream survived the disk failure untouched.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Video-on-demand evening: a paper-scale server (32 disks, 256 MB
+//! buffer, 1000-clip library) rides a Zipf-popular "prime time" arrival
+//! wave, compares two schemes live, and reports queueing behaviour.
+//!
+//! This exercises the workload generators directly (Poisson arrivals with
+//! a time-varying rate, Zipf clip popularity) against the raw simulator,
+//! the way a capacity planner would stress a configuration before buying
+//! hardware.
+//!
+//! Run with: `cargo run --release --example video_on_demand`
+
+use cms_core::Scheme;
+use cms_model::{tuned_point, ModelInput};
+use cms_sim::{SimConfig, Simulator};
+use cms_workload::{ClipChoice, PoissonArrivals};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = ModelInput::sigmod96(256 << 20).with_storage_blocks(75_000);
+
+    println!("== prime-time wave, Zipf(0.8) popularity, 600 rounds ==");
+    println!(
+        "{:<34} {:>9} {:>9} {:>10} {:>10}",
+        "scheme", "admitted", "completed", "mean wait", "peak active"
+    );
+    for scheme in [Scheme::DeclusteredParity, Scheme::PrefetchParityDisks] {
+        let point = tuned_point(scheme, &input, 4, 7)?;
+        let mut cfg = SimConfig::sigmod96(scheme, &point, 32);
+        // Drive arrivals manually: quiet start, prime-time surge, cooldown.
+        cfg.arrival_rate = 0.0;
+        cfg.zipf_theta = 0.8;
+        let mut sim = Simulator::new(cfg)?;
+        let mut arrivals = PoissonArrivals::new(0.0, 42);
+        let mut choice = ClipChoice::zipf(1000, 0.8, 42);
+        for round in 0..600u64 {
+            let rate = match round {
+                0..=99 => 4.0,
+                100..=399 => 25.0, // prime time
+                _ => 6.0,
+            };
+            arrivals = reseeded(arrivals, rate);
+            for _ in 0..arrivals.next_round() {
+                sim.submit(choice.next_clip())?;
+            }
+            sim.step();
+        }
+        let m = sim.metrics();
+        println!(
+            "{:<34} {:>9} {:>9} {:>10.1} {:>10}",
+            scheme.label(),
+            m.admitted,
+            m.completed,
+            m.mean_wait(),
+            m.peak_active
+        );
+        assert_eq!(m.hiccups, 0, "{scheme} must keep every guarantee");
+    }
+    println!("\nBoth schemes absorbed the surge with zero playback glitches.");
+    Ok(())
+}
+
+/// Rebuilds the arrival process at a new rate while keeping its RNG
+/// stream position (PoissonArrivals is seeded; for a time-varying rate we
+/// re-seed deterministically from the old state via a fresh generator).
+fn reseeded(old: PoissonArrivals, rate: f64) -> PoissonArrivals {
+    if (old.lambda() - rate).abs() < f64::EPSILON {
+        old
+    } else {
+        PoissonArrivals::new(rate, 42 ^ rate.to_bits())
+    }
+}

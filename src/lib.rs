@@ -1,0 +1,41 @@
+//! # cm-ftserver — umbrella crate
+//!
+//! Re-exports the workspace's public API so downstream users can depend
+//! on a single crate. The implementation lives in the `cms-*` member
+//! crates; start with [`server::CmServer`] (the high-level facade) or the
+//! README's quickstart.
+//!
+//! ```
+//! use cm_ftserver::prelude::*;
+//!
+//! let mut server = CmServer::builder(Scheme::DeclusteredParity)
+//!     .disks(8)
+//!     .buffer_bytes(64 << 20)
+//!     .catalog(10, 10)
+//!     .build()
+//!     .unwrap();
+//! server.request(ClipId(0)).unwrap();
+//! server.run_rounds(15);
+//! assert_eq!(server.metrics().completed, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use cms_admission as admission;
+pub use cms_bibd as bibd;
+pub use cms_core as core;
+pub use cms_disk as disk;
+pub use cms_layout as layout;
+pub use cms_model as model;
+pub use cms_parity as parity;
+pub use cms_server as server;
+pub use cms_sim as sim;
+pub use cms_workload as workload;
+
+/// The handful of names most programs need.
+pub mod prelude {
+    pub use cms_core::{ClipId, CmsError, DiskId, RequestId, Scheme};
+    pub use cms_model::{CapacityPoint, ModelInput};
+    pub use cms_server::{CmServer, CmServerBuilder, ServerStatus};
+    pub use cms_sim::{Metrics, RoundReport, SimConfig, Simulator};
+}

@@ -1,0 +1,242 @@
+//! `cmfs` — command-line front end for the fault-tolerant CM server
+//! reproduction.
+//!
+//! ```text
+//! cmfs capacity  [--disks D] [--buffer-mb MB]         analytic capacity per scheme
+//! cmfs tune      --scheme S [--disks D] [--buffer-mb MB]
+//! cmfs simulate  --scheme S [--rounds N] [--rate L] [--fail-at R] [--rebuild]
+//! cmfs drill     [--rounds N]                          failure drill, all schemes
+//! cmfs schemes                                         list schemes
+//! ```
+
+use cms_core::units::mib;
+use cms_core::{DiskId, Scheme};
+use cms_model::{tuned_optimal, tuned_point, ModelInput};
+use cms_sim::{SimConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "capacity" => capacity_cmd(&args),
+        "tune" => tune_cmd(&args),
+        "simulate" => simulate_cmd(&args),
+        "drill" => drill_cmd(&args),
+        "reliability" => reliability_cmd(&args),
+        "schemes" => schemes_cmd(),
+        _ => help(),
+    }
+}
+
+fn help() {
+    println!(
+        "cmfs — fault-tolerant continuous media server (SIGMOD'96 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 cmfs capacity  [--disks D] [--buffer-mb MB]\n\
+         \x20 cmfs tune      --scheme S [--disks D] [--buffer-mb MB] [--parity-group P]\n\
+         \x20 cmfs simulate  --scheme S [--rounds N] [--rate L] [--fail-at R] [--rebuild]\n\
+         \x20 cmfs drill     [--rounds N]\n\
+         \x20 cmfs reliability [--disks D] [--mttf-hours H] [--parity-group P] [--repair-hours T]\n\
+         \x20 cmfs schemes\n\
+         \n\
+         Scheme names: declustered, dynamic, prefetch-parity, prefetch-flat,\n\
+         streaming-raid, non-clustered."
+    );
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_u64(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn opt_f64(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn parse_scheme(args: &[String]) -> Scheme {
+    let name = args
+        .iter()
+        .position(|a| a == "--scheme")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            eprintln!("missing --scheme; see `cmfs schemes`");
+            std::process::exit(2);
+        });
+    match name.as_str() {
+        "declustered" => Scheme::DeclusteredParity,
+        "dynamic" => Scheme::DynamicReservation,
+        "prefetch-parity" => Scheme::PrefetchParityDisks,
+        "prefetch-flat" => Scheme::PrefetchFlat,
+        "streaming-raid" => Scheme::StreamingRaid,
+        "non-clustered" => Scheme::NonClustered,
+        other => {
+            eprintln!("unknown scheme '{other}'; see `cmfs schemes`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn input_from(args: &[String]) -> ModelInput {
+    let d = opt_u64(args, "--disks").unwrap_or(32) as u32;
+    let buffer = mib(opt_u64(args, "--buffer-mb").unwrap_or(256));
+    let mut input = ModelInput::sigmod96(buffer);
+    input.d = d;
+    input.with_storage_blocks(75_000)
+}
+
+fn schemes_cmd() {
+    println!("available schemes:");
+    for (name, scheme) in [
+        ("declustered", Scheme::DeclusteredParity),
+        ("dynamic", Scheme::DynamicReservation),
+        ("prefetch-parity", Scheme::PrefetchParityDisks),
+        ("prefetch-flat", Scheme::PrefetchFlat),
+        ("streaming-raid", Scheme::StreamingRaid),
+        ("non-clustered", Scheme::NonClustered),
+    ] {
+        println!("  {name:<16} {}", scheme.label());
+    }
+}
+
+fn capacity_cmd(args: &[String]) {
+    let input = input_from(args);
+    println!(
+        "analytic capacity, d = {}, B = {} MB:",
+        input.d,
+        input.buffer_bytes >> 20
+    );
+    println!(
+        "{:<34} {:>4} {:>10} {:>4} {:>3} {:>8}",
+        "scheme", "p", "block", "q", "f", "streams"
+    );
+    for scheme in Scheme::ALL {
+        match tuned_optimal(scheme, &input, 1) {
+            Ok(pt) => println!(
+                "{:<34} {:>4} {:>6} KiB {:>4} {:>3} {:>8}",
+                scheme.label(),
+                pt.p,
+                pt.block_bytes / 1024,
+                pt.q,
+                pt.f,
+                pt.total_clips
+            ),
+            Err(e) => println!("{:<34} infeasible: {e}", scheme.label()),
+        }
+    }
+}
+
+fn tune_cmd(args: &[String]) {
+    let scheme = parse_scheme(args);
+    let input = input_from(args);
+    let result = match opt_u64(args, "--parity-group") {
+        Some(p) => tuned_point(scheme, &input, p as u32, 1),
+        None => tuned_optimal(scheme, &input, 1),
+    };
+    match result {
+        Ok(pt) => {
+            println!("scheme        : {}", scheme.label());
+            println!("parity group  : {}", pt.p);
+            println!("block size    : {} KiB", pt.block_bytes / 1024);
+            println!("round budget q: {}", pt.q);
+            println!("contingency f : {}", pt.f);
+            if pt.r > 0 {
+                println!("PGT rows r    : {}", pt.r);
+            }
+            println!("capacity      : {} concurrent streams", pt.total_clips);
+        }
+        Err(e) => {
+            eprintln!("infeasible: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn simulate_cmd(args: &[String]) {
+    let scheme = parse_scheme(args);
+    let input = input_from(args);
+    let p = opt_u64(args, "--parity-group").map(|p| p as u32);
+    let point = match p {
+        Some(p) => tuned_point(scheme, &input, p, 1),
+        None => tuned_optimal(scheme, &input, 1),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("infeasible: {e}");
+        std::process::exit(1);
+    });
+    let mut cfg = SimConfig::sigmod96(scheme, &point, input.d);
+    cfg.rounds = opt_u64(args, "--rounds").unwrap_or(600);
+    cfg.arrival_rate = opt_f64(args, "--rate").unwrap_or(20.0);
+    cfg.auto_rebuild = flag(args, "--rebuild");
+    if let Some(r) = opt_u64(args, "--fail-at") {
+        cfg = cfg.with_failure(r, DiskId(1)).with_verification();
+    }
+    let m = Simulator::new(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot construct simulator: {e}");
+        std::process::exit(1);
+    })
+    .run();
+    println!("{}", serde_json::to_string_pretty(&m).expect("serializable"));
+}
+
+fn drill_cmd(args: &[String]) {
+    let rounds = opt_u64(args, "--rounds").unwrap_or(300);
+    println!("failure drill ({rounds} rounds, disk 5 dies at {}):", rounds / 3);
+    for row in cms_bench_drill(rounds) {
+        println!(
+            "  {:<34} hiccups {:>6}  parityΔ {:>2}  {}",
+            row.0,
+            row.1,
+            row.2,
+            if row.1 == 0 && row.2 == 0 { "HELD" } else { "BROKEN" }
+        );
+    }
+}
+
+fn reliability_cmd(args: &[String]) {
+    let d = opt_u64(args, "--disks").unwrap_or(32) as u32;
+    let mttf = opt_f64(args, "--mttf-hours").unwrap_or(300_000.0);
+    let p = opt_u64(args, "--parity-group").unwrap_or(4) as u32;
+    let repair = opt_f64(args, "--repair-hours").unwrap_or(1.0);
+    println!("per-disk MTTF     : {mttf:.0} h");
+    println!(
+        "array MTTF (d={d}) : {:.0} h (~{:.0} days) — first failure, no protection",
+        cms_model::array_mttf_hours(mttf, d),
+        cms_model::array_mttf_hours(mttf, d) / 24.0
+    );
+    match cms_model::mttdl_hours(mttf, d, p, repair) {
+        Ok(mttdl) => println!(
+            "MTTDL (p={p}, repair {repair} h): {mttdl:.2e} h (~{:.0} years) — with parity",
+            mttdl / 8760.0
+        ),
+        Err(e) => eprintln!("invalid reliability parameters: {e}"),
+    }
+}
+
+/// Thin local re-implementation of the bench drill (the root binary must
+/// not depend on the dev-only bench crate).
+fn cms_bench_drill(rounds: u64) -> Vec<(String, u64, u64)> {
+    let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(75_000);
+    Scheme::ALL
+        .into_iter()
+        .filter_map(|scheme| {
+            let point = tuned_point(scheme, &input, 4, 1).ok()?;
+            let mut cfg = SimConfig::sigmod96(scheme, &point, 32)
+                .with_failure(rounds / 3, DiskId(5))
+                .with_verification();
+            cfg.rounds = rounds;
+            let m = Simulator::new(cfg).ok()?.run();
+            Some((scheme.label().to_string(), m.hiccups, m.parity_mismatches))
+        })
+        .collect()
+}
