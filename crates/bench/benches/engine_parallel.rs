@@ -1,0 +1,48 @@
+//! Parallel round engine: 1-thread vs N-thread disk service at d = 32.
+//!
+//! The disk-service phase of a round drains each disk's C-SCAN queue
+//! independently, so it parallelizes across worker threads; per-disk
+//! accounting is merged in disk-ID order afterwards, which keeps the
+//! metrics bit-identical at any thread count. This bench quantifies the
+//! wall-clock win of the parallel path on a paper-scale array.
+
+use cms_core::Scheme;
+use cms_model::{tuned_point, ModelInput};
+use cms_sim::{SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const WARMUP_ROUNDS: u64 = 100;
+
+fn paper_cfg(threads: usize) -> SimConfig {
+    let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(75_000);
+    let point = tuned_point(Scheme::DeclusteredParity, &input, 4, 1).expect("feasible");
+    SimConfig::sigmod96(Scheme::DeclusteredParity, &point, 32).with_threads(threads)
+}
+
+fn warmed(threads: usize) -> Simulator {
+    let mut sim = Simulator::new(paper_cfg(threads)).expect("constructs");
+    for _ in 0..WARMUP_ROUNDS {
+        sim.step();
+    }
+    sim
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(30);
+    for threads in [1usize, 2, 4, auto] {
+        let mut sim = warmed(threads);
+        group.bench_function(format!("steady_round_threads_{threads}"), |b| {
+            b.iter(|| {
+                sim.step();
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_sweep);
+criterion_main!(benches);

@@ -4,20 +4,26 @@
 //! the non-clustered baseline is allowed (expected, under saturation) to
 //! glitch — the §7.4 caveat.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin failure_drill [-- --json] [--rounds N]`
+//! Usage: `cargo run --release -p cms-bench --bin failure_drill [-- --json] [--rounds N] [--threads T]`
+//!
+//! `--threads` sets the disk-service worker count (0 = available
+//! parallelism, 1 = sequential); the numbers are identical at any setting.
 
-use cms_bench::failure_drill;
+use cms_bench::failure_drill_threaded;
 use cms_core::Scheme;
+
+fn arg_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let rounds = args
-        .iter()
-        .position(|a| a == "--rounds")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
-    let rows = failure_drill(rounds, 0x0DEA_D15C);
+    let rounds = arg_value(&args, "--rounds").unwrap_or(300);
+    let threads = arg_value(&args, "--threads").unwrap_or(0) as usize;
+    let rows = failure_drill_threaded(rounds, 0x0DEA_D15C, threads);
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;

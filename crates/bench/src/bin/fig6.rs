@@ -2,9 +2,12 @@
 //! parity group size (Poisson λ = 20, 1000 clips × 50 rounds), five
 //! schemes, two buffer sizes.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin fig6 [-- --json] [--rounds N] [--seed S]`
+//! Usage: `cargo run --release -p cms-bench --bin fig6 [-- --json] [--rounds N] [--seed S] [--threads T]`
+//!
+//! `--threads` sets the disk-service worker count (0 = available
+//! parallelism, 1 = sequential); the numbers are identical at any setting.
 
-use cms_bench::{fig6_rows, PAPER_PS};
+use cms_bench::{fig6_rows_threaded, PAPER_PS};
 use cms_core::Scheme;
 
 fn arg_value(name: &str) -> Option<u64> {
@@ -19,7 +22,8 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let rounds = arg_value("--rounds").unwrap_or(600);
     let seed = arg_value("--seed").unwrap_or(0x51_6D0D);
-    let rows = fig6_rows(rounds, seed);
+    let threads = arg_value("--threads").unwrap_or(0) as usize;
+    let rows = fig6_rows_threaded(rounds, seed, threads);
     if json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;

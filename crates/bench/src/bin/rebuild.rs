@@ -8,7 +8,10 @@
 //! to full redundancy for the declustered scheme across parity group
 //! sizes and client loads, at fixed hardware.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin rebuild [-- --json]`
+//! Usage: `cargo run --release -p cms-bench --bin rebuild [-- --json] [--threads T]`
+//!
+//! `--threads` sets the disk-service worker count (0 = available
+//! parallelism, 1 = sequential); the numbers are identical at any setting.
 
 use cms_core::{DiskId, Scheme};
 use cms_model::{tuned_point, ModelInput};
@@ -26,7 +29,14 @@ struct Row {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
     let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(24_000);
     let fail_round = 50u64;
     let mut rows = Vec::new();
@@ -40,6 +50,7 @@ fn main() {
                 cfg.catalog_clips = 300; // smaller library → measurable rebuild
                 cfg.arrival_rate = rate;
                 cfg.rounds = 6_000;
+                cfg.threads = threads;
                 cfg.auto_rebuild = true;
                 cfg = cfg.with_failure(fail_round, DiskId(1));
                 let m = Simulator::new(cfg).expect("constructs").run();

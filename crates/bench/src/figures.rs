@@ -80,9 +80,19 @@ pub struct Fig6Row {
 
 /// Generates Figure 6: the simulated experiment of §8.2 (1000 clips × 50
 /// rounds, Poisson λ = 20 arrivals, uniform clip choice, 600 rounds) for
-/// every scheme and parity group size, both buffer sizes.
+/// every scheme and parity group size, both buffer sizes. Runs the disk
+/// service loop at the machine's available parallelism; rows are
+/// identical at any thread count.
 #[must_use]
 pub fn fig6_rows(rounds: u64, seed: u64) -> Vec<Fig6Row> {
+    fig6_rows_threaded(rounds, seed, 0)
+}
+
+/// [`fig6_rows`] with an explicit disk-service thread count (`0` = auto,
+/// `1` = sequential). The thread count only affects wall-clock time — the
+/// returned rows are bit-identical at every setting.
+#[must_use]
+pub fn fig6_rows_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     // Block sizing must also respect storage: 1000 clips × 50 blocks plus
     // headroom for the start-jitter padding.
@@ -94,7 +104,7 @@ pub fn fig6_rows(rounds: u64, seed: u64) -> Vec<Fig6Row> {
                 let Ok(point) = sim_point(scheme, &input, p, seed) else {
                     continue;
                 };
-                let mut cfg = SimConfig::sigmod96(scheme, &point, PAPER_D);
+                let mut cfg = SimConfig::sigmod96(scheme, &point, PAPER_D).with_threads(threads);
                 cfg.rounds = rounds;
                 cfg.seed = seed;
                 let metrics = Simulator::new(cfg)
@@ -194,6 +204,13 @@ pub struct DrillRow {
 /// baseline is expected to hiccup under saturation (the §7.4 caveat).
 #[must_use]
 pub fn failure_drill(rounds: u64, seed: u64) -> Vec<DrillRow> {
+    failure_drill_threaded(rounds, seed, 0)
+}
+
+/// [`failure_drill`] with an explicit disk-service thread count (`0` =
+/// auto, `1` = sequential); metrics are bit-identical at every setting.
+#[must_use]
+pub fn failure_drill_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<DrillRow> {
     let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(1000 * 50 * 3 / 2);
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
@@ -203,7 +220,8 @@ pub fn failure_drill(rounds: u64, seed: u64) -> Vec<DrillRow> {
         };
         let mut cfg = SimConfig::sigmod96(scheme, &point, PAPER_D)
             .with_failure(rounds / 3, DiskId(5))
-            .with_verification();
+            .with_verification()
+            .with_threads(threads);
         cfg.rounds = rounds;
         cfg.seed = seed;
         let metrics = Simulator::new(cfg).expect("drill config must construct").run();

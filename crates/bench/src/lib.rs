@@ -12,6 +12,7 @@
 pub mod figures;
 
 pub use figures::{
-    failure_drill, fig5_rows, fig6_rows, optimal_rows, q_table_rows, sim_point, DrillRow,
-    Fig5Row, Fig6Row, OptimalRow, QRow, PAPER_BUFFERS, PAPER_D, PAPER_PS,
+    failure_drill, failure_drill_threaded, fig5_rows, fig6_rows, fig6_rows_threaded,
+    optimal_rows, q_table_rows, sim_point, DrillRow, Fig5Row, Fig6Row, OptimalRow, QRow,
+    PAPER_BUFFERS, PAPER_D, PAPER_PS,
 };

@@ -37,6 +37,72 @@ pub struct Disk {
     blocks_served: u64,
 }
 
+/// The array-wide, immutable parameters a disk needs to service a round:
+/// physical model, timing model and geometry. `Copy`, so each worker
+/// thread in a parallel round can carry its own.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceContext {
+    params: DiskParams,
+    timing: TimingModel,
+    block_bytes: u64,
+    blocks_per_disk: u64,
+}
+
+impl Disk {
+    /// Executes one round of requests on this disk, in C-SCAN order, and
+    /// accounts the time against this disk's state only — no shared
+    /// mutation, so disks can be serviced concurrently.
+    /// `deadline` is the round duration `b / r_p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] if any request addresses a
+    /// different disk or a block beyond the disk, and
+    /// [`CmsError::InvalidParams`] if the disk is failed (a failed disk
+    /// cannot serve; the caller must reroute to survivors).
+    pub fn service_round(
+        &mut self,
+        ctx: &ServiceContext,
+        requests: &[BlockRequest],
+        deadline: Seconds,
+    ) -> Result<RoundOutcome, CmsError> {
+        if self.status == DiskStatus::Failed {
+            return Err(CmsError::invalid_params(format!("{} is failed", self.id)));
+        }
+        let mut cylinders = Vec::with_capacity(requests.len());
+        for r in requests {
+            if r.disk != self.id {
+                return Err(CmsError::out_of_bounds(format!(
+                    "request for {} routed to {}",
+                    r.disk, self.id
+                )));
+            }
+            if r.block_no >= ctx.blocks_per_disk {
+                return Err(CmsError::out_of_bounds(format!(
+                    "block {} beyond disk capacity ({} blocks)",
+                    r.block_no, ctx.blocks_per_disk
+                )));
+            }
+            cylinders.push(ctx.timing.cylinder_of(r.block_no, ctx.blocks_per_disk));
+        }
+
+        let order = sweep_order(&cylinders, self.head);
+        let mut busy = 0.0;
+        let mut pos = self.head;
+        for &i in &order {
+            let c = cylinders[i];
+            busy += ctx
+                .timing
+                .block_time(&ctx.params, pos.abs_diff(c), requests[i].block_no, ctx.block_bytes);
+            pos = c;
+        }
+        self.head = pos;
+        self.busy_total += busy;
+        self.blocks_served += requests.len() as u64;
+        Ok(RoundOutcome { blocks: requests.len() as u32, busy, deadline })
+    }
+}
+
 /// Outcome of servicing one round on one disk.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundOutcome {
@@ -198,44 +264,33 @@ impl DiskArray {
         requests: &[BlockRequest],
         deadline: Seconds,
     ) -> Result<RoundOutcome, CmsError> {
+        let ctx = self.service_context();
         let state = self
             .disks
             .get_mut(disk.idx())
             .ok_or_else(|| CmsError::out_of_bounds(format!("{disk} out of range")))?;
-        if state.status == DiskStatus::Failed {
-            return Err(CmsError::invalid_params(format!("{disk} is failed")));
-        }
-        let mut cylinders = Vec::with_capacity(requests.len());
-        for r in requests {
-            if r.disk != disk {
-                return Err(CmsError::out_of_bounds(format!(
-                    "request for {} routed to {disk}",
-                    r.disk
-                )));
-            }
-            if r.block_no >= self.blocks_per_disk {
-                return Err(CmsError::out_of_bounds(format!(
-                    "block {} beyond disk capacity ({} blocks)",
-                    r.block_no, self.blocks_per_disk
-                )));
-            }
-            cylinders.push(self.timing.cylinder_of(r.block_no, self.blocks_per_disk));
-        }
+        state.service_round(&ctx, requests, deadline)
+    }
 
-        let order = sweep_order(&cylinders, state.head);
-        let mut busy = 0.0;
-        let mut pos = state.head;
-        for &i in &order {
-            let c = cylinders[i];
-            busy += self
-                .timing
-                .block_time(&self.params, pos.abs_diff(c), requests[i].block_no, self.block_bytes);
-            pos = c;
+    /// The immutable parameters needed to service any disk of this array.
+    #[must_use]
+    pub fn service_context(&self) -> ServiceContext {
+        ServiceContext {
+            params: self.params,
+            timing: self.timing,
+            block_bytes: self.block_bytes,
+            blocks_per_disk: self.blocks_per_disk,
         }
-        state.head = pos;
-        state.busy_total += busy;
-        state.blocks_served += requests.len() as u64;
-        Ok(RoundOutcome { blocks: requests.len() as u32, busy, deadline })
+    }
+
+    /// Splits the array into the shared [`ServiceContext`] and the
+    /// per-disk mutable state, so callers can service disjoint disks
+    /// concurrently (each worker gets `&mut Disk` slices plus a copy of
+    /// the context) without aliasing `&mut self`.
+    #[must_use]
+    pub fn service_parts(&mut self) -> (ServiceContext, &mut [Disk]) {
+        let ctx = self.service_context();
+        (ctx, &mut self.disks)
     }
 
     /// Lifetime statistics: `(total busy seconds, total blocks served)`

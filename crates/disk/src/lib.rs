@@ -21,6 +21,6 @@ pub mod array;
 pub mod cscan;
 pub mod timing;
 
-pub use array::{Disk, DiskArray, DiskStatus, RoundOutcome};
+pub use array::{Disk, DiskArray, DiskStatus, RoundOutcome, ServiceContext};
 pub use cscan::{sweep_order, BlockRequest};
 pub use timing::{RotationModel, SeekModel, TimingModel};

@@ -51,6 +51,55 @@ proptest! {
     }
 
     #[test]
+    fn wordwise_xor_equals_bytewise_reference(
+        a in prop::collection::vec(any::<u8>(), 0..1024),
+        b in prop::collection::vec(any::<u8>(), 0..1024),
+        len in 0usize..1024,
+    ) {
+        // Same arbitrary length for both sides — including 0 and lengths
+        // with odd tails that exercise the word loop's remainder path.
+        let mut a = a;
+        let mut b = b;
+        a.resize(len, 0x5C);
+        b.resize(len, 0xC5);
+        let (a, b) = (Block::from_bytes(a), Block::from_bytes(b));
+        let mut fast = a.clone();
+        fast ^= &b;
+        let mut slow = a;
+        slow.xor_bytewise_reference(&b);
+        prop_assert_eq!(fast.bytes(), slow.bytes());
+    }
+
+    #[test]
+    fn encode_fail_reconstruct_roundtrips_real_bytes(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..9),
+        len in 0usize..300,
+        missing_sel in any::<prop::sample::Index>(),
+    ) {
+        // Arbitrary real contents (not synthetic blocks): encode parity,
+        // drop any one group member, reconstruct, compare byte-for-byte.
+        let data: Vec<Block> = blocks
+            .into_iter()
+            .map(|mut v| {
+                v.resize(len, 0x3A);
+                Block::from_bytes(v)
+            })
+            .collect();
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).unwrap();
+        let mut full: Vec<Block> = data;
+        full.push(parity);
+        let missing = missing_sel.index(full.len());
+        let survivors: Vec<&Block> = full
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| (i != missing).then_some(b))
+            .collect();
+        let rebuilt = reconstruct(&survivors).unwrap();
+        prop_assert_eq!(rebuilt.bytes(), full[missing].bytes());
+    }
+
+    #[test]
     fn xor_algebra_commutative_associative(
         a in prop::collection::vec(any::<u8>(), 64..65),
         b in prop::collection::vec(any::<u8>(), 64..65),

@@ -23,6 +23,7 @@ pub struct CmServerBuilder {
     seed: u64,
     verify_parity: bool,
     auto_rebuild: bool,
+    threads: usize,
 }
 
 impl CmServerBuilder {
@@ -40,6 +41,7 @@ impl CmServerBuilder {
             seed: 0xCAFE,
             verify_parity: false,
             auto_rebuild: false,
+            threads: 0,
         }
     }
 
@@ -91,6 +93,15 @@ impl CmServerBuilder {
     #[must_use]
     pub fn verify_reconstructions(mut self) -> Self {
         self.verify_parity = true;
+        self
+    }
+
+    /// Sets the disk-service worker thread count (`0` = available
+    /// parallelism, `1` = sequential). A wall-clock knob only: results
+    /// are bit-identical at every setting.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -146,6 +157,7 @@ impl CmServerBuilder {
             admission_scan: 64,
             aging_limit: 200,
             auto_rebuild: self.auto_rebuild,
+            threads: self.threads,
         };
         Ok((point, cfg))
     }

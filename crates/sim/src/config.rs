@@ -64,6 +64,13 @@ pub struct SimConfig {
     /// client and recovery reads). When the last block is rebuilt the
     /// array returns to normal operation.
     pub auto_rebuild: bool,
+    /// Worker threads for the per-round disk service loop. `0` (the
+    /// default) uses the machine's available parallelism; `1` services
+    /// disks sequentially on the calling thread. Results are
+    /// bit-identical at any thread count — per-disk accounting is
+    /// computed locally and merged in disk-ID order (see DESIGN.md's
+    /// determinism contract).
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -92,7 +99,17 @@ impl SimConfig {
             admission_scan: 64,
             aging_limit: 200,
             auto_rebuild: false,
+            threads: 0,
         }
+    }
+
+    /// Sets the disk-service worker thread count (`0` = available
+    /// parallelism, `1` = sequential). Purely a wall-clock knob: metrics
+    /// are identical at every setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Enables background rebuild onto a hot spare.
@@ -176,10 +193,23 @@ mod tests {
     fn builders_compose() {
         let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
             .with_failure(100, DiskId(3))
-            .with_verification();
+            .with_verification()
+            .with_threads(4);
         assert!(c.verify_parity);
         assert_eq!(c.failure.unwrap().fail_round, 100);
+        assert_eq!(c.threads, 4);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn any_thread_count_validates() {
+        // threads is a wall-clock knob, not a semantic one: auto (0),
+        // sequential (1) and oversubscribed counts are all legal.
+        for threads in [0usize, 1, 2, 64, 1000] {
+            let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
+                .with_threads(threads);
+            c.validate().unwrap();
+        }
     }
 
     #[test]

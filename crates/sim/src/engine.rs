@@ -9,9 +9,9 @@ use cms_admission::{
 use cms_bibd::{best_design, DesignRequest, Pgt};
 use cms_core::units::transfer_time;
 use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
-use cms_disk::{BlockRequest, DiskArray, TimingModel};
+use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, TimingModel};
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
-use cms_parity::Block;
+use cms_parity::{parity_of, reconstruct, Block};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
 use std::collections::HashMap;
 
@@ -58,6 +58,54 @@ impl Client {
             _ => self.admitted_at + idx + 1,
         }
     }
+}
+
+/// The locally-computed result of draining one disk's queue for one
+/// round — everything `execute_disks`'s merge phase needs, produced
+/// without touching any shared state so disks can be serviced on worker
+/// threads.
+struct DiskRound {
+    /// Queue depth before the EDF drain (for `peak_disk_queue`).
+    queue_len: u32,
+    /// The fetches taken this round, in EDF order, awaiting delivery.
+    served: Vec<Fetch>,
+    /// Service-time accounting; `None` when the queue was empty.
+    outcome: Option<RoundOutcome>,
+}
+
+/// Drains up to `budget` fetches from one disk's queue
+/// (earliest-deadline-first) and services them in C-SCAN order against
+/// that disk's own head/busy state. Pure per-disk work: callable
+/// concurrently for distinct disks.
+fn serve_disk(
+    queue: &mut Vec<Fetch>,
+    disk: &mut Disk,
+    ctx: &ServiceContext,
+    budget: usize,
+    deadline: f64,
+) -> DiskRound {
+    if queue.is_empty() {
+        return DiskRound { queue_len: 0, served: Vec::new(), outcome: None };
+    }
+    let queue_len = queue.len() as u32;
+    // Earliest-deadline-first within the per-round budget (stable sort:
+    // ties keep insertion order, part of the determinism contract).
+    queue.sort_by_key(|f| f.needed);
+    let take = queue.len().min(budget);
+    let served: Vec<Fetch> = queue.drain(..take).collect();
+    let requests: Vec<BlockRequest> = served
+        .iter()
+        .map(|f| BlockRequest {
+            disk: disk.id,
+            block_no: f.loc.block_no,
+            clip: f.clip,
+            reconstruction: f.recon_for.is_some(),
+        })
+        .collect();
+    let outcome = disk
+        .service_round(ctx, &requests, deadline)
+        .expect("healthy disk serves within capacity");
+    DiskRound { queue_len, served, outcome: Some(outcome) }
 }
 
 /// A queued unit of playback: a clip, possibly resumed from an offset
@@ -109,6 +157,9 @@ pub struct Simulator {
     clients: HashMap<RequestId, Client>,
     array: DiskArray,
     queues: Vec<Vec<Fetch>>,
+    /// Resolved disk-service worker count (from `cfg.threads`, 0 = auto),
+    /// clamped to the number of disks.
+    workers: usize,
     round_duration: f64,
     t: u64,
     next_request: u64,
@@ -247,6 +298,16 @@ impl Simulator {
             }
         }
         let round_duration = transfer_time(cfg.block_bytes, cms_core::units::mbps(1.5));
+        let workers = match cfg.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+        .clamp(1, cfg.d as usize);
+        let metrics = Metrics {
+            disk_busy: vec![0.0; cfg.d as usize],
+            disk_blocks: vec![0; cfg.d as usize],
+            ..Metrics::default()
+        };
         Ok(Simulator {
             arrivals: PoissonArrivals::new(cfg.arrival_rate, cfg.seed ^ 0xA11),
             choice: if cfg.zipf_theta > 0.0 {
@@ -255,6 +316,7 @@ impl Simulator {
                 ClipChoice::uniform(cfg.catalog_clips, cfg.seed ^ 0xC11)
             },
             queues: vec![Vec::new(); cfg.d as usize],
+            workers,
             pending: PendingList::new(),
             paused: HashMap::new(),
             clients: HashMap::new(),
@@ -267,7 +329,7 @@ impl Simulator {
             next_request: 0,
             failed: None,
             rebuild: None,
-            metrics: Metrics::default(),
+            metrics,
             cfg,
         })
     }
@@ -831,6 +893,19 @@ impl Simulator {
         self.queues[fetch.loc.disk.idx()].push(fetch);
     }
 
+    /// Services every disk's queue for this round, then merges the
+    /// results and delivers the fetched blocks.
+    ///
+    /// The paper's §3 observation that per-round disk work is independent
+    /// by construction is load-bearing here: each disk's EDF sort, C-SCAN
+    /// sweep and service-time accounting touch only that disk's queue and
+    /// head state, so phase one fans the disks out across
+    /// `self.workers` scoped threads (none when `workers == 1`). Phase
+    /// two walks the locally-computed [`DiskRound`]s **in disk-ID order**
+    /// on the calling thread — every metric accumulation and every
+    /// `deliver` happens in exactly the sequence the sequential loop
+    /// used, which is what makes results bit-identical at any thread
+    /// count (the determinism contract in DESIGN.md).
     fn execute_disks(&mut self) {
         let span = u64::from(self.cfg.p - 1).max(1);
         let streaming = self.cfg.scheme == Scheme::StreamingRaid;
@@ -844,32 +919,53 @@ impl Simulator {
             self.round_duration
         };
         let budget = self.cfg.q as usize;
-        for disk in 0..self.cfg.d {
-            let queue = &mut self.queues[disk as usize];
-            if queue.is_empty() {
-                continue;
-            }
-            self.metrics.peak_disk_queue = self.metrics.peak_disk_queue.max(queue.len() as u32);
-            // Earliest-deadline-first within the per-round budget.
-            queue.sort_by_key(|f| f.needed);
-            let take = queue.len().min(budget);
-            let served: Vec<Fetch> = queue.drain(..take).collect();
-            let requests: Vec<BlockRequest> = served
-                .iter()
-                .map(|f| BlockRequest {
-                    disk: DiskId(disk),
-                    block_no: f.loc.block_no,
-                    clip: f.clip,
-                    reconstruction: f.recon_for.is_some(),
+        let workers = self.workers;
+        // Phase one: per-disk service, parallel over disjoint
+        // (queue, disk) pairs. `service_parts` splits the array borrow so
+        // worker threads never alias `self`.
+        let rounds: Vec<DiskRound> = {
+            let (ctx, disks) = self.array.service_parts();
+            let mut units: Vec<(&mut Vec<Fetch>, &mut Disk)> =
+                self.queues.iter_mut().zip(disks.iter_mut()).collect();
+            if workers <= 1 {
+                units
+                    .iter_mut()
+                    .map(|(queue, disk)| serve_disk(queue, disk, &ctx, budget, deadline))
+                    .collect()
+            } else {
+                let chunk = units.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = units
+                        .chunks_mut(chunk)
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                slice
+                                    .iter_mut()
+                                    .map(|(queue, disk)| {
+                                        serve_disk(queue, disk, &ctx, budget, deadline)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("disk service worker panicked"))
+                        .collect()
                 })
-                .collect();
-            let outcome = self
-                .array
-                .service_round(DiskId(disk), &requests, deadline)
-                .expect("healthy disk serves within capacity");
+            }
+        };
+        // Phase two: sequential merge in disk-ID order.
+        for (disk, round) in rounds.into_iter().enumerate() {
+            let Some(outcome) = round.outcome else {
+                continue; // empty queue this round
+            };
+            self.metrics.peak_disk_queue = self.metrics.peak_disk_queue.max(round.queue_len);
             self.metrics.peak_utilization =
                 self.metrics.peak_utilization.max(outcome.utilization());
-            for fetch in served {
+            self.metrics.disk_busy[disk] += outcome.busy;
+            self.metrics.disk_blocks[disk] += u64::from(outcome.blocks);
+            for fetch in round.served {
                 self.deliver(fetch);
             }
         }
@@ -926,16 +1022,19 @@ impl Simulator {
         let n = self.cfg.content_bytes;
         let content = |a: StreamAddr| Block::synthetic(u64::from(a.stream), a.index, n);
         // Parity block content is the XOR of all the group's data blocks.
-        let mut parity = Block::zeroed(n);
-        for &a in &group.data {
-            parity ^= &content(a);
-        }
+        let data: Vec<Block> = group.data.iter().map(|&a| content(a)).collect();
+        let refs: Vec<&Block> = data.iter().collect();
+        let parity = parity_of(&refs).expect("group has data blocks of equal length");
         // Reconstruct from survivors: all data except the lost one, plus
         // parity.
-        let mut rebuilt = parity;
-        for &a in group.data.iter().filter(|&&a| a != lost) {
-            rebuilt ^= &content(a);
-        }
+        let mut survivors: Vec<&Block> = group
+            .data
+            .iter()
+            .zip(&data)
+            .filter_map(|(&a, b)| (a != lost).then_some(b))
+            .collect();
+        survivors.push(&parity);
+        let rebuilt = reconstruct(&survivors).expect("survivor set is non-empty");
         rebuilt == content(lost)
     }
 
@@ -1013,6 +1112,7 @@ mod tests {
             admission_scan: 64,
             aging_limit: 200,
             auto_rebuild: false,
+            threads: 1,
         }
     }
 

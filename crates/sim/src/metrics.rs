@@ -84,6 +84,13 @@ pub struct Metrics {
     /// counts admissions that waited in `[2^k − 1, 2^(k+1) − 1)` rounds
     /// (bucket 0 = admitted immediately). Drives the percentile queries.
     pub wait_histogram: Vec<u64>,
+    /// Cumulative busy time per disk (seconds), indexed by disk id.
+    /// Accumulated in disk-ID order regardless of how many service
+    /// threads ran, so the floats are bit-identical at any thread count —
+    /// the determinism replay tests compare these field-for-field.
+    pub disk_busy: Vec<f64>,
+    /// Blocks served per disk, indexed by disk id.
+    pub disk_blocks: Vec<u64>,
 }
 
 impl Metrics {

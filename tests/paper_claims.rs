@@ -205,6 +205,80 @@ fn claim_buffer_constraint_holds_in_simulation() {
 }
 
 #[test]
+fn claim_fig6_golden_shapes() {
+    // The simulated Figure 6 reproduces the paper's qualitative curve
+    // shapes (E3), checked per buffer size on one grid run:
+    //  1. the clustered family (streaming RAID, pre-fetching with parity
+    //     disks, non-clustered) rises from p = 2 and falls by p = 32 —
+    //     the peak is interior;
+    //  2. declustered parity and pre-fetching without parity disks peak
+    //     at p = 2 and decline across the sweep;
+    //  3. the non-clustered curve crosses above declustered parity in the
+    //     p = 8..16 region (small p favors declustering, large p favors
+    //     effective-bandwidth clustering).
+    let rows = fig6_short();
+    let curve = |buffer: &str, scheme: Scheme| -> Vec<(u32, u64)> {
+        rows.iter()
+            .filter(|r| r.buffer == buffer && r.scheme == scheme)
+            .map(|r| (r.p, r.metrics.admitted))
+            .collect()
+    };
+    for buffer in ["256MB", "2GB"] {
+        // 1. Clustered family: rise then fall.
+        for scheme in [
+            Scheme::StreamingRaid,
+            Scheme::PrefetchParityDisks,
+            Scheme::NonClustered,
+        ] {
+            let pts = curve(buffer, scheme);
+            assert!(pts[1].1 > pts[0].1, "{scheme} {buffer}: p=4 must beat p=2: {pts:?}");
+            let (peak_p, peak) = pts.iter().copied().max_by_key(|&(_, c)| c).unwrap();
+            assert!(
+                peak_p > 2 && peak_p < 32,
+                "{scheme} {buffer}: peak must be interior, got p={peak_p}: {pts:?}"
+            );
+            assert!(
+                pts.last().unwrap().1 < peak,
+                "{scheme} {buffer}: p=32 must be below the peak: {pts:?}"
+            );
+        }
+        // 2. Declustered/flat: best at p = 2, declining across the sweep.
+        for scheme in [Scheme::DeclusteredParity, Scheme::PrefetchFlat] {
+            let pts = curve(buffer, scheme);
+            let first = pts[0].1;
+            assert!(
+                pts.iter().all(|&(_, c)| c <= first),
+                "{scheme} {buffer}: p=2 must be the maximum: {pts:?}"
+            );
+            assert!(
+                pts.last().unwrap().1 < first,
+                "{scheme} {buffer}: p=32 must fall below p=2: {pts:?}"
+            );
+            let at = |p| pts.iter().find(|&&(pp, _)| pp == p).unwrap().1;
+            assert!(at(16) < at(4), "{scheme} {buffer}: p=16 must fall below p=4: {pts:?}");
+        }
+        // 3. Crossover: declustered leads non-clustered at p = 2; the
+        // first p where non-clustered matches or beats it lies in 8..=16.
+        let declustered = curve(buffer, Scheme::DeclusteredParity);
+        let non_clustered = curve(buffer, Scheme::NonClustered);
+        assert!(
+            declustered[0].1 > non_clustered[0].1,
+            "{buffer}: declustered must lead at p=2"
+        );
+        let crossover = declustered
+            .iter()
+            .zip(&non_clustered)
+            .find(|((_, d), (_, n))| n >= d)
+            .map(|((p, _), _)| *p)
+            .expect("non-clustered must overtake declustered somewhere");
+        assert!(
+            (8..=16).contains(&crossover),
+            "{buffer}: crossover at p={crossover}, expected in 8..=16"
+        );
+    }
+}
+
+#[test]
 fn claim_failure_drill_upholds_section9() {
     // §9: both approaches provide "rate guarantees for CM clips without
     // any interruption of service in the event of a single disk failure";

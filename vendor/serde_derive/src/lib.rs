@@ -1,0 +1,268 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade.
+//!
+//! This workspace builds in a network-less environment, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) is replaced by
+//! this hand-rolled token scanner. It supports exactly the shapes the
+//! workspace uses:
+//!
+//! * structs with named fields → JSON objects, field order preserved;
+//! * single-field tuple structs (newtypes such as `DiskId(u32)`) →
+//!   transparent, serialized as the inner value;
+//! * enums whose variants are all units (e.g. `Scheme`) → the variant
+//!   name as a JSON string.
+//!
+//! Generics, `#[serde(...)]` attributes, data-carrying enum variants and
+//! multi-field tuple structs are rejected with a compile-time panic —
+//! better a loud failure here than a silently wrong wire format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type, as far as codegen cares.
+enum Shape {
+    /// Struct with named fields (field names in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum with unit variants only (variant names in order).
+    UnitEnum(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Newtype => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "::serde::Value::String(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(fields, \"{f}\")?"))
+                .collect();
+            format!(
+                "let fields = match value {{\n\
+                     ::serde::Value::Object(f) => f,\n\
+                     _ => return Err(::serde::Error::custom(\"expected object for {name}\")),\n\
+                 }};\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Newtype => format!(
+            "Ok({name}(::serde::Deserialize::deserialize(value)?))"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value.as_str() {{\n\
+                     {},\n\
+                     _ => Err(::serde::Error::custom(\"unknown variant for {name}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Extracts the type name and [`Shape`] from the derive input tokens.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and the
+    // visibility qualifier, until the `struct` / `enum` keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` etc.: the restriction is a paren group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct/enum keyword in input"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+    let shape = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                if n != 1 {
+                    panic!("serde_derive: tuple struct {name} has {n} fields; only newtypes are supported");
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unsupported enum body for {name}: {other:?}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Field start: skip attributes and visibility, take the name.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        // Skip `: Type` up to the next comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as nested groups, so only `<`/`>`
+        // can hide a comma from the top level.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Number of top-level fields in a tuple-struct paren body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    n += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        n += 1;
+    }
+    n
+}
+
+/// Variant names of a unit-only enum body.
+fn unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "serde_derive: enum {enum_name} variant {v} carries data; only unit variants are supported"
+                    );
+                }
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '=' {
+                        panic!("serde_derive: enum {enum_name} has explicit discriminants; unsupported");
+                    }
+                }
+                variants.push(v);
+            }
+            other => panic!("serde_derive: unexpected token in enum {enum_name}: {other}"),
+        }
+    }
+    variants
+}
