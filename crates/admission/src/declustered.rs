@@ -19,7 +19,7 @@
 
 use crate::traits::{disk_at, phase_of, wraps_since, Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One admitted clip's invariants.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +39,7 @@ pub struct DeclusteredAdmission {
     f: u32,
     lambda_max: u32,
     t: u64,
-    active: HashMap<RequestId, Active>,
+    active: BTreeMap<RequestId, Active>,
 }
 
 impl DeclusteredAdmission {
@@ -65,7 +65,7 @@ impl DeclusteredAdmission {
                 lambda_max * f
             )));
         }
-        Ok(DeclusteredAdmission { d, r, q, f, lambda_max, t: 0, active: HashMap::new() })
+        Ok(DeclusteredAdmission { d, r, q, f, lambda_max, t: 0, active: BTreeMap::new() })
     }
 
     /// Per-disk clip capacity after the contingency reserve

@@ -22,7 +22,7 @@
 
 use crate::traits::{phase_of, Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Admission controller for [`Scheme::DynamicReservation`].
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ pub struct DynamicAdmission {
     t: u64,
     /// `count[l][phase]` = active clips of stream `l` at that phase.
     count: Vec<Vec<u32>>,
-    active: HashMap<RequestId, (u32, u32)>, // id → (stream, phase)
+    active: BTreeMap<RequestId, (u32, u32)>, // id → (stream, phase)
 }
 
 impl DynamicAdmission {
@@ -64,7 +64,7 @@ impl DynamicAdmission {
             deltas,
             t: 0,
             count: vec![vec![0; d as usize]; rows],
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         })
     }
 

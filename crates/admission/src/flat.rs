@@ -26,7 +26,7 @@
 
 use crate::traits::{Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One admitted clip's geometry.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +47,7 @@ pub struct FlatAdmission {
     q: u32,
     f: u32,
     t: u64,
-    active: HashMap<RequestId, Active>,
+    active: BTreeMap<RequestId, Active>,
 }
 
 impl FlatAdmission {
@@ -65,7 +65,7 @@ impl FlatAdmission {
         if f == 0 || f >= q {
             return Err(CmsError::invalid_params("need 1 <= f < q"));
         }
-        Ok(FlatAdmission { d, p, q, f, t: 0, active: HashMap::new() })
+        Ok(FlatAdmission { d, p, q, f, t: 0, active: BTreeMap::new() })
     }
 
     /// Per-disk clip capacity after the reserve (`q − f`).
@@ -185,7 +185,7 @@ impl Admission for FlatAdmission {
         // number of cadence-mates covering x with parity here.
         let cadence = (self.t % u64::from(self.p - 1)) as u32;
         let mut normal = 0u32;
-        let mut parity_from: HashMap<u32, u32> = HashMap::new();
+        let mut parity_from: BTreeMap<u32, u32> = BTreeMap::new();
         for a in self.active.values() {
             if a.cadence != cadence {
                 continue;

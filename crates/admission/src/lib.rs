@@ -32,6 +32,8 @@
 //! [`PendingList`] provides the FIFO, head-of-line admission queue that
 //! makes every controller starvation-free.
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

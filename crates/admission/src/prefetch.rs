@@ -5,7 +5,7 @@
 
 use crate::traits::{Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// §6.1 controller: clusters of `p` disks with a dedicated parity disk.
 ///
@@ -26,7 +26,7 @@ pub struct PrefetchParityDiskAdmission {
     t: u64,
     /// `count[cadence][cluster_class]`.
     count: Vec<Vec<u32>>,
-    active: HashMap<RequestId, (u32, u32)>,
+    active: BTreeMap<RequestId, (u32, u32)>,
 }
 
 impl PrefetchParityDiskAdmission {
@@ -44,7 +44,7 @@ impl PrefetchParityDiskAdmission {
             q,
             t: 0,
             count: vec![vec![0; (d / p) as usize]; cadences as usize],
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         })
     }
 
@@ -125,7 +125,7 @@ pub struct StreamingRaidAdmission {
     q: u32,
     t: u64,
     count: Vec<u32>,
-    active: HashMap<RequestId, u32>,
+    active: BTreeMap<RequestId, u32>,
 }
 
 impl StreamingRaidAdmission {
@@ -143,7 +143,7 @@ impl StreamingRaidAdmission {
             q,
             t: 0,
             count: vec![0; (d / p) as usize],
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         })
     }
 
@@ -228,7 +228,7 @@ pub struct NonClusteredAdmission {
     q: u32,
     t: u64,
     count: Vec<u32>,
-    active: HashMap<RequestId, u32>,
+    active: BTreeMap<RequestId, u32>,
 }
 
 impl NonClusteredAdmission {
@@ -245,7 +245,7 @@ impl NonClusteredAdmission {
             q,
             t: 0,
             count: vec![0; data_disks as usize],
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         })
     }
 

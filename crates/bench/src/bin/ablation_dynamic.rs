@@ -10,6 +10,8 @@
 //!
 //! Usage: `cargo run --release -p cms-bench --bin ablation_dynamic [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_core::Scheme;
 use cms_model::{tuned_point, ModelInput};
 use cms_sim::{SimConfig, Simulator};

@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run -p cms-bench --bin ablation_gss [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_core::units::{kib, mbps};
 use cms_core::{DiskParams, GssBudget};
 use serde::Serialize;

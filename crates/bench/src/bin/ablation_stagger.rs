@@ -10,6 +10,8 @@
 //!
 //! Usage: `cargo run -p cms-bench --bin ablation_stagger [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_bench::PAPER_PS;
 use cms_core::Scheme;
 use cms_model::{capacity, ModelInput};

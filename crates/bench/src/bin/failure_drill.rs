@@ -9,6 +9,8 @@
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
 
+#![forbid(unsafe_code)]
+
 use cms_bench::failure_drill_threaded;
 use cms_core::Scheme;
 

@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run -p cms-bench --bin fig5 [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_bench::{fig5_rows, PAPER_PS};
 use cms_core::Scheme;
 

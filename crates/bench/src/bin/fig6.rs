@@ -7,6 +7,8 @@
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
 
+#![forbid(unsafe_code)]
+
 use cms_bench::{fig6_rows_threaded, PAPER_PS};
 use cms_core::Scheme;
 

@@ -13,6 +13,8 @@
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
 
+#![forbid(unsafe_code)]
+
 use cms_core::{DiskId, Scheme};
 use cms_model::{tuned_point, ModelInput};
 use cms_sim::{SimConfig, Simulator};

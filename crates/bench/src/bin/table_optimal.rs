@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run -p cms-bench --bin table_optimal [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_bench::optimal_rows;
 
 fn main() {

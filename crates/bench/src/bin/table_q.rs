@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run -p cms-bench --bin table_q [-- --json]`
 
+#![forbid(unsafe_code)]
+
 use cms_bench::q_table_rows;
 
 fn main() {

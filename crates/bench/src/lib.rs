@@ -6,6 +6,8 @@
 //! plain serializable struct; the binaries print aligned tables and can
 //! emit JSON.
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

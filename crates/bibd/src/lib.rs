@@ -42,6 +42,8 @@
 //! assert!(pgt.members(set).contains(&2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

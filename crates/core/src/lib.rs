@@ -31,6 +31,8 @@
 //! assert!(budget.utilization(budget.q) <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -120,11 +120,11 @@ impl fmt::Display for Scheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn all_contains_six_distinct_schemes() {
-        let set: HashSet<_> = Scheme::ALL.iter().collect();
+        let set: BTreeSet<_> = Scheme::ALL.iter().collect();
         assert_eq!(set.len(), 6);
     }
 

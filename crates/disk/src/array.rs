@@ -209,20 +209,41 @@ impl DiskArray {
 
     /// Marks `disk` failed. Idempotent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the disk id is out of range.
-    pub fn fail(&mut self, disk: DiskId) {
-        self.disks[disk.idx()].status = DiskStatus::Failed;
+    /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range —
+    /// an injected fault must never be able to panic the server loop.
+    pub fn fail(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        let n = self.disks.len();
+        match self.disks.get_mut(disk.idx()) {
+            Some(d) => {
+                d.status = DiskStatus::Failed;
+                Ok(())
+            }
+            None => Err(CmsError::out_of_bounds(format!(
+                "cannot fail disk {}: array has {n} disks",
+                disk.idx()
+            ))),
+        }
     }
 
     /// Repairs `disk` (models the completed replacement/rebuild).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the disk id is out of range.
-    pub fn repair(&mut self, disk: DiskId) {
-        self.disks[disk.idx()].status = DiskStatus::Healthy;
+    /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range.
+    pub fn repair(&mut self, disk: DiskId) -> Result<(), CmsError> {
+        let n = self.disks.len();
+        match self.disks.get_mut(disk.idx()) {
+            Some(d) => {
+                d.status = DiskStatus::Healthy;
+                Ok(())
+            }
+            None => Err(CmsError::out_of_bounds(format!(
+                "cannot repair disk {}: array has {n} disks",
+                disk.idx()
+            ))),
+        }
     }
 
     /// Health of a disk.
@@ -383,14 +404,17 @@ mod tests {
     #[test]
     fn failed_disk_rejects_service() {
         let mut a = array(TimingModel::worst_case());
-        a.fail(DiskId(2));
+        a.fail(DiskId(2)).unwrap();
         assert_eq!(a.status(DiskId(2)), DiskStatus::Failed);
         assert_eq!(a.failed_disk(), Some(DiskId(2)));
         assert_eq!(a.healthy_count(), 3);
         let err = a.service_round(DiskId(2), &reqs(2, &[1]), 1.0);
         assert!(err.is_err());
-        a.repair(DiskId(2));
+        a.repair(DiskId(2)).unwrap();
         assert_eq!(a.healthy_count(), 4);
+        // Out-of-range ids surface as typed errors, never a panic.
+        assert!(matches!(a.fail(DiskId(99)), Err(CmsError::OutOfBounds { .. })));
+        assert!(matches!(a.repair(DiskId(99)), Err(CmsError::OutOfBounds { .. })));
         assert!(a.service_round(DiskId(2), &reqs(2, &[1]), 1.0).is_ok());
     }
 

@@ -14,6 +14,8 @@
 //!   to execute rounds and verify that the round deadline `b / r_p` is
 //!   never violated for admitted loads.
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

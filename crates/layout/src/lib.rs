@@ -21,6 +21,8 @@
 //! parity rotation, the Figure 3 parity offsets) directly testable against
 //! the paper's worked examples, and gives the simulator O(1) lookups.
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,0 +1,6 @@
+// Test sources are outside the contract: nothing in here may fire.
+#[test]
+fn unwraps_are_fine_in_tests() {
+    let v: Option<u32> = Some(1);
+    v.unwrap();
+}

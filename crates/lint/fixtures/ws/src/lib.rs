@@ -1,0 +1,11 @@
+//! Known-bad crate root: missing forbid(unsafe_code), wall clock, entropy.
+
+pub fn stamp() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,181 @@
+//! Ratcheting baseline: carried debt may only shrink.
+//!
+//! The baseline is a plain text file (one `rule path count` triple per
+//! line, sorted), deliberately not JSON so it diffs cleanly in review and
+//! needs no parser beyond `str::split_whitespace`. Only rules marked
+//! `ratchetable` in the catalogue may appear; everything else is a hard
+//! failure regardless of any baseline entry.
+//!
+//! Comparison verdict per (rule, file) bucket:
+//! * actual > baselined  → **regression**, run fails;
+//! * actual < baselined  → **stale**, run fails with a hint to
+//!   `--update-baseline` (this is the ratchet: improvements must be
+//!   locked in, so they cannot silently regress later);
+//! * equal               → carried debt, reported as a count only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{rule, Diagnostic};
+
+/// Debt counts keyed by `(rule, file)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Parses baseline text. Unknown or non-ratchetable rules and malformed
+/// lines are reported as errors (a corrupt baseline must not silently
+/// launder violations).
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule_id), Some(file), Some(n), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("baseline line {}: expected `rule path count`, got `{raw}`", idx + 1));
+        };
+        let Ok(n) = n.parse::<usize>() else {
+            return Err(format!("baseline line {}: bad count `{n}`", idx + 1));
+        };
+        match rule(rule_id) {
+            Some(info) if info.ratchetable => {}
+            Some(_) => {
+                return Err(format!(
+                    "baseline line {}: rule {rule_id} is not ratchetable and may not be baselined",
+                    idx + 1
+                ));
+            }
+            None => return Err(format!("baseline line {}: unknown rule {rule_id}", idx + 1)),
+        }
+        if counts.insert((rule_id.to_string(), file.to_string()), n).is_some() {
+            return Err(format!("baseline line {}: duplicate entry for {rule_id} {file}", idx + 1));
+        }
+    }
+    Ok(counts)
+}
+
+/// Buckets the ratchetable diagnostics of a run into baseline counts.
+#[must_use]
+pub fn bucket(diags: &[Diagnostic]) -> Counts {
+    let mut counts = Counts::new();
+    for d in diags {
+        if rule(&d.rule).is_some_and(|r| r.ratchetable) {
+            *counts.entry((d.rule.clone(), d.file.clone())).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Serializes counts to the canonical baseline text.
+#[must_use]
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# cms-lint ratchet baseline. One `rule path count` per line.\n\
+         # Regenerate with: cargo run -p cms-lint -- --update-baseline\n\
+         # Counts may only decrease; new violations are rejected outright.\n",
+    );
+    for ((rule_id, file), n) in counts {
+        let _ = writeln!(out, "{rule_id} {file} {n}");
+    }
+    out
+}
+
+/// Outcome of checking a run against the baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// `(rule, file, actual, baselined)` buckets that grew (or are new).
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(rule, file, actual, baselined)` buckets that shrank — good, but
+    /// the baseline must be refreshed to lock the gain in.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Total carried (exactly-matching) violation count.
+    pub carried: usize,
+}
+
+impl Verdict {
+    /// Does the run pass?
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares actual ratchetable counts against the baseline.
+#[must_use]
+pub fn compare(actual: &Counts, baseline: &Counts) -> Verdict {
+    let mut v = Verdict::default();
+    let mut keys: Vec<&(String, String)> = actual.keys().chain(baseline.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let a = actual.get(key).copied().unwrap_or(0);
+        let b = baseline.get(key).copied().unwrap_or(0);
+        let (rule_id, file) = key;
+        if a > b {
+            v.regressions.push((rule_id.clone(), file.clone(), a, b));
+        } else if a < b {
+            v.stale.push((rule_id.clone(), file.clone(), a, b));
+        } else {
+            v.carried += a;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        entries
+            .iter()
+            .map(|(r, f, n)| ((r.to_string(), f.to_string()), *n))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = counts(&[("P001", "crates/sim/src/engine.rs", 3), ("P001", "src/lib.rs", 1)]);
+        let parsed = parse(&render(&c)).expect("canonical text parses");
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn rejects_non_ratchetable_and_garbage() {
+        assert!(parse("D001 crates/sim/src/engine.rs 2\n").is_err());
+        assert!(parse("X999 foo.rs 1\n").is_err());
+        assert!(parse("P001 foo.rs not-a-number\n").is_err());
+        assert!(parse("P001 foo.rs\n").is_err());
+        assert!(parse("P001 foo.rs 1\nP001 foo.rs 2\n").is_err());
+        assert!(parse("# comment\n\n").expect("comments ok").is_empty());
+    }
+
+    #[test]
+    fn verdict_classifies_growth_shrinkage_and_carry() {
+        let baseline = counts(&[("P001", "a.rs", 2), ("P001", "b.rs", 1)]);
+        // a.rs grew, b.rs matches, c.rs is new.
+        let actual = counts(&[("P001", "a.rs", 3), ("P001", "b.rs", 1), ("P001", "c.rs", 1)]);
+        let v = compare(&actual, &baseline);
+        assert!(!v.ok());
+        assert_eq!(
+            v.regressions,
+            vec![
+                ("P001".into(), "a.rs".into(), 3, 2),
+                ("P001".into(), "c.rs".into(), 1, 0)
+            ]
+        );
+        assert_eq!(v.carried, 1);
+        // Shrinkage alone also fails (stale baseline must be refreshed).
+        let improved = counts(&[("P001", "a.rs", 1), ("P001", "b.rs", 1)]);
+        let v = compare(&improved, &baseline);
+        assert!(!v.ok());
+        assert_eq!(v.stale, vec![("P001".into(), "a.rs".into(), 1, 2)]);
+        // Exact match passes.
+        let v = compare(&baseline, &baseline);
+        assert!(v.ok());
+        assert_eq!(v.carried, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! `cms-lint` — workspace determinism & hygiene analyzer.
+//!
+//! A from-scratch static-analysis pass (hand-rolled tokenizer, no `syn`)
+//! that enforces the two contracts this workspace lives by:
+//!
+//! 1. **Bit-identical replay** (DESIGN.md §5): simulation metrics must not
+//!    depend on hash iteration order, wall clocks, OS entropy, or thread
+//!    interleaving. Rules D001/D002/D003.
+//! 2. **No-panic fault paths**: the paper's fault-tolerance claims
+//!    (Özden et al., SIGMOD 1996) are void if an injected disk failure
+//!    panics the server loop. Rule P001, ratcheted via a checked-in
+//!    baseline. Rule H001 keeps every crate `#![forbid(unsafe_code)]`.
+//!
+//! The library half exposes the tokenizer, rule engine, baseline ratchet
+//! and workspace walker; the binary (`src/main.rs`) wires them into a CLI
+//! with text and `--json` output.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod rules;
+pub mod tokenizer;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use rules::Diagnostic;
+use workspace::SourceFile;
+
+/// Result of analyzing a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every diagnostic, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Files that could not be read (path, error) — reported, never fatal.
+    pub unreadable: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Diagnostics whose rule is *not* ratchetable — any of these fails
+    /// the run outright.
+    #[must_use]
+    pub fn hard_failures(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| rules::rule(&d.rule).is_none_or(|r| !r.ratchetable))
+            .collect()
+    }
+}
+
+/// Runs every rule over every source file of the workspace at `root`.
+#[must_use]
+pub fn analyze_workspace(root: &Path) -> Report {
+    analyze_files(&workspace::discover(root))
+}
+
+/// Runs every rule over an explicit file list (used by fixture tests).
+#[must_use]
+pub fn analyze_files(files: &[SourceFile]) -> Report {
+    let mut report = Report::default();
+    for file in files {
+        match fs::read_to_string(&file.abs_path) {
+            Ok(src) => {
+                report.files_scanned += 1;
+                report.diagnostics.extend(rules::analyze_source(file, &src));
+            }
+            Err(e) => report.unreadable.push((file.rel_path.clone(), e.to_string())),
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+}
+
+/// Escapes a string for inclusion in a JSON document. The output is
+/// hand-emitted (the vendored `serde_json` facade is emit-oriented too,
+/// and the lint tool must not depend on workspace crates it lints).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let mut buf = String::new();
+                use std::fmt::Write as _;
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+                out.push_str(&buf);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

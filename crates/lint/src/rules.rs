@@ -1,0 +1,434 @@
+//! The rule catalogue and per-file analysis pass.
+//!
+//! Every rule is project-specific: it encodes a clause of the workspace's
+//! determinism / no-panic contract (DESIGN.md §5) rather than generic
+//! style. The catalogue:
+//!
+//! | id   | meaning                                                        | scope                              | ratchets? |
+//! |------|----------------------------------------------------------------|------------------------------------|-----------|
+//! | D001 | `HashMap`/`HashSet` (nondeterministic iteration order)         | lib code of the deterministic crates | no — hard fail |
+//! | D002 | wall-clock / entropy (`Instant::now`, `SystemTime`, `thread_rng`) | lib + bin code outside `cms-bench` | no — hard fail |
+//! | D003 | unordered parallel float reduction (folding `join()`ed worker results with float `sum`/`fold`/`reduce` in one expression) | lib code everywhere | no — hard fail |
+//! | P001 | `.unwrap()` / `.expect(…)` / `panic!` in library code          | lib code everywhere                | yes — baseline |
+//! | H001 | crate root missing `#![forbid(unsafe_code)]`                   | every crate root                   | no — hard fail |
+//! | L000 | `lint: allow(…)` directive without a reason                    | anywhere a directive appears       | no — hard fail |
+//!
+//! Escape hatch: `// lint: allow(RULE) reason` on the offending line or
+//! the line directly above suppresses that rule there; the reason is
+//! mandatory (a bare directive suppresses nothing and trips L000).
+//! `#[cfg(test)]` items and `tests/`, `benches/`, `examples/` sources are
+//! outside the contract and skipped.
+
+use crate::tokenizer::{tokenize, AllowDirective, Tok, TokKind};
+use crate::workspace::{FileClass, SourceFile};
+
+/// Crates bound by the bit-identical replay contract: rule D001 applies
+/// to their library code.
+pub const DETERMINISTIC_CRATES: [&str; 5] =
+    ["cms-sim", "cms-disk", "cms-admission", "cms-core", "cms-server"];
+
+/// The only crate allowed to read wall clocks or OS entropy (it measures
+/// real time by design).
+pub const TIMING_CRATE: &str = "cms-bench";
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id, e.g. `P001`.
+    pub id: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+    /// Whether existing debt may be carried in the baseline (`true`) or
+    /// any occurrence fails the run (`false`).
+    pub ratchetable: bool,
+}
+
+/// The full catalogue, in report order.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        id: "D001",
+        summary: "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort before iterating",
+        ratchetable: false,
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "wall-clock/entropy source (Instant::now, SystemTime, thread_rng) outside cms-bench breaks replay",
+        ratchetable: false,
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "float reduction folded directly over thread join() results; collect and merge in disk-ID order",
+        ratchetable: false,
+    },
+    RuleInfo {
+        id: "P001",
+        summary: "unwrap/expect/panic! in library code can turn a recoverable disk failure into a crash",
+        ratchetable: true,
+    },
+    RuleInfo {
+        id: "H001",
+        summary: "crate root missing #![forbid(unsafe_code)]",
+        ratchetable: false,
+    },
+    RuleInfo {
+        id: "L000",
+        summary: "lint: allow(...) directive without a mandatory reason",
+        ratchetable: false,
+    },
+];
+
+/// Looks up a rule by id.
+#[must_use]
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id from the catalogue.
+    pub rule: String,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line:rule message` — the grep-able text form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}:{}:{} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Token indices covered by `#[cfg(test)]` items (the attribute plus the
+/// item it decorates, through its closing brace or semicolon).
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Find the closing ']' of the attribute and look for
+            // cfg(... test ...) inside it.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut has_cfg = false;
+            let mut has_test = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("cfg") {
+                    has_cfg = true;
+                } else if t.is_ident("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_cfg && has_test && j < toks.len() {
+                // Mask the attribute and the following item: everything
+                // up to the matching '}' of its first brace block, or the
+                // first top-level ';' if none opens.
+                let mut k = j + 1;
+                let mut brace = 0i32;
+                let mut entered = false;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if t.is_punct('}') {
+                        brace -= 1;
+                        if entered && brace == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && !entered {
+                        break;
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take((k + 1).min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Is a diagnostic of `rule_id` on `line` suppressed by a well-formed
+/// allow directive (same line or the line above)?
+fn allowed(allows: &[AllowDirective], rule_id: &str, line: u32) -> bool {
+    allows.iter().any(|a| {
+        a.rule == rule_id && a.has_reason && (a.line == line || a.line + 1 == line)
+    })
+}
+
+/// Analyzes one file's source text against the catalogue.
+#[must_use]
+pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
+    let lexed = tokenize(src);
+    let toks = &lexed.tokens;
+    let mask = test_region_mask(toks);
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    let mut push = |rule_id: &str, line: u32, message: String| {
+        if !allowed(&lexed.allows, rule_id, line) {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line,
+                rule: rule_id.to_string(),
+                message,
+            });
+        }
+    };
+
+    // L000: malformed escape hatches, independent of any other finding.
+    for a in &lexed.allows {
+        if !a.has_reason {
+            push(
+                "L000",
+                a.line,
+                format!("allow({}) without a reason; the reason is mandatory", a.rule),
+            );
+        }
+    }
+
+    // H001: crate roots must forbid unsafe code.
+    if file.is_crate_root() && !has_forbid_unsafe(toks) {
+        push("H001", 1, "crate root missing #![forbid(unsafe_code)]".to_string());
+    }
+
+    let lib_code = file.class == FileClass::Lib;
+    let lintable = lib_code || file.class == FileClass::Bin;
+
+    let deterministic =
+        DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) && lib_code;
+    let clock_scoped = file.crate_name != TIMING_CRATE && lintable;
+
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next = toks.get(i + 1);
+
+        // D001 — nondeterministic iteration order.
+        if deterministic && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                "D001",
+                t.line,
+                format!(
+                    "{} in deterministic crate {}; use BTree{} or sort before iterating",
+                    t.text,
+                    file.crate_name,
+                    if t.text == "HashMap" { "Map" } else { "Set" }
+                ),
+            );
+        }
+
+        // D002 — wall clock / entropy.
+        if clock_scoped {
+            let instant_now = t.text == "Instant"
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            if instant_now || t.text == "SystemTime" || t.text == "thread_rng" {
+                push(
+                    "D002",
+                    t.line,
+                    format!(
+                        "wall-clock/entropy source `{}` outside {TIMING_CRATE} breaks seeded replay",
+                        if instant_now { "Instant::now" } else { t.text.as_str() }
+                    ),
+                );
+            }
+        }
+
+        // D003 — unordered parallel float reduction: join() folded with a
+        // float sum/fold/reduce inside one statement.
+        if lib_code && t.text == "join" && next.is_some_and(|t| t.is_punct('(')) {
+            let mut j = i + 1;
+            let mut float_seen = false;
+            let mut reducer: Option<(&Tok, &'static str)> = None;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                let u = &toks[j];
+                match u.kind {
+                    TokKind::Num if u.text.contains('.') || u.text.contains('e') => {
+                        float_seen = true;
+                    }
+                    TokKind::Ident if u.text == "f64" || u.text == "f32" => {
+                        float_seen = true;
+                    }
+                    TokKind::Ident
+                        if matches!(u.text.as_str(), "sum" | "fold" | "reduce")
+                            && j > 0
+                            && toks[j - 1].is_punct('.') =>
+                    {
+                        let name: &'static str = match u.text.as_str() {
+                            "sum" => "sum",
+                            "fold" => "fold",
+                            _ => "reduce",
+                        };
+                        reducer = Some((u, name));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if float_seen {
+                if let Some((at, name)) = reducer {
+                    push(
+                        "D003",
+                        at.line,
+                        format!(
+                            "float `{name}` folded directly over join() results; collect per-disk values and merge in disk-ID order"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // P001 — panicking calls in library code.
+        if lib_code {
+            let call = next.is_some_and(|t| t.is_punct('('));
+            if prev_dot && call && (t.text == "unwrap" || t.text == "expect") {
+                push("P001", t.line, format!(".{}() in library code", t.text));
+            } else if t.text == "panic" && next.is_some_and(|t| t.is_punct('!')) {
+                push("P001", t.line, "panic! in library code".to_string());
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// Does the token stream contain the inner attribute
+/// `#![forbid(unsafe_code)]`?
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, class: FileClass, krate: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            abs_path: PathBuf::from(rel),
+            class,
+            crate_name: krate.to_string(),
+        }
+    }
+
+    fn sim_lib() -> SourceFile {
+        file("crates/sim/src/engine.rs", FileClass::Lib, "cms-sim")
+    }
+
+    fn rules_of(d: &[Diagnostic]) -> Vec<(String, u32)> {
+        d.iter().map(|d| (d.rule.clone(), d.line)).collect()
+    }
+
+    #[test]
+    fn d001_fires_only_in_deterministic_lib_code() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&analyze_source(&sim_lib(), src)), vec![("D001".into(), 1)]);
+        // Same text in a non-deterministic crate: clean.
+        let model = file("crates/model/src/lib.rs", FileClass::Lib, "cms-model");
+        let d = analyze_source(&model, src);
+        assert!(!d.iter().any(|d| d.rule == "D001"), "{d:?}");
+        // ... and in test code of the deterministic crate: clean.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let d = analyze_source(&sim_lib(), test_src);
+        assert!(d.iter().all(|d| d.rule != "D001"), "{d:?}");
+    }
+
+    #[test]
+    fn d002_spares_the_bench_crate() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\nlet r = thread_rng();\n";
+        let d = analyze_source(&sim_lib(), src);
+        assert_eq!(
+            rules_of(&d),
+            vec![("D002".into(), 1), ("D002".into(), 2), ("D002".into(), 3)]
+        );
+        let bench = file("crates/bench/src/figures.rs", FileClass::Lib, "cms-bench");
+        assert!(analyze_source(&bench, src).is_empty());
+    }
+
+    #[test]
+    fn d003_flags_float_reduction_over_joins() {
+        let bad = "let busy: f64 = handles.into_iter().map(|h| h.join().unwrap_or(0.0)).sum();\n";
+        let d = analyze_source(&sim_lib(), bad);
+        assert!(d.iter().any(|d| d.rule == "D003"), "{d:?}");
+        // Collect-then-merge (no reducer in the join statement): clean.
+        let good = "let rounds: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap_or_default()).collect();\nlet total: f64 = rounds.iter().map(|r| r.busy).sum();\n";
+        let d = analyze_source(&sim_lib(), good);
+        assert!(d.iter().all(|d| d.rule != "D003"), "{d:?}");
+    }
+
+    #[test]
+    fn p001_scope_and_escape_hatch() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"no\");\n}\n";
+        let d = analyze_source(&sim_lib(), src);
+        assert_eq!(
+            rules_of(&d),
+            vec![("P001".into(), 2), ("P001".into(), 3), ("P001".into(), 4)]
+        );
+        // Bins, tests, benches: exempt.
+        for class in [FileClass::Bin, FileClass::Test, FileClass::Bench, FileClass::Example] {
+            let f = file("crates/bench/src/bin/fig6.rs", class, "cms-bench");
+            let d = analyze_source(&f, src);
+            assert!(d.iter().all(|d| d.rule != "P001"), "{class:?}: {d:?}");
+        }
+        // Escape hatch with a reason suppresses; without one it does not
+        // and L000 fires.
+        let hatched = "// lint: allow(P001) join of a panicked worker is unrecoverable\nx.unwrap();\n";
+        assert!(analyze_source(&sim_lib(), hatched).is_empty());
+        let bare = "// lint: allow(P001)\nx.unwrap();\n";
+        let d = analyze_source(&sim_lib(), bare);
+        assert_eq!(rules_of(&d), vec![("L000".into(), 1), ("P001".into(), 2)]);
+    }
+
+    #[test]
+    fn h001_checks_crate_roots_only() {
+        let root = file("crates/sim/src/lib.rs", FileClass::Lib, "cms-sim");
+        let d = analyze_source(&root, "pub mod engine;\n");
+        assert_eq!(rules_of(&d), vec![("H001".into(), 1)]);
+        let ok = "//! Docs first.\n#![forbid(unsafe_code)]\npub mod engine;\n";
+        assert!(analyze_source(&root, ok).is_empty());
+        // Non-root lib file: no H001.
+        let d = analyze_source(&sim_lib(), "pub fn f() {}\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_count() {
+        let src = "/// ```\n/// let x = map.unwrap();\n/// ```\npub fn f() {}\n";
+        assert!(analyze_source(&sim_lib(), src).is_empty());
+    }
+}

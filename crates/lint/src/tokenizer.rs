@@ -1,0 +1,415 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! rule engine, with none of `syn`'s weight (the build environment has no
+//! registry access, so this is hand-rolled like the vendored facades).
+//!
+//! The lexer understands exactly the constructs that would otherwise
+//! produce false positives in a naive text scan: line and (nested) block
+//! comments, string/char/byte/raw-string literals, lifetimes vs char
+//! literals, and raw identifiers. Everything else becomes a flat token
+//! stream of identifiers, punctuation and literals, each tagged with its
+//! 1-based source line.
+//!
+//! Comments are not tokens, but `// lint: allow(RULE) reason` escape-hatch
+//! directives are extracted while skipping them — see [`AllowDirective`].
+
+/// Kinds of tokens the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, …).
+    Punct,
+    /// Numeric literal; the text retains any `.` and suffix, so float
+    /// literals are recognizable (`0.0`, `1e-9`, `2.5f64`).
+    Num,
+    /// String literal of any flavour (escaped, raw, byte, raw-byte).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`), without the leading quote.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`], a single character; for
+    /// string literals, the empty string — rules never inspect string
+    /// bodies).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly the given text?
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with the given character?
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// An escape-hatch directive extracted from a comment:
+/// `// lint: allow(P001) the reason goes here`.
+///
+/// A directive suppresses diagnostics of `rule` on its own line and on
+/// the line immediately following it. The reason is **mandatory**; a
+/// directive without one does not suppress anything and is itself
+/// reported (rule `L000`).
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the directive comment is on.
+    pub line: u32,
+    /// The rule id inside `allow(...)`, e.g. `P001`.
+    pub rule: String,
+    /// Whether any non-whitespace reason text followed the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// All `lint: allow(...)` directives found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply consume
+/// the rest of the input (the compiler, not the linter, owns syntax
+/// errors).
+#[must_use]
+pub fn tokenize(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = memchr_newline(b, i);
+                scan_allow(&src[i..end], line, &mut out.allows);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let end = block_comment_end(b, i);
+                bump_lines!(&b[i..end]);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(b, i + 1);
+                out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                bump_lines!(&b[i..end]);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime ('a not followed by ') vs char literal.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !matches!(b.get(i + 2), Some(b'\''));
+                if is_lifetime {
+                    let end = ident_end(b, i + 1);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i + 1..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let end = char_literal_end(b, i + 1);
+                    out.tokens.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                    bump_lines!(&b[i..end]);
+                    i = end;
+                }
+            }
+            b'r' | b'b' if raw_or_byte_string_len(b, i).is_some() => {
+                // Unwrap-free by construction: the guard just computed it.
+                let Some(end) = raw_or_byte_string_len(b, i) else { continue };
+                out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                bump_lines!(&b[i..end]);
+                i = end;
+            }
+            b'r' if i + 1 < b.len() && b[i + 1] == b'#' && is_ident_start(*b.get(i + 2).unwrap_or(&b' ')) => {
+                // Raw identifier r#ident: token text is the bare ident.
+                let end = ident_end(b, i + 2);
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i + 2..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if is_ident_start(c) => {
+                let end = ident_end(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let end = number_end(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + 1].to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn ident_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Number literal: digits, `_`, alphanumeric suffix characters, and at
+/// most one `.` — and only when a digit follows it, so ranges (`1..10`)
+/// and method calls on integers (`1.max(x)`) keep their punctuation.
+fn number_end(b: &[u8], mut i: usize) -> usize {
+    let mut seen_dot = false;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            i += 1;
+        } else if c == b'.'
+            && !seen_dot
+            && matches!(b.get(i + 1), Some(d) if d.is_ascii_digit())
+        {
+            seen_dot = true;
+            i += 1;
+        } else if (c == b'+' || c == b'-')
+            && matches!(b.get(i.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(b.get(i + 1), Some(d) if d.is_ascii_digit())
+        {
+            // Exponent sign: 1e-9.
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+fn memchr_newline(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+/// End index (exclusive) of a nested block comment starting at `/*`.
+fn block_comment_end(b: &[u8], mut i: usize) -> usize {
+    let mut depth = 0u32;
+    while i < b.len() {
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+/// End index (exclusive) of an escaped string whose body starts at `i`.
+fn string_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// End index (exclusive) of a char/byte-char literal whose body starts at
+/// `i` (after the opening quote).
+fn char_literal_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// If position `i` starts a raw / byte / raw-byte string literal
+/// (`r"`, `r#"`, `b"`, `br#"`, `b'`-as-byte-char is handled elsewhere),
+/// returns its end index.
+fn raw_or_byte_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let (mut j, raw) = match (b.get(i), b.get(i + 1)) {
+        (Some(b'r'), Some(b'"' | b'#')) => (i + 1, true),
+        (Some(b'b'), Some(b'"')) => (i + 1, false),
+        (Some(b'b'), Some(b'r')) if matches!(b.get(i + 2), Some(b'"' | b'#')) => (i + 2, true),
+        (Some(b'b'), Some(b'\'')) => {
+            return Some(char_literal_end(b, i + 2));
+        }
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None; // r#ident, not a raw string
+        }
+        j += 1;
+        while j < b.len() {
+            if b[j] == b'"' && b[j + 1..].len() >= hashes
+                && b[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        Some(b.len())
+    } else {
+        Some(string_end(b, j + 1))
+    }
+}
+
+/// Extracts `lint: allow(RULE) reason` from one line comment.
+fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
+    let Some(pos) = comment.find("lint: allow(") else { return };
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else { return };
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return;
+    }
+    let reason = rest[close + 1..].trim();
+    out.push(AllowDirective { line, rule, has_reason: !reason.is_empty() });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+// HashMap in a comment
+/* HashMap in /* a nested */ block */
+let s = "HashMap in a string";
+let r = r#"HashMap raw "quoted" body"#;
+let b = b"HashMap bytes";
+let real = HashMap::new();
+"##;
+        assert_eq!(idents(src).iter().filter(|t| *t == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_range_numbers() {
+        let lexed = tokenize("let a = 0.5; for i in 1..10 { a.max(2.0e-3); }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0.5", "1", "10", "2.0e-3"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nfinal_ident";
+        let lexed = tokenize(src);
+        let last = lexed.tokens.last().expect("tokens");
+        assert!(last.is_ident("final_ident"));
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn allow_directives_with_and_without_reason() {
+        let src = "// lint: allow(P001) the panic is a worker-thread join\nx.unwrap();\n// lint: allow(D001)\ny.unwrap();";
+        let lexed = tokenize(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "P001");
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[1].rule, "D001");
+        assert!(!lexed.allows[1].has_reason);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

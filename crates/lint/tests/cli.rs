@@ -1,0 +1,158 @@
+//! End-to-end tests of the `cms-lint` binary: the baseline ratchet
+//! life-cycle on a scratch workspace, and the self-check that this
+//! repository passes with its committed baseline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cms-lint")
+}
+
+fn run(root: &Path, args: &[&str]) -> Output {
+    Command::new(bin())
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("cms-lint binary runs")
+}
+
+/// A scratch workspace with one clean deterministic crate; removed on
+/// drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!("cms-lint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates/sim/src");
+        fs::create_dir_all(&src).expect("mkdir scratch");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("write root manifest");
+        fs::write(
+            root.join("crates/sim/Cargo.toml"),
+            "[package]\nname = \"cms-sim\"\nversion = \"0.0.0\"\nedition = \"2021\"\n",
+        )
+        .expect("write member manifest");
+        fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn ok() -> u32 { 1 }\n",
+        )
+        .expect("write lib.rs");
+        Scratch { root }
+    }
+
+    fn lib_rs(&self) -> PathBuf {
+        self.root.join("crates/sim/src/lib.rs")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn ratchet_lifecycle_add_fails_remove_shrinks() {
+    let ws = Scratch::new("ratchet");
+
+    // Clean workspace, no baseline: passes.
+    let out = run(&ws.root, &[]);
+    assert!(out.status.success(), "clean run failed: {}", String::from_utf8_lossy(&out.stdout));
+
+    // Introduce a P001 violation: fails (no baseline entry covers it).
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .expect("write violation");
+    let out = run(&ws.root, &[]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ratchet regression"), "{text}");
+
+    // Baseline the debt: now carried, run passes and reports the count.
+    let out = run(&ws.root, &["--update-baseline"]);
+    assert!(out.status.success());
+    let baseline = fs::read_to_string(ws.root.join("lint-baseline.txt")).expect("baseline file");
+    assert!(baseline.contains("P001 crates/sim/src/lib.rs 1"), "{baseline}");
+    let out = run(&ws.root, &[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 carried"));
+
+    // A second violation on top of the baseline: fails again.
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\npub fn worse(v: Option<u32>) -> u32 { v.expect(\"no\") }\n",
+    )
+    .expect("write second violation");
+    let out = run(&ws.root, &[]);
+    assert!(!out.status.success());
+
+    // Fix both: the stale baseline itself now fails the run, forcing the
+    // improvement to be locked in …
+    fs::write(ws.lib_rs(), "#![forbid(unsafe_code)]\npub fn ok() -> u32 { 1 }\n")
+        .expect("write fix");
+    let out = run(&ws.root, &[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stale baseline"));
+
+    // … and --update-baseline shrinks it back to empty.
+    let out = run(&ws.root, &["--update-baseline"]);
+    assert!(out.status.success());
+    let baseline = fs::read_to_string(ws.root.join("lint-baseline.txt")).expect("baseline file");
+    assert!(!baseline.contains("P001"), "{baseline}");
+    let out = run(&ws.root, &[]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn hard_rules_cannot_be_baselined() {
+    let ws = Scratch::new("hard");
+    // A D001 violation in the deterministic crate.
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    )
+    .expect("write violation");
+    // --update-baseline refuses to launder it …
+    let out = run(&ws.root, &["--update-baseline"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cannot be baselined"));
+    // … and a hand-forged baseline entry is rejected as corrupt.
+    fs::write(ws.root.join("lint-baseline.txt"), "D001 crates/sim/src/lib.rs 2\n")
+        .expect("forge baseline");
+    let out = run(&ws.root, &[]);
+    assert_eq!(out.status.code(), Some(2), "forged baseline must be a hard error");
+}
+
+#[test]
+fn json_output_is_emitted_and_flags_failure() {
+    let ws = Scratch::new("json");
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .expect("write violation");
+    let out = run(&ws.root, &["--json"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rule\": \"P001\""), "{text}");
+    assert!(text.contains("\"ok\": false"), "{text}");
+}
+
+/// The repository itself must lint clean against its committed baseline —
+/// the same invocation CI runs.
+#[test]
+fn workspace_self_check_passes_with_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run(&root, &[]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "workspace lint failed:\n{text}");
+    assert!(text.contains("PASS"), "{text}");
+}

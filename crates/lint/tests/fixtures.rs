@@ -1,0 +1,37 @@
+//! The fixture workspace under `fixtures/ws` contains one known-bad
+//! snippet per rule; this test locks the analyzer to the exact
+//! `file:line:rule` set in `fixtures/expected.txt`.
+
+use std::path::Path;
+
+#[test]
+fn fixture_workspace_produces_exactly_the_expected_diagnostics() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let report = cms_lint::analyze_workspace(&fixtures.join("ws"));
+    assert!(report.unreadable.is_empty(), "unreadable: {:?}", report.unreadable);
+
+    let actual: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{}", d.file, d.line, d.rule))
+        .collect();
+    let expected: Vec<String> = std::fs::read_to_string(fixtures.join("expected.txt"))
+        .expect("expected.txt readable")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(actual, expected, "full diagnostics: {:#?}", report.diagnostics);
+
+    // The test-class fixture file must contribute nothing.
+    assert!(report.diagnostics.iter().all(|d| !d.file.contains("tests/")));
+    // Every rule of the catalogue except D002-in-bench appears at least
+    // once, so the fixtures exercise the whole catalogue.
+    for rule in ["D001", "D002", "D003", "P001", "H001", "L000"] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "no fixture covers {rule}"
+        );
+    }
+}

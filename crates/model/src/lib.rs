@@ -28,6 +28,8 @@
 //! assert!(best.total_clips >= point.total_clips);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -118,9 +118,12 @@ impl BitXorAssign<&Block> for Block {
         let mut lhs_words = self.data.chunks_exact_mut(8);
         let mut rhs_words = rhs.data.chunks_exact(8);
         for (a, b) in lhs_words.by_ref().zip(rhs_words.by_ref()) {
-            let word = u64::from_ne_bytes(a.try_into().expect("8-byte chunk"))
-                ^ u64::from_ne_bytes(b.try_into().expect("8-byte chunk"));
-            a.copy_from_slice(&word.to_ne_bytes());
+            // chunks_exact yields 8-byte windows; the fallible conversion
+            // keeps this arm panic-free without trusting that invariant.
+            if let (Ok(wa), Ok(wb)) = (<[u8; 8]>::try_from(&*a), <[u8; 8]>::try_from(b)) {
+                let word = u64::from_ne_bytes(wa) ^ u64::from_ne_bytes(wb);
+                a.copy_from_slice(&word.to_ne_bytes());
+            }
         }
         for (a, b) in lhs_words.into_remainder().iter_mut().zip(rhs_words.remainder()) {
             *a ^= *b;

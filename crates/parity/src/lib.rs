@@ -24,6 +24,8 @@
 //! assert_eq!(rebuilt, a);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

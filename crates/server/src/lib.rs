@@ -36,6 +36,8 @@
 //! assert_eq!(server.metrics().hiccups, 0, "guarantee held through failure");
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -13,7 +13,7 @@ use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, Timi
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
 use cms_parity::{parity_of, reconstruct, Block};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One scheduled disk read.
 #[derive(Debug, Clone, Copy)]
@@ -45,9 +45,9 @@ struct Client {
     /// Consumption progress (blocks, in order; skipped blocks count).
     consumed: u64,
     /// idx → round from which the block is available in the buffer.
-    avail: HashMap<u64, u64>,
+    avail: BTreeMap<u64, u64>,
     /// idx → outstanding reads before reconstruction completes.
-    recon_pending: HashMap<u64, u32>,
+    recon_pending: BTreeMap<u64, u32>,
 }
 
 impl Client {
@@ -69,8 +69,12 @@ struct DiskRound {
     queue_len: u32,
     /// The fetches taken this round, in EDF order, awaiting delivery.
     served: Vec<Fetch>,
-    /// Service-time accounting; `None` when the queue was empty.
+    /// Service-time accounting; `None` when the queue was empty or the
+    /// disk refused service.
     outcome: Option<RoundOutcome>,
+    /// Fetches dropped because the disk refused service (failed disk or
+    /// out-of-range block) — merged into `Metrics::service_errors`.
+    dropped: u32,
 }
 
 /// Drains up to `budget` fetches from one disk's queue
@@ -85,7 +89,7 @@ fn serve_disk(
     deadline: f64,
 ) -> DiskRound {
     if queue.is_empty() {
-        return DiskRound { queue_len: 0, served: Vec::new(), outcome: None };
+        return DiskRound { queue_len: 0, served: Vec::new(), outcome: None, dropped: 0 };
     }
     let queue_len = queue.len() as u32;
     // Earliest-deadline-first within the per-round budget (stable sort:
@@ -102,10 +106,16 @@ fn serve_disk(
             reconstruction: f.recon_for.is_some(),
         })
         .collect();
-    let outcome = disk
-        .service_round(ctx, &requests, deadline)
-        .expect("healthy disk serves within capacity");
-    DiskRound { queue_len, served, outcome: Some(outcome) }
+    match disk.service_round(ctx, &requests, deadline) {
+        Ok(outcome) => DiskRound { queue_len, served, outcome: Some(outcome), dropped: 0 },
+        // The engine never routes fetches to a failed disk, so this arm
+        // is unreachable for valid layouts — but a refused round must
+        // drop its fetches and be counted, never panic the server loop.
+        Err(_) => {
+            let dropped = served.len() as u32;
+            DiskRound { queue_len, served: Vec::new(), outcome: None, dropped }
+        }
+    }
 }
 
 /// A queued unit of playback: a clip, possibly resumed from an offset
@@ -137,7 +147,7 @@ struct RebuildState {
     /// Total blocks to rebuild (the disk's used prefix).
     total: u64,
     /// block_no → outstanding reads before it is rebuilt.
-    outstanding: HashMap<u64, u32>,
+    outstanding: BTreeMap<u64, u32>,
     /// Blocks fully rebuilt so far.
     rebuilt: u64,
 }
@@ -151,10 +161,10 @@ pub struct Simulator {
     catalog: Catalog,
     admission: Box<dyn Admission>,
     pending: PendingList<PendingPlay>,
-    paused: HashMap<RequestId, PausedClient>,
+    paused: BTreeMap<RequestId, PausedClient>,
     arrivals: PoissonArrivals,
     choice: ClipChoice,
-    clients: HashMap<RequestId, Client>,
+    clients: BTreeMap<RequestId, Client>,
     array: DiskArray,
     queues: Vec<Vec<Fetch>>,
     /// Resolved disk-service worker count (from `cfg.threads`, 0 = auto),
@@ -256,7 +266,9 @@ impl Simulator {
         };
         let admission: Box<dyn Admission> = match cfg.scheme {
             Scheme::DeclusteredParity => {
-                let pgt = layout.pgt().expect("declustered layout has a PGT");
+                let pgt = layout.pgt().ok_or_else(|| CmsError::InfeasibleConfig {
+                    reason: "declustered layout produced no parity group table".into(),
+                })?;
                 Box::new(DeclusteredAdmission::new(
                     cfg.d,
                     pgt.rows(),
@@ -266,7 +278,9 @@ impl Simulator {
                 )?)
             }
             Scheme::DynamicReservation => {
-                let pgt = layout.pgt().expect("dynamic layout has a PGT");
+                let pgt = layout.pgt().ok_or_else(|| CmsError::InfeasibleConfig {
+                    reason: "dynamic-reservation layout produced no parity group table".into(),
+                })?;
                 let deltas = (0..pgt.rows()).map(|r| pgt.row_deltas(r)).collect();
                 Box::new(DynamicAdmission::new(cfg.d, cfg.q, deltas)?)
             }
@@ -318,8 +332,8 @@ impl Simulator {
             queues: vec![Vec::new(); cfg.d as usize],
             workers,
             pending: PendingList::new(),
-            paused: HashMap::new(),
-            clients: HashMap::new(),
+            paused: BTreeMap::new(),
+            clients: BTreeMap::new(),
             layout,
             catalog,
             admission,
@@ -514,7 +528,7 @@ impl Simulator {
         if self.failed != Some(disk) {
             return Err(CmsError::invalid_params(format!("{disk} is not failed")));
         }
-        self.array.repair(disk);
+        self.array.repair(disk)?;
         self.failed = None;
         self.rebuild = None;
         Ok(())
@@ -581,24 +595,31 @@ impl Simulator {
             .as_ref()
             .is_some_and(|rb| rb.rebuilt == rb.total && rb.outstanding.is_empty());
         if done {
-            let disk = self.rebuild.take().expect("checked").disk;
+            let Some(rb) = self.rebuild.take() else { return };
             // The spare now holds the full contents: the array is whole
             // again (modeled as the failed slot returning to service).
-            self.array.repair(disk);
+            if self.array.repair(rb.disk).is_err() {
+                self.metrics.service_errors += 1;
+            }
             self.failed = None;
             self.metrics.rebuild_completed_round = Some(self.t);
         }
     }
 
     fn fail_now(&mut self, disk: DiskId) {
-        self.array.fail(disk);
+        if self.array.fail(disk).is_err() {
+            // Out-of-range ids are rejected by fail_disk / config
+            // validation before reaching here; count, don't crash.
+            self.metrics.service_errors += 1;
+            return;
+        }
         self.failed = Some(disk);
         if self.cfg.auto_rebuild {
             self.rebuild = Some(RebuildState {
                 disk,
                 next_block: 0,
                 total: self.layout.blocks_used(disk),
-                outstanding: HashMap::new(),
+                outstanding: BTreeMap::new(),
                 rebuilt: 0,
             });
         }
@@ -621,7 +642,9 @@ impl Simulator {
         }
         if let Some(repair) = fs.repair_round {
             if self.t == repair && self.failed == Some(fs.disk) {
-                self.array.repair(fs.disk);
+                if self.array.repair(fs.disk).is_err() {
+                    self.metrics.service_errors += 1;
+                }
                 self.failed = None;
             }
         }
@@ -680,7 +703,12 @@ impl Simulator {
                 idx += 1;
                 continue;
             }
-            let cand = self.pending.remove_at(idx).expect("candidate exists");
+            let Some(cand) = self.pending.remove_at(idx) else {
+                // The admitted candidate was at idx an instant ago; an
+                // empty slot here means the queue shrank underneath us —
+                // stop scanning rather than panic mid-round.
+                break;
+            };
             // A successful admission may have freed nothing, but it does
             // not invalidate earlier rejections this round; keep scanning
             // from the same position (the next element shifted into it)
@@ -700,8 +728,8 @@ impl Simulator {
                     first_boundary: self.t.div_ceil(span) * span,
                     issued: 0,
                     consumed: 0,
-                    avail: HashMap::new(),
-                    recon_pending: HashMap::new(),
+                    avail: BTreeMap::new(),
+                    recon_pending: BTreeMap::new(),
                 },
             );
             self.metrics.peak_active = self.metrics.peak_active.max(self.clients.len() as u64);
@@ -732,7 +760,9 @@ impl Simulator {
                     let idx = issued;
                     let needed = self.clients[&id].consume_round(idx, scheme, self.cfg.p);
                     self.issue_data_fetch(id, idx, needed);
-                    self.clients.get_mut(&id).expect("exists").issued = idx + 1;
+                    if let Some(c) = self.clients.get_mut(&id) {
+                        c.issued = idx + 1;
+                    }
                 }
                 Scheme::PrefetchParityDisks | Scheme::PrefetchFlat => {
                     // Staggered group fetch every p−1 rounds.
@@ -741,7 +771,9 @@ impl Simulator {
                     }
                     let group_end = (issued + span).min(placement.len);
                     self.issue_group_fetch(id, issued, group_end, false);
-                    self.clients.get_mut(&id).expect("exists").issued = group_end;
+                    if let Some(c) = self.clients.get_mut(&id) {
+                        c.issued = group_end;
+                    }
                 }
                 Scheme::StreamingRaid => {
                     // Lock-step long rounds: whole group plus its parity.
@@ -750,7 +782,9 @@ impl Simulator {
                     }
                     let group_end = (issued + span).min(placement.len);
                     self.issue_group_fetch(id, issued, group_end, true);
-                    self.clients.get_mut(&id).expect("exists").issued = group_end;
+                    if let Some(c) = self.clients.get_mut(&id) {
+                        c.issued = group_end;
+                    }
                 }
             }
         }
@@ -851,8 +885,9 @@ impl Simulator {
                 // p = 2 mirror with both copies on failed disks.
                 unreachable!("single failure cannot erase both data and parity");
             }
-            let client = self.clients.get_mut(&id).expect("exists");
-            client.recon_pending.insert(idx, survivors as u32);
+            if let Some(client) = self.clients.get_mut(&id) {
+                client.recon_pending.insert(idx, survivors as u32);
+            }
         }
     }
 
@@ -884,8 +919,9 @@ impl Simulator {
             survivors += 1;
             self.metrics.recovery_reads += 1;
         }
-        let client = self.clients.get_mut(&id).expect("exists");
-        client.recon_pending.insert(idx, survivors);
+        if let Some(client) = self.clients.get_mut(&id) {
+            client.recon_pending.insert(idx, survivors);
+        }
     }
 
     fn push_fetch(&mut self, fetch: Fetch) {
@@ -950,6 +986,7 @@ impl Simulator {
                         .collect();
                     handles
                         .into_iter()
+                        // lint: allow(P001) a panicked scoped worker left shared disk state undefined; propagating is the only sound option
                         .flat_map(|h| h.join().expect("disk service worker panicked"))
                         .collect()
                 })
@@ -957,8 +994,9 @@ impl Simulator {
         };
         // Phase two: sequential merge in disk-ID order.
         for (disk, round) in rounds.into_iter().enumerate() {
+            self.metrics.service_errors += u64::from(round.dropped);
             let Some(outcome) = round.outcome else {
-                continue; // empty queue this round
+                continue; // empty queue (or refused service) this round
             };
             self.metrics.peak_disk_queue = self.metrics.peak_disk_queue.max(round.queue_len);
             self.metrics.peak_utilization =
@@ -1024,7 +1062,10 @@ impl Simulator {
         // Parity block content is the XOR of all the group's data blocks.
         let data: Vec<Block> = group.data.iter().map(|&a| content(a)).collect();
         let refs: Vec<&Block> = data.iter().collect();
-        let parity = parity_of(&refs).expect("group has data blocks of equal length");
+        // A group that cannot produce parity (empty, or unequal block
+        // lengths) can never verify — report the mismatch instead of
+        // panicking mid-delivery.
+        let Ok(parity) = parity_of(&refs) else { return false };
         // Reconstruct from survivors: all data except the lost one, plus
         // parity.
         let mut survivors: Vec<&Block> = group
@@ -1034,7 +1075,7 @@ impl Simulator {
             .filter_map(|(&a, b)| (a != lost).then_some(b))
             .collect();
         survivors.push(&parity);
-        let rebuilt = reconstruct(&survivors).expect("survivor set is non-empty");
+        let Ok(rebuilt) = reconstruct(&survivors) else { return false };
         rebuilt == content(lost)
     }
 

@@ -48,6 +48,8 @@
 //! assert_eq!(metrics.parity_mismatches, 0); // rebuilt bytes identical
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -63,6 +63,10 @@ pub struct Metrics {
     pub hiccups: u64,
     /// Fetches served later than the round before they were needed.
     pub late_serves: u64,
+    /// Fetches dropped because a disk refused a service round (failed
+    /// disk or out-of-range block). Always 0 for valid layouts; anything
+    /// above zero is a routing bug surfaced as data, not a panic.
+    pub service_errors: u64,
     /// Peak simultaneous per-disk queue depth observed.
     pub peak_disk_queue: u32,
     /// Peak buffered (fetched, unconsumed) blocks across all clients.

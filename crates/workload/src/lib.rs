@@ -12,6 +12,8 @@
 //! * [`ClipChoice`] — uniform or Zipf-popular selection (Zipf is the
 //!   standard VoD extension; uniform reproduces the paper).
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

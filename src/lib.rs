@@ -19,6 +19,8 @@
 //! assert_eq!(server.metrics().completed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![deny(missing_docs)]
 
 pub use cms_admission as admission;

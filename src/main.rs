@@ -9,6 +9,8 @@
 //! cmfs schemes                                         list schemes
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cms_core::units::mib;
 use cms_core::{DiskId, Scheme};
 use cms_model::{tuned_optimal, tuned_point, ModelInput};

@@ -45,6 +45,7 @@ fn assert_identical(base: &Metrics, other: &Metrics, label: &str) {
     assert_eq!(base.parity_mismatches, other.parity_mismatches, "{label}: parity_mismatches");
     assert_eq!(base.hiccups, other.hiccups, "{label}: hiccups");
     assert_eq!(base.late_serves, other.late_serves, "{label}: late_serves");
+    assert_eq!(base.service_errors, other.service_errors, "{label}: service_errors");
     assert_eq!(base.peak_disk_queue, other.peak_disk_queue, "{label}: peak_disk_queue");
     assert_eq!(
         base.peak_buffered_blocks, other.peak_buffered_blocks,
