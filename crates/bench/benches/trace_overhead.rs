@@ -1,0 +1,38 @@
+//! Tracing overhead on a Figure-6-scale run: `TraceSpec::off()` (no
+//! tracer at all) vs `TraceSpec::null()` (every event built and
+//! summarised, nothing exported). The observability contract promises the
+//! off-path costs nothing and the null sink stays within noise (<1%) of
+//! it — compare the two `figure6_cell_*` medians to check.
+
+use cms_core::Scheme;
+use cms_model::{tuned_point, ModelInput};
+use cms_sim::{SimConfig, Simulator, TraceSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn paper_cfg(scheme: Scheme, trace: TraceSpec, rounds: u64) -> SimConfig {
+    let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(75_000);
+    let point = tuned_point(scheme, &input, 4, 1).expect("feasible");
+    let mut cfg = SimConfig::sigmod96(scheme, &point, 32);
+    cfg.rounds = rounds;
+    cfg.trace = trace;
+    cfg
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for (label, trace) in [("off", TraceSpec::off()), ("null", TraceSpec::null())] {
+        group.bench_function(format!("figure6_cell_{label}"), |b| {
+            let spec = trace.clone();
+            b.iter_batched(
+                || paper_cfg(Scheme::DeclusteredParity, spec.clone(), 600),
+                |cfg| Simulator::new(cfg).expect("constructs").run(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

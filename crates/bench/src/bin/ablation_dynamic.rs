@@ -8,10 +8,11 @@
 //! sweeps the arrival rate from light to saturating load, reporting
 //! admitted clips and mean admission wait.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin ablation_dynamic [-- --json]`
+//! Usage: `cargo run --release -p cms-bench --bin ablation_dynamic [-- --json] [--threads T] [--trace PATH] [--trace-rounds N]`
 
 #![forbid(unsafe_code)]
 
+use cms_bench::BenchArgs;
 use cms_core::Scheme;
 use cms_model::{tuned_point, ModelInput};
 use cms_sim::{SimConfig, Simulator};
@@ -28,7 +29,8 @@ struct Row {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    let trace = args.trace_spec();
     let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(75_000);
     let p = 4;
     let mut rows = Vec::new();
@@ -38,6 +40,8 @@ fn main() {
             let mut cfg = SimConfig::sigmod96(scheme, &point, 32);
             cfg.arrival_rate = rate;
             cfg.rounds = 600;
+            cfg.threads = args.threads();
+            cfg.trace = trace.labeled(&format!("{scheme:?}-lambda{rate}"));
             let m = Simulator::new(cfg).expect("constructs").run();
             assert_eq!(m.hiccups, 0, "{scheme} must not hiccup");
             rows.push(Row {
@@ -50,7 +54,7 @@ fn main() {
             });
         }
     }
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

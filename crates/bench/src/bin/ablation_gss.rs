@@ -8,9 +8,14 @@
 //! cites when deriving Equation 1.
 //!
 //! Usage: `cargo run -p cms-bench --bin ablation_gss [-- --json]`
+//!
+//! Accepts the shared flag set; `--trace` is ignored (with a warning)
+//! because this binary evaluates the GSS budget only — no simulation
+//! runs.
 
 #![forbid(unsafe_code)]
 
+use cms_bench::BenchArgs;
 use cms_core::units::{kib, mbps};
 use cms_core::{DiskParams, GssBudget};
 use serde::Serialize;
@@ -25,7 +30,8 @@ struct Row {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    args.warn_if_trace_unused("ablation_gss");
     let disk = DiskParams::sigmod96();
     let mut rows = Vec::new();
     for block_kb in [128u64, 256, 512] {
@@ -42,7 +48,7 @@ fn main() {
             });
         }
     }
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

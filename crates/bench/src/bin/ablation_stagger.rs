@@ -9,10 +9,14 @@
 //! sweep.
 //!
 //! Usage: `cargo run -p cms-bench --bin ablation_stagger [-- --json]`
+//!
+//! Accepts the shared flag set; `--trace` is ignored (with a warning)
+//! because this binary evaluates the capacity model only — no simulation
+//! runs.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::PAPER_PS;
+use cms_bench::{BenchArgs, PAPER_PS};
 use cms_core::Scheme;
 use cms_model::{capacity, ModelInput};
 use serde::Serialize;
@@ -27,7 +31,8 @@ struct Row {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    args.warn_if_trace_unused("ablation_stagger");
     let mut rows = Vec::new();
     for (label, bytes) in [("256MB", 268_435_456u64), ("2GB", 2_147_483_648)] {
         let full = ModelInput::sigmod96(bytes);
@@ -49,7 +54,7 @@ fn main() {
             }
         }
     }
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

@@ -4,29 +4,25 @@
 //! the non-clustered baseline is allowed (expected, under saturation) to
 //! glitch — the §7.4 caveat.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin failure_drill [-- --json] [--rounds N] [--threads T]`
+//! Usage: `cargo run --release -p cms-bench --bin failure_drill [-- --json] [--rounds N] [--threads T] [--trace PATH] [--trace-rounds N]`
 //!
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
+//! `--trace` exports each scheme's failure→recovery→rebuild event stream
+//! (JSONL, or CSV when the path ends in `.csv`) to its own file; feed a
+//! JSONL file to the `timeline` binary to render the drill. The exported
+//! streams are byte-identical at any `--threads` setting.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::failure_drill_threaded;
+use cms_bench::{failure_drill_traced, BenchArgs};
 use cms_core::Scheme;
 
-fn arg_value(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let rounds = arg_value(&args, "--rounds").unwrap_or(300);
-    let threads = arg_value(&args, "--threads").unwrap_or(0) as usize;
-    let rows = failure_drill_threaded(rounds, 0x0DEA_D15C, threads);
-    if args.iter().any(|a| a == "--json") {
+    let args = BenchArgs::parse();
+    let rounds = args.rounds_or(300);
+    let rows = failure_drill_traced(rounds, 0x0DEA_D15C, args.threads(), &args.trace_spec());
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

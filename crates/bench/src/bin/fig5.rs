@@ -2,16 +2,21 @@
 //! five schemes, two buffer sizes.
 //!
 //! Usage: `cargo run -p cms-bench --bin fig5 [-- --json]`
+//!
+//! Accepts the shared flag set; `--trace` is ignored (with a warning)
+//! because this binary evaluates the capacity model only — no simulation
+//! runs, so there is nothing to trace.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::{fig5_rows, PAPER_PS};
+use cms_bench::{fig5_rows, BenchArgs, PAPER_PS};
 use cms_core::Scheme;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    args.warn_if_trace_unused("fig5");
     let rows = fig5_rows();
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

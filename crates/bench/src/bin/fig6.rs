@@ -2,31 +2,25 @@
 //! parity group size (Poisson λ = 20, 1000 clips × 50 rounds), five
 //! schemes, two buffer sizes.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin fig6 [-- --json] [--rounds N] [--seed S] [--threads T]`
+//! Usage: `cargo run --release -p cms-bench --bin fig6 [-- --json] [--rounds N] [--seed S] [--threads T] [--trace PATH] [--trace-rounds N]`
 //!
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
+//! `--trace` exports a per-run event stream (JSONL, or CSV when the path
+//! ends in `.csv`) with each run's `(buffer, scheme, p)` label inserted
+//! into the file name; `--trace-rounds N` keeps only the last N rounds.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::{fig6_rows_threaded, PAPER_PS};
+use cms_bench::{fig6_rows_traced, BenchArgs, PAPER_PS};
 use cms_core::Scheme;
 
-fn arg_value(name: &str) -> Option<u64> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let rounds = arg_value("--rounds").unwrap_or(600);
-    let seed = arg_value("--seed").unwrap_or(0x51_6D0D);
-    let threads = arg_value("--threads").unwrap_or(0) as usize;
-    let rows = fig6_rows_threaded(rounds, seed, threads);
-    if json {
+    let args = BenchArgs::parse();
+    let rounds = args.rounds_or(600);
+    let seed = args.seed_or(0x51_6D0D);
+    let rows = fig6_rows_traced(rounds, seed, args.threads(), &args.trace_spec());
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

@@ -8,10 +8,11 @@
 //! for the clustered schemes when popular clips share a cluster — the
 //! experiment measures how much.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin popularity [-- --json]`
+//! Usage: `cargo run --release -p cms-bench --bin popularity [-- --json] [--threads T] [--trace PATH] [--trace-rounds N]`
 
 #![forbid(unsafe_code)]
 
+use cms_bench::BenchArgs;
 use cms_core::Scheme;
 use cms_model::{tuned_point, ModelInput};
 use cms_sim::{SimConfig, Simulator};
@@ -27,7 +28,8 @@ struct Row {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::parse();
+    let trace = args.trace_spec();
     let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(75_000);
     let mut rows = Vec::new();
     for scheme in [
@@ -40,6 +42,8 @@ fn main() {
             let mut cfg = SimConfig::sigmod96(scheme, &point, 32);
             cfg.zipf_theta = theta;
             cfg.rounds = 600;
+            cfg.threads = args.threads();
+            cfg.trace = trace.labeled(&format!("{scheme:?}-theta{theta}"));
             let m = Simulator::new(cfg).expect("constructs").run();
             assert_eq!(m.hiccups, 0, "{scheme} θ={theta}");
             rows.push(Row {
@@ -51,7 +55,7 @@ fn main() {
             });
         }
     }
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

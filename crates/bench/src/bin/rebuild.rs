@@ -8,13 +8,16 @@
 //! to full redundancy for the declustered scheme across parity group
 //! sizes and client loads, at fixed hardware.
 //!
-//! Usage: `cargo run --release -p cms-bench --bin rebuild [-- --json] [--threads T]`
+//! Usage: `cargo run --release -p cms-bench --bin rebuild [-- --json] [--threads T] [--trace PATH] [--trace-rounds N]`
 //!
 //! `--threads` sets the disk-service worker count (0 = available
 //! parallelism, 1 = sequential); the numbers are identical at any setting.
+//! `--trace` exports each `(scheme, p, λ)` run's event stream to its own
+//! file (JSONL, or CSV when the path ends in `.csv`).
 
 #![forbid(unsafe_code)]
 
+use cms_bench::BenchArgs;
 use cms_core::{DiskId, Scheme};
 use cms_model::{tuned_point, ModelInput};
 use cms_sim::{SimConfig, Simulator};
@@ -31,14 +34,9 @@ struct Row {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let json = args.iter().any(|a| a == "--json");
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0usize);
+    let args = BenchArgs::parse();
+    let threads = args.threads();
+    let trace = args.trace_spec();
     let input = ModelInput::sigmod96(268_435_456).with_storage_blocks(24_000);
     let fail_round = 50u64;
     let mut rows = Vec::new();
@@ -54,6 +52,7 @@ fn main() {
                 cfg.rounds = 6_000;
                 cfg.threads = threads;
                 cfg.auto_rebuild = true;
+                cfg.trace = trace.labeled(&format!("{scheme:?}-p{p}-lambda{rate}"));
                 cfg = cfg.with_failure(fail_round, DiskId(1));
                 let m = Simulator::new(cfg).expect("constructs").run();
                 assert_eq!(m.hiccups, 0, "{scheme} p={p} λ={rate}");
@@ -68,7 +67,7 @@ fn main() {
             }
         }
     }
-    if json {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

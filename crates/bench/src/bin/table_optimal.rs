@@ -3,14 +3,19 @@
 //! without the paper's "if a BIBD exists" guard.
 //!
 //! Usage: `cargo run -p cms-bench --bin table_optimal [-- --json]`
+//!
+//! Accepts the shared flag set; `--trace` is ignored (with a warning)
+//! because this binary runs the optimizer only — no simulation runs.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::optimal_rows;
+use cms_bench::{optimal_rows, BenchArgs};
 
 fn main() {
+    let args = BenchArgs::parse();
+    args.warn_if_trace_unused("table_optimal");
     let rows = optimal_rows();
-    if std::env::args().any(|a| a == "--json") {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

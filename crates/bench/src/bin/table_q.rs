@@ -3,14 +3,19 @@
 //! reference disk and MPEG-1 playback.
 //!
 //! Usage: `cargo run -p cms-bench --bin table_q [-- --json]`
+//!
+//! Accepts the shared flag set; `--trace` is ignored (with a warning)
+//! because this binary evaluates Equation 1 only — no simulation runs.
 
 #![forbid(unsafe_code)]
 
-use cms_bench::q_table_rows;
+use cms_bench::{q_table_rows, BenchArgs};
 
 fn main() {
+    let args = BenchArgs::parse();
+    args.warn_if_trace_unused("table_q");
     let rows = q_table_rows();
-    if std::env::args().any(|a| a == "--json") {
+    if args.json() {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
         return;
     }

@@ -3,7 +3,7 @@
 use cms_core::units::{gib, kib, mbps, mib};
 use cms_core::{CmsError, ContinuityBudget, DiskId, DiskParams, Scheme};
 use cms_model::{capacity, compute_optimal, CapacityPoint, ModelInput};
-use cms_sim::{Metrics, SimConfig, Simulator};
+use cms_sim::{Metrics, SimConfig, Simulator, TraceSpec};
 use serde::{Deserialize, Serialize};
 
 /// The paper's array size (`d = 32`).
@@ -93,6 +93,15 @@ pub fn fig6_rows(rounds: u64, seed: u64) -> Vec<Fig6Row> {
 /// returned rows are bit-identical at every setting.
 #[must_use]
 pub fn fig6_rows_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<Fig6Row> {
+    fig6_rows_traced(rounds, seed, threads, &TraceSpec::off())
+}
+
+/// [`fig6_rows_threaded`] with event tracing. Each `(buffer, scheme, p)`
+/// run exports to its own file derived from the spec's path via
+/// [`TraceSpec::labeled`]; traces follow the same determinism contract as
+/// the metrics (byte-identical at any thread count).
+#[must_use]
+pub fn fig6_rows_traced(rounds: u64, seed: u64, threads: usize, trace: &TraceSpec) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     // Block sizing must also respect storage: 1000 clips × 50 blocks plus
     // headroom for the start-jitter padding.
@@ -107,6 +116,7 @@ pub fn fig6_rows_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<Fig6Row
                 let mut cfg = SimConfig::sigmod96(scheme, &point, PAPER_D).with_threads(threads);
                 cfg.rounds = rounds;
                 cfg.seed = seed;
+                cfg.trace = trace.labeled(&format!("{label}-{scheme:?}-p{p}"));
                 let metrics = Simulator::new(cfg)
                     .expect("paper-scale configuration must construct")
                     .run();
@@ -211,6 +221,20 @@ pub fn failure_drill(rounds: u64, seed: u64) -> Vec<DrillRow> {
 /// auto, `1` = sequential); metrics are bit-identical at every setting.
 #[must_use]
 pub fn failure_drill_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<DrillRow> {
+    failure_drill_traced(rounds, seed, threads, &TraceSpec::off())
+}
+
+/// [`failure_drill_threaded`] with event tracing. Each scheme's run
+/// exports to its own file derived from the spec's path via
+/// [`TraceSpec::labeled`]; the exported failure→recovery→rebuild event
+/// stream is byte-identical at any thread count.
+#[must_use]
+pub fn failure_drill_traced(
+    rounds: u64,
+    seed: u64,
+    threads: usize,
+    trace: &TraceSpec,
+) -> Vec<DrillRow> {
     let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(1000 * 50 * 3 / 2);
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
@@ -224,6 +248,7 @@ pub fn failure_drill_threaded(rounds: u64, seed: u64, threads: usize) -> Vec<Dri
             .with_threads(threads);
         cfg.rounds = rounds;
         cfg.seed = seed;
+        cfg.trace = trace.labeled(&format!("{scheme:?}-p{p}"));
         let metrics = Simulator::new(cfg).expect("drill config must construct").run();
         rows.push(DrillRow { scheme, p, metrics });
     }

@@ -207,18 +207,21 @@ impl DiskArray {
         &self.params
     }
 
-    /// Marks `disk` failed. Idempotent.
+    /// Marks `disk` failed. Idempotent; returns whether this call made
+    /// the Healthy→Failed transition — the hook observability layers use
+    /// to emit a failure event exactly once.
     ///
     /// # Errors
     ///
     /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range —
     /// an injected fault must never be able to panic the server loop.
-    pub fn fail(&mut self, disk: DiskId) -> Result<(), CmsError> {
+    pub fn fail(&mut self, disk: DiskId) -> Result<bool, CmsError> {
         let n = self.disks.len();
         match self.disks.get_mut(disk.idx()) {
             Some(d) => {
+                let transitioned = d.status == DiskStatus::Healthy;
                 d.status = DiskStatus::Failed;
-                Ok(())
+                Ok(transitioned)
             }
             None => Err(CmsError::out_of_bounds(format!(
                 "cannot fail disk {}: array has {n} disks",
@@ -228,16 +231,19 @@ impl DiskArray {
     }
 
     /// Repairs `disk` (models the completed replacement/rebuild).
+    /// Idempotent; returns whether this call made the Failed→Healthy
+    /// transition.
     ///
     /// # Errors
     ///
     /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range.
-    pub fn repair(&mut self, disk: DiskId) -> Result<(), CmsError> {
+    pub fn repair(&mut self, disk: DiskId) -> Result<bool, CmsError> {
         let n = self.disks.len();
         match self.disks.get_mut(disk.idx()) {
             Some(d) => {
+                let transitioned = d.status == DiskStatus::Failed;
                 d.status = DiskStatus::Healthy;
-                Ok(())
+                Ok(transitioned)
             }
             None => Err(CmsError::out_of_bounds(format!(
                 "cannot repair disk {}: array has {n} disks",
@@ -250,6 +256,15 @@ impl DiskArray {
     #[must_use]
     pub fn status(&self, disk: DiskId) -> DiskStatus {
         self.disks[disk.idx()].status
+    }
+
+    /// Is `disk` currently failed? (Out-of-range ids read as healthy —
+    /// they can never serve a misrouted fetch anyway.)
+    #[must_use]
+    pub fn is_failed(&self, disk: DiskId) -> bool {
+        self.disks
+            .get(disk.idx())
+            .is_some_and(|d| d.status == DiskStatus::Failed)
     }
 
     /// Is any disk failed? Returns the first failed disk, if any.
@@ -416,6 +431,20 @@ mod tests {
         assert!(matches!(a.fail(DiskId(99)), Err(CmsError::OutOfBounds { .. })));
         assert!(matches!(a.repair(DiskId(99)), Err(CmsError::OutOfBounds { .. })));
         assert!(a.service_round(DiskId(2), &reqs(2, &[1]), 1.0).is_ok());
+    }
+
+    #[test]
+    fn fail_and_repair_report_transitions_exactly_once() {
+        let mut a = array(TimingModel::worst_case());
+        assert!(!a.is_failed(DiskId(1)));
+        assert!(a.fail(DiskId(1)).unwrap(), "first fail transitions");
+        assert!(!a.fail(DiskId(1)).unwrap(), "second fail is idempotent");
+        assert!(a.is_failed(DiskId(1)));
+        assert!(a.repair(DiskId(1)).unwrap(), "first repair transitions");
+        assert!(!a.repair(DiskId(1)).unwrap(), "second repair is idempotent");
+        assert!(!a.is_failed(DiskId(1)));
+        // Out-of-range reads as healthy rather than panicking.
+        assert!(!a.is_failed(DiskId(99)));
     }
 
     #[test]

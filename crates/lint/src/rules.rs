@@ -23,9 +23,11 @@ use crate::tokenizer::{tokenize, AllowDirective, Tok, TokKind};
 use crate::workspace::{FileClass, SourceFile};
 
 /// Crates bound by the bit-identical replay contract: rule D001 applies
-/// to their library code.
-pub const DETERMINISTIC_CRATES: [&str; 5] =
-    ["cms-sim", "cms-disk", "cms-admission", "cms-core", "cms-server"];
+/// to their library code. `cms-trace` is included because exported event
+/// streams carry the same byte-identical promise as the metrics
+/// (DESIGN.md §6).
+pub const DETERMINISTIC_CRATES: [&str; 6] =
+    ["cms-sim", "cms-disk", "cms-admission", "cms-core", "cms-server", "cms-trace"];
 
 /// The only crate allowed to read wall clocks or OS entropy (it measures
 /// real time by design).

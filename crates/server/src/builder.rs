@@ -3,7 +3,7 @@
 use cms_core::units::mbps;
 use cms_core::{CmsError, DiskParams, Scheme};
 use cms_model::{tuned_optimal, tuned_point, CapacityPoint, ModelInput};
-use cms_sim::SimConfig;
+use cms_sim::{SimConfig, TraceSpec};
 
 /// Builder for a [`crate::CmServer`].
 ///
@@ -24,6 +24,7 @@ pub struct CmServerBuilder {
     verify_parity: bool,
     auto_rebuild: bool,
     threads: usize,
+    trace: TraceSpec,
 }
 
 impl CmServerBuilder {
@@ -42,6 +43,7 @@ impl CmServerBuilder {
             verify_parity: false,
             auto_rebuild: false,
             threads: 0,
+            trace: TraceSpec::off(),
         }
     }
 
@@ -114,6 +116,15 @@ impl CmServerBuilder {
         self
     }
 
+    /// Enables event tracing (summary-only, JSONL or CSV — see
+    /// [`TraceSpec`]). Traces follow the same determinism contract as
+    /// the metrics: byte-identical at any thread count.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Solves the capacity model and produces the tuned point plus the
     /// simulation config the server runs on.
     ///
@@ -158,6 +169,7 @@ impl CmServerBuilder {
             aging_limit: 200,
             auto_rebuild: self.auto_rebuild,
             threads: self.threads,
+            trace: self.trace.clone(),
         };
         Ok((point, cfg))
     }

@@ -139,6 +139,27 @@ impl CmServer {
         self.sim.rebuild_progress()
     }
 
+    /// The running trace summary — event counts, load-shape histograms
+    /// and the failure→recovery→rebuild milestone gaps. `None` unless
+    /// tracing was enabled via [`crate::CmServerBuilder::trace`] (or
+    /// [`CmServer::set_trace_sink`]).
+    #[must_use]
+    pub fn trace_summary(&self) -> Option<&cms_sim::TraceSummary> {
+        self.sim.trace_summary()
+    }
+
+    /// Installs a custom trace sink (e.g. a `RingSink` whose handle the
+    /// caller keeps for live inspection).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn cms_sim::TraceSink + Send>) {
+        self.sim.set_trace_sink(sink);
+    }
+
+    /// Flushes the trace sink (file traces are buffered; call this when
+    /// done ticking).
+    pub fn flush_trace(&mut self) {
+        self.sim.flush_trace();
+    }
+
     /// VCR pause: stops a playing session, releasing its bandwidth slot
     /// (the buffer is dropped; resuming re-admits through the controller).
     ///
@@ -278,6 +299,35 @@ mod tests {
         assert_eq!(m.hiccups, 0);
         assert!(at_pause == 0, "pause must free the slot immediately");
         let _ = resumed;
+    }
+
+    #[test]
+    fn trace_summary_follows_a_failure_drill() {
+        let mut server = CmServer::builder(Scheme::DeclusteredParity)
+            .disks(8)
+            .buffer_bytes(64 << 20)
+            .catalog(40, 20)
+            .verify_reconstructions()
+            .trace(cms_sim::TraceSpec::null())
+            .build()
+            .unwrap();
+        assert_eq!(server.trace_summary().map(|s| s.events), Some(0));
+        for c in 0..8u64 {
+            server.request(ClipId(c)).unwrap();
+        }
+        server.run_rounds(5);
+        server.fail_disk(DiskId(1)).unwrap();
+        server.run_rounds(20);
+        server.repair_disk(DiskId(1)).unwrap();
+        server.run_rounds(40);
+        server.flush_trace();
+        let s = server.trace_summary().expect("tracing enabled");
+        assert_eq!(s.failure_round, Some(5));
+        assert_eq!(s.repair_round, Some(25));
+        assert!(s.recovery_reads > 0);
+        assert_eq!(s.recovery_reads, server.metrics().recovery_reads);
+        assert_eq!(s.completions, 8);
+        assert!(s.failure_to_first_recovery().is_some());
     }
 
     #[test]

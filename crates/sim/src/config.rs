@@ -2,6 +2,7 @@
 
 use cms_core::{CmsError, DiskId, Scheme};
 use cms_model::CapacityPoint;
+use cms_trace::TraceSpec;
 
 /// A single-disk failure (and optional repair) to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,10 @@ pub struct SimConfig {
     /// computed locally and merged in disk-ID order (see DESIGN.md's
     /// determinism contract).
     pub threads: usize,
+    /// Event tracing: off by default; see [`TraceSpec`] for summary-only,
+    /// JSONL and CSV modes. Traces obey the same determinism contract as
+    /// the metrics — byte-identical at any thread count.
+    pub trace: TraceSpec,
 }
 
 impl SimConfig {
@@ -100,6 +105,7 @@ impl SimConfig {
             aging_limit: 200,
             auto_rebuild: false,
             threads: 0,
+            trace: TraceSpec::off(),
         }
     }
 
@@ -130,6 +136,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_verification(mut self) -> Self {
         self.verify_parity = true;
+        self
+    }
+
+    /// Sets the event-tracing mode (see [`TraceSpec`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
         self
     }
 

@@ -12,6 +12,7 @@ use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
 use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, TimingModel};
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
 use cms_parity::{parity_of, reconstruct, Block};
+use cms_trace::{EventKind, TraceSink, TraceSummary, Tracer};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
 use std::collections::BTreeMap;
 
@@ -75,6 +76,10 @@ struct DiskRound {
     /// Fetches dropped because the disk refused service (failed disk or
     /// out-of-range block) — merged into `Metrics::service_errors`.
     dropped: u32,
+    /// Trace events produced while servicing this disk (empty when
+    /// tracing is off). Buffered per worker and drained by the merge
+    /// phase in disk-ID order — the trace-determinism contract.
+    events: Vec<EventKind>,
 }
 
 /// Drains up to `budget` fetches from one disk's queue
@@ -87,9 +92,16 @@ fn serve_disk(
     ctx: &ServiceContext,
     budget: usize,
     deadline: f64,
+    collect_events: bool,
 ) -> DiskRound {
     if queue.is_empty() {
-        return DiskRound { queue_len: 0, served: Vec::new(), outcome: None, dropped: 0 };
+        return DiskRound {
+            queue_len: 0,
+            served: Vec::new(),
+            outcome: None,
+            dropped: 0,
+            events: Vec::new(),
+        };
     }
     let queue_len = queue.len() as u32;
     // Earliest-deadline-first within the per-round budget (stable sort:
@@ -107,13 +119,33 @@ fn serve_disk(
         })
         .collect();
     match disk.service_round(ctx, &requests, deadline) {
-        Ok(outcome) => DiskRound { queue_len, served, outcome: Some(outcome), dropped: 0 },
+        Ok(outcome) => {
+            let events = if collect_events {
+                vec![EventKind::DiskServe {
+                    disk: disk.id.raw(),
+                    blocks: outcome.blocks,
+                    // Microseconds losslessly represent the worst-case
+                    // timing model at round scale; the f64 is computed
+                    // locally per disk, so the value is thread-invariant.
+                    busy_us: (outcome.busy * 1e6) as u64,
+                    queue: queue_len,
+                }]
+            } else {
+                Vec::new()
+            };
+            DiskRound { queue_len, served, outcome: Some(outcome), dropped: 0, events }
+        }
         // The engine never routes fetches to a failed disk, so this arm
         // is unreachable for valid layouts — but a refused round must
         // drop its fetches and be counted, never panic the server loop.
         Err(_) => {
             let dropped = served.len() as u32;
-            DiskRound { queue_len, served: Vec::new(), outcome: None, dropped }
+            let events = if collect_events {
+                vec![EventKind::ServiceError { disk: disk.id.raw(), dropped }]
+            } else {
+                Vec::new()
+            };
+            DiskRound { queue_len, served: Vec::new(), outcome: None, dropped, events }
         }
     }
 }
@@ -176,6 +208,20 @@ pub struct Simulator {
     failed: Option<DiskId>,
     rebuild: Option<RebuildState>,
     metrics: Metrics,
+    /// Event tracer, present when `cfg.trace` (or `set_trace_sink`)
+    /// enabled tracing. All emission happens on the merge thread, in the
+    /// same order the sequential engine would produce.
+    tracer: Option<Tracer>,
+}
+
+/// Emits one trace event if tracing is enabled. A free function (not a
+/// method) so call sites holding disjoint `&mut` borrows of other
+/// simulator fields can still emit.
+#[inline]
+fn emit(tracer: &mut Option<Tracer>, round: u64, kind: EventKind) {
+    if let Some(tr) = tracer.as_mut() {
+        tr.emit(round, kind);
+    }
 }
 
 impl Simulator {
@@ -322,6 +368,9 @@ impl Simulator {
             disk_blocks: vec![0; cfg.d as usize],
             ..Metrics::default()
         };
+        let tracer = cfg.trace.build().map_err(|e| {
+            CmsError::invalid_params(format!("cannot open trace output: {e}"))
+        })?;
         Ok(Simulator {
             arrivals: PoissonArrivals::new(cfg.arrival_rate, cfg.seed ^ 0xA11),
             choice: if cfg.zipf_theta > 0.0 {
@@ -344,17 +393,49 @@ impl Simulator {
             failed: None,
             rebuild: None,
             metrics,
+            tracer,
             cfg,
         })
     }
 
     /// Runs the configured number of rounds and returns the metrics.
-    pub fn run(mut self) -> Metrics {
+    pub fn run(self) -> Metrics {
+        self.run_summary().0
+    }
+
+    /// Runs the configured number of rounds and returns the metrics plus
+    /// the trace summary (`None` when tracing is off). File sinks are
+    /// flushed before this returns.
+    pub fn run_summary(mut self) -> (Metrics, Option<TraceSummary>) {
         for _ in 0..self.cfg.rounds {
             self.step();
         }
         self.metrics.still_pending = self.pending.len() as u64;
-        self.metrics
+        let summary = self.tracer.map(|mut tr| {
+            tr.finish();
+            tr.summary().clone()
+        });
+        (self.metrics, summary)
+    }
+
+    /// Installs a trace sink mid-stream (replacing whatever `cfg.trace`
+    /// set up), e.g. a `RingSink` whose handle the caller keeps.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
+        self.tracer = Some(Tracer::new(sink));
+    }
+
+    /// The running trace summary, when tracing is enabled.
+    #[must_use]
+    pub fn trace_summary(&self) -> Option<&TraceSummary> {
+        self.tracer.as_ref().map(Tracer::summary)
+    }
+
+    /// Flushes the trace sink without consuming the simulator (stepping
+    /// callers that never reach [`Simulator::run_summary`]).
+    pub fn flush_trace(&mut self) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.finish();
+        }
     }
 
     /// Executes one round of the server pipeline.
@@ -372,6 +453,9 @@ impl Simulator {
             self.metrics.blocks_fetched,
             self.metrics.recovery_reads,
             self.metrics.hiccups,
+            self.metrics.service_errors,
+            self.metrics.rebuild_reads,
+            self.metrics.late_serves,
         );
         let round = self.t;
         self.metrics.rounds += 1;
@@ -392,6 +476,9 @@ impl Simulator {
             blocks_served: self.metrics.blocks_fetched - before.3,
             recovery_reads: self.metrics.recovery_reads - before.4,
             hiccups: self.metrics.hiccups - before.5,
+            service_errors: self.metrics.service_errors - before.6,
+            rebuild_reads: self.metrics.rebuild_reads - before.7,
+            late_serves: self.metrics.late_serves - before.8,
             active: self.clients.len() as u64,
             pending: self.pending.len() as u64,
         }
@@ -445,6 +532,11 @@ impl Simulator {
         self.next_request += 1;
         self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
         self.metrics.arrivals += 1;
+        emit(
+            &mut self.tracer,
+            self.t,
+            EventKind::Arrival { request: id.raw(), clip: clip.raw() },
+        );
         Ok(id)
     }
 
@@ -531,6 +623,7 @@ impl Simulator {
         self.array.repair(disk)?;
         self.failed = None;
         self.rebuild = None;
+        emit(&mut self.tracer, self.t, EventKind::DiskRepair { disk: disk.raw() });
         Ok(())
     }
 
@@ -586,6 +679,10 @@ impl Simulator {
                 });
             }
         }
+        if let Some(rb) = &self.rebuild {
+            let (rebuilt, total) = (rb.rebuilt, rb.total);
+            emit(&mut self.tracer, self.t, EventKind::RebuildProgress { rebuilt, total });
+        }
         self.check_rebuild_complete();
     }
 
@@ -603,6 +700,11 @@ impl Simulator {
             }
             self.failed = None;
             self.metrics.rebuild_completed_round = Some(self.t);
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::RebuildComplete { disk: rb.disk.raw() },
+            );
         }
     }
 
@@ -614,6 +716,7 @@ impl Simulator {
             return;
         }
         self.failed = Some(disk);
+        emit(&mut self.tracer, self.t, EventKind::DiskFailure { disk: disk.raw() });
         if self.cfg.auto_rebuild {
             self.rebuild = Some(RebuildState {
                 disk,
@@ -646,6 +749,11 @@ impl Simulator {
                     self.metrics.service_errors += 1;
                 }
                 self.failed = None;
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::DiskRepair { disk: fs.disk.raw() },
+                );
             }
         }
     }
@@ -657,6 +765,11 @@ impl Simulator {
             self.next_request += 1;
             self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
             self.metrics.arrivals += 1;
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::Arrival { request: id.raw(), clip: clip.raw() },
+            );
         }
     }
 
@@ -678,6 +791,8 @@ impl Simulator {
         while inspected < scan {
             let Some(cand) = self.pending.get(idx) else { break };
             inspected += 1;
+            let cand_id = cand.id;
+            let cand_clip = cand.payload.clip;
             let mut placement = self.catalog.placement(cand.payload.clip);
             // A resumed session plays only the remainder of the clip.
             let offset = cand.payload.offset.min(placement.len);
@@ -687,6 +802,11 @@ impl Simulator {
                 // Paused at the very end: nothing left to play.
                 self.pending.remove_at(idx);
                 self.metrics.completed += 1;
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::Completion { request: cand_id.raw() },
+                );
                 continue;
             }
             let start = StreamAddr::new(placement.stream, placement.start_index);
@@ -700,6 +820,11 @@ impl Simulator {
                 len: placement.len,
             };
             if self.admission.try_admit(req).is_err() {
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::Rejection { request: cand_id.raw(), clip: cand_clip.raw() },
+                );
                 idx += 1;
                 continue;
             }
@@ -719,6 +844,11 @@ impl Simulator {
             self.metrics.wait_rounds_total += wait;
             self.metrics.wait_rounds_max = self.metrics.wait_rounds_max.max(wait);
             self.metrics.record_wait(wait);
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::Admission { request: cand.id.raw(), clip: cand_clip.raw(), wait },
+            );
             let span = u64::from(self.cfg.p - 1).max(1);
             self.clients.insert(
                 cand.id,
@@ -869,8 +999,17 @@ impl Simulator {
                 recon_for: lost,
                 rebuild_for: None,
             });
-            if lost.is_some() {
+            if let Some(idx) = lost {
                 self.metrics.recovery_reads += 1;
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::RecoveryRead {
+                        request: id.raw(),
+                        disk: parity_loc.disk.raw(),
+                        block: idx,
+                    },
+                );
             }
         }
         if let Some(idx) = lost {
@@ -884,6 +1023,9 @@ impl Simulator {
                 // cannot happen; a lone lost block with dead parity means
                 // p = 2 mirror with both copies on failed disks.
                 unreachable!("single failure cannot erase both data and parity");
+            }
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record_recovery_fanout(survivors);
             }
             if let Some(client) = self.clients.get_mut(&id) {
                 client.recon_pending.insert(idx, survivors as u32);
@@ -918,6 +1060,14 @@ impl Simulator {
             });
             survivors += 1;
             self.metrics.recovery_reads += 1;
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::RecoveryRead { request: id.raw(), disk: loc.disk.raw(), block: idx },
+            );
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record_recovery_fanout(u64::from(survivors));
         }
         if let Some(client) = self.clients.get_mut(&id) {
             client.recon_pending.insert(idx, survivors);
@@ -956,6 +1106,7 @@ impl Simulator {
         };
         let budget = self.cfg.q as usize;
         let workers = self.workers;
+        let collect_events = self.tracer.is_some();
         // Phase one: per-disk service, parallel over disjoint
         // (queue, disk) pairs. `service_parts` splits the array borrow so
         // worker threads never alias `self`.
@@ -966,7 +1117,9 @@ impl Simulator {
             if workers <= 1 {
                 units
                     .iter_mut()
-                    .map(|(queue, disk)| serve_disk(queue, disk, &ctx, budget, deadline))
+                    .map(|(queue, disk)| {
+                        serve_disk(queue, disk, &ctx, budget, deadline, collect_events)
+                    })
                     .collect()
             } else {
                 let chunk = units.len().div_ceil(workers);
@@ -978,7 +1131,14 @@ impl Simulator {
                                 slice
                                     .iter_mut()
                                     .map(|(queue, disk)| {
-                                        serve_disk(queue, disk, &ctx, budget, deadline)
+                                        serve_disk(
+                                            queue,
+                                            disk,
+                                            &ctx,
+                                            budget,
+                                            deadline,
+                                            collect_events,
+                                        )
                                     })
                                     .collect::<Vec<_>>()
                             })
@@ -992,8 +1152,14 @@ impl Simulator {
                 })
             }
         };
-        // Phase two: sequential merge in disk-ID order.
+        // Phase two: sequential merge in disk-ID order. Each disk's
+        // buffered events are drained here, so the trace stream is the
+        // one the sequential loop would have written — byte-identical at
+        // any thread count, exactly like `disk_busy`.
         for (disk, round) in rounds.into_iter().enumerate() {
+            for kind in round.events {
+                emit(&mut self.tracer, self.t, kind);
+            }
             self.metrics.service_errors += u64::from(round.dropped);
             let Some(outcome) = round.outcome else {
                 continue; // empty queue (or refused service) this round
@@ -1027,6 +1193,14 @@ impl Simulator {
         }
         if fetch.needed > 0 && self.t + 1 > fetch.needed {
             self.metrics.late_serves += 1;
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::LateServe {
+                    request: fetch.client.raw(),
+                    block: fetch.serves.or(fetch.recon_for).unwrap_or(0),
+                },
+            );
         }
         let Some(client) = self.clients.get_mut(&fetch.client) else {
             return; // client already completed (stale recovery read)
@@ -1041,6 +1215,11 @@ impl Simulator {
                     client.recon_pending.remove(&idx);
                     client.avail.insert(idx, self.t + 1);
                     self.metrics.reconstructions += 1;
+                    emit(
+                        &mut self.tracer,
+                        self.t,
+                        EventKind::Reconstruction { request: fetch.client.raw(), block: idx },
+                    );
                     if self.cfg.verify_parity {
                         let placement = self.clients[&fetch.client].placement;
                         if !self.verify_reconstruction(placement, idx) {
@@ -1099,6 +1278,11 @@ impl Simulator {
                         // playback glitch the guarantee schemes must
                         // never produce.
                         self.metrics.hiccups += 1;
+                        emit(
+                            &mut self.tracer,
+                            self.t,
+                            EventKind::Hiccup { request: id.raw(), block: idx },
+                        );
                     }
                 }
                 client.consumed += 1;
@@ -1113,6 +1297,7 @@ impl Simulator {
             self.clients.remove(&id);
             self.admission.remove(id);
             self.metrics.completed += 1;
+            emit(&mut self.tracer, self.t, EventKind::Completion { request: id.raw() });
         }
     }
 }
@@ -1154,6 +1339,7 @@ mod tests {
             aging_limit: 200,
             auto_rebuild: false,
             threads: 1,
+            trace: cms_trace::TraceSpec::off(),
         }
     }
 
@@ -1300,6 +1486,9 @@ mod tests {
         let mut completions = 0;
         let mut blocks = 0;
         let mut recovery = 0;
+        let mut service_errors = 0;
+        let mut rebuild_reads = 0;
+        let mut late_serves = 0;
         for expected_round in 0..100u64 {
             let r = sim.step_report();
             assert_eq!(r.round, expected_round);
@@ -1308,6 +1497,9 @@ mod tests {
             completions += r.completions;
             blocks += r.blocks_served;
             recovery += r.recovery_reads;
+            service_errors += r.service_errors;
+            rebuild_reads += r.rebuild_reads;
+            late_serves += r.late_serves;
             assert_eq!(r.active as usize, sim.active_clients());
             assert_eq!(r.pending as usize, sim.pending_requests());
         }
@@ -1317,6 +1509,9 @@ mod tests {
         assert_eq!(completions, m.completed);
         assert_eq!(blocks, m.blocks_fetched);
         assert_eq!(recovery, m.recovery_reads);
+        assert_eq!(service_errors, m.service_errors);
+        assert_eq!(rebuild_reads, m.rebuild_reads);
+        assert_eq!(late_serves, m.late_serves);
         assert!(recovery > 0, "failure must show up in some round report");
     }
 
@@ -1503,6 +1698,74 @@ mod tests {
             assert!(m.hiccups <= allowed_hiccups, "{scheme}");
             assert_eq!(m.parity_mismatches, 0, "{scheme}");
         }
+    }
+
+    #[test]
+    fn tracing_does_not_change_metrics() {
+        let base = Simulator::new(small_cfg(Scheme::DeclusteredParity)).unwrap().run();
+        let traced_cfg =
+            small_cfg(Scheme::DeclusteredParity).with_trace(cms_trace::TraceSpec::null());
+        let (traced, summary) = Simulator::new(traced_cfg).unwrap().run_summary();
+        assert_eq!(base, traced, "tracing must be observation-only");
+        let s = summary.expect("null trace still summarises");
+        assert_eq!(s.arrivals, traced.arrivals);
+        assert_eq!(s.admissions, traced.admitted);
+        assert_eq!(s.completions, traced.completed);
+        assert_eq!(s.recovery_reads, traced.recovery_reads);
+        assert_eq!(s.hiccups, traced.hiccups);
+        assert_eq!(s.late_serves, traced.late_serves);
+        assert_eq!(s.blocks_served, traced.blocks_fetched);
+        assert!(s.busy_us.total() > 0, "disk-serve events feed the busy histogram");
+        assert!(s.queue_depth.total() > 0);
+    }
+
+    #[test]
+    fn trace_summary_records_failure_milestones() {
+        let cfg = small_cfg(Scheme::DeclusteredParity)
+            .with_failure(40, DiskId(2))
+            .with_trace(cms_trace::TraceSpec::null());
+        let (m, summary) = Simulator::new(cfg).unwrap().run_summary();
+        let s = summary.unwrap();
+        assert_eq!(s.failure_round, Some(40));
+        assert_eq!(s.recovery_reads, m.recovery_reads);
+        assert!(s.recovery_reads > 0);
+        let gap = s.failure_to_first_recovery().expect("recovery reads after failure");
+        assert!(gap <= 2, "recovery starts within a couple of rounds, got {gap}");
+        assert!(s.recovery_fanout.total() > 0, "fan-out recorded per lost block");
+    }
+
+    #[test]
+    fn trace_summary_reports_finite_rebuild_gap() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity);
+        cfg.auto_rebuild = true;
+        cfg.rounds = 400;
+        cfg.arrival_rate = 1.0;
+        cfg = cfg.with_failure(30, DiskId(2)).with_trace(cms_trace::TraceSpec::null());
+        let (m, summary) = Simulator::new(cfg).unwrap().run_summary();
+        let s = summary.unwrap();
+        let gap = s.failure_to_rebuild_complete().expect("rebuild must finish in-run");
+        assert!(gap > 0, "rebuild cannot complete in the failure round");
+        assert_eq!(s.rebuild_completed_round, m.rebuild_completed_round);
+    }
+
+    #[test]
+    fn ring_sink_keeps_a_bounded_recent_window() {
+        let mut sim = Simulator::new(small_cfg(Scheme::DeclusteredParity)).unwrap();
+        let ring = cms_trace::RingSink::new(5);
+        let handle = ring.handle();
+        sim.set_trace_sink(Box::new(ring));
+        for _ in 0..50 {
+            sim.step();
+        }
+        let events = handle.events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.round >= 44), "only the last 5 rounds survive");
+        assert!(events.windows(2).all(|w| w[0].round <= w[1].round), "rounds non-decreasing");
+        assert_eq!(
+            sim.trace_summary().map(|s| s.events > 0),
+            Some(true),
+            "summary runs alongside the ring"
+        );
     }
 
     #[test]

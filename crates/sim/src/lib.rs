@@ -60,3 +60,8 @@ pub mod metrics;
 pub use config::{FailureScenario, SimConfig};
 pub use engine::Simulator;
 pub use metrics::{Metrics, RoundReport};
+// Re-exported so simulator users can configure and consume tracing
+// without depending on cms-trace directly.
+pub use cms_trace::{
+    EventKind, Histogram, TraceEvent, TraceOutput, TraceSink, TraceSpec, TraceSummary,
+};

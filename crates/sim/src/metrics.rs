@@ -1,5 +1,6 @@
 //! Simulation metrics.
 
+use cms_trace::Histogram;
 use serde::{Deserialize, Serialize};
 
 /// What happened in a single round — the per-tick observability record a
@@ -22,6 +23,13 @@ pub struct RoundReport {
     pub recovery_reads: u64,
     /// Playback glitches this round (always 0 for the guarantee schemes).
     pub hiccups: u64,
+    /// Fetches dropped by refused service rounds this round.
+    pub service_errors: u64,
+    /// Background-rebuild reads issued this round.
+    pub rebuild_reads: u64,
+    /// Fetches delivered later than the round before they were needed,
+    /// this round.
+    pub late_serves: u64,
     /// Active playback sessions at end of round.
     pub active: u64,
     /// Requests still queued at end of round.
@@ -84,10 +92,12 @@ pub struct Metrics {
     /// Round at which the rebuild finished (the array returned to full
     /// redundancy), if it did.
     pub rebuild_completed_round: Option<u64>,
-    /// Histogram of admission waits, log₂-bucketed: `wait_histogram[k]`
-    /// counts admissions that waited in `[2^k − 1, 2^(k+1) − 1)` rounds
-    /// (bucket 0 = admitted immediately). Drives the percentile queries.
-    pub wait_histogram: Vec<u64>,
+    /// Histogram of admission waits, log₂-bucketed: bucket `k` counts
+    /// admissions that waited in `[2^k − 1, 2^(k+1) − 1)` rounds (bucket
+    /// 0 = admitted immediately). Drives the percentile queries; the
+    /// serialized form is the bare bucket-count array, unchanged from
+    /// when this field was a `Vec<u64>`.
+    pub wait_histogram: Histogram,
     /// Cumulative busy time per disk (seconds), indexed by disk id.
     /// Accumulated in disk-ID order regardless of how many service
     /// threads ran, so the floats are bit-identical at any thread count —
@@ -126,31 +136,14 @@ impl Metrics {
 
     /// Records one admission wait into the histogram.
     pub fn record_wait(&mut self, wait_rounds: u64) {
-        let bucket = (u64::BITS - (wait_rounds + 1).leading_zeros() - 1) as usize;
-        if self.wait_histogram.len() <= bucket {
-            self.wait_histogram.resize(bucket + 1, 0);
-        }
-        self.wait_histogram[bucket] += 1;
+        self.wait_histogram.record(wait_rounds);
     }
 
     /// Approximate wait percentile (upper bound of the bucket containing
     /// the requested quantile), in rounds. `pct` in `0.0..=1.0`.
     #[must_use]
     pub fn wait_percentile(&self, pct: f64) -> u64 {
-        let total: u64 = self.wait_histogram.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = (pct.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-        let mut seen = 0;
-        for (bucket, &count) in self.wait_histogram.iter().enumerate() {
-            seen += count;
-            if seen >= rank.max(1) {
-                // Upper edge of bucket k is 2^(k+1) − 2.
-                return (1u64 << (bucket + 1)) - 2;
-            }
-        }
-        self.wait_rounds_max
+        self.wait_histogram.percentile(pct)
     }
 }
 

@@ -1,0 +1,393 @@
+//! The structured event model: round-stamped records for everything the
+//! engine does that an operator (or a regression test) would want on a
+//! timeline.
+//!
+//! Events render to JSONL (one flat object per line, fixed field order)
+//! and CSV (fixed sparse columns). Both writers are hand-rolled — every
+//! field is an integer and every tag is a fixed identifier, so the
+//! formats need no escaping and no serializer dependency — and
+//! [`TraceEvent::parse_jsonl`] parses the JSONL form back, which is what
+//! the `timeline` renderer and the round-trip tests consume.
+
+use std::fmt::Write as _;
+
+/// What happened (the payload of a [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A playback request entered the pending queue.
+    Arrival {
+        /// Request id.
+        request: u64,
+        /// Requested clip.
+        clip: u64,
+    },
+    /// A pending request was admitted.
+    Admission {
+        /// Request id.
+        request: u64,
+        /// Admitted clip.
+        clip: u64,
+        /// Rounds the request waited in the pending queue.
+        wait: u64,
+    },
+    /// The admission controller refused a request this round (it stays
+    /// queued and is retried later).
+    Rejection {
+        /// Request id.
+        request: u64,
+        /// Requested clip.
+        clip: u64,
+    },
+    /// A clip finished playback.
+    Completion {
+        /// Request id.
+        request: u64,
+    },
+    /// A disk failed.
+    DiskFailure {
+        /// Failed disk.
+        disk: u32,
+    },
+    /// A failed disk returned to service (external repair).
+    DiskRepair {
+        /// Repaired disk.
+        disk: u32,
+    },
+    /// A recovery read was issued on a surviving disk to reconstruct a
+    /// block lost to the failed disk.
+    RecoveryRead {
+        /// Client whose block is being reconstructed.
+        request: u64,
+        /// Surviving disk the read targets.
+        disk: u32,
+        /// Clip-block index being reconstructed.
+        block: u64,
+    },
+    /// A lost block was fully reconstructed by XOR.
+    Reconstruction {
+        /// Client the block belongs to.
+        request: u64,
+        /// Reconstructed clip-block index.
+        block: u64,
+    },
+    /// One disk's service round (emitted per disk per non-empty round,
+    /// buffered per worker and merged in disk-ID order).
+    DiskServe {
+        /// Disk id.
+        disk: u32,
+        /// Blocks retrieved this round.
+        blocks: u32,
+        /// Busy time in microseconds (worst-case timing model).
+        busy_us: u64,
+        /// Queue depth before the EDF drain.
+        queue: u32,
+    },
+    /// A disk refused a service round and its fetches were dropped.
+    ServiceError {
+        /// Refusing disk.
+        disk: u32,
+        /// Fetches dropped.
+        dropped: u32,
+    },
+    /// Background rebuild progress (one per round while a rebuild runs).
+    RebuildProgress {
+        /// Blocks rebuilt onto the spare so far.
+        rebuilt: u64,
+        /// Total blocks to rebuild.
+        total: u64,
+    },
+    /// Background rebuild finished; the array is whole again.
+    RebuildComplete {
+        /// The disk whose contents were rebuilt.
+        disk: u32,
+    },
+    /// A block was missing from the buffer in the round it was due — the
+    /// playback glitch the guarantee schemes must never produce.
+    Hiccup {
+        /// Affected client.
+        request: u64,
+        /// Clip-block index that was not there.
+        block: u64,
+    },
+    /// A fetch was delivered later than the round before it was needed.
+    LateServe {
+        /// Affected client.
+        request: u64,
+        /// Late clip-block index.
+        block: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable tag this kind renders as (`"arrival"`, `"hiccup"`, …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Arrival { .. } => "arrival",
+            EventKind::Admission { .. } => "admission",
+            EventKind::Rejection { .. } => "rejection",
+            EventKind::Completion { .. } => "completion",
+            EventKind::DiskFailure { .. } => "disk_failure",
+            EventKind::DiskRepair { .. } => "disk_repair",
+            EventKind::RecoveryRead { .. } => "recovery_read",
+            EventKind::Reconstruction { .. } => "reconstruction",
+            EventKind::DiskServe { .. } => "disk_serve",
+            EventKind::ServiceError { .. } => "service_error",
+            EventKind::RebuildProgress { .. } => "rebuild_progress",
+            EventKind::RebuildComplete { .. } => "rebuild_complete",
+            EventKind::Hiccup { .. } => "hiccup",
+            EventKind::LateServe { .. } => "late_serve",
+        }
+    }
+
+    /// The kind's payload as `(key, value)` pairs in render order.
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::Arrival { request, clip } => {
+                vec![("request", request), ("clip", clip)]
+            }
+            EventKind::Admission { request, clip, wait } => {
+                vec![("request", request), ("clip", clip), ("wait", wait)]
+            }
+            EventKind::Rejection { request, clip } => {
+                vec![("request", request), ("clip", clip)]
+            }
+            EventKind::Completion { request } => vec![("request", request)],
+            EventKind::DiskFailure { disk } => vec![("disk", u64::from(disk))],
+            EventKind::DiskRepair { disk } => vec![("disk", u64::from(disk))],
+            EventKind::RecoveryRead { request, disk, block } => {
+                vec![("request", request), ("disk", u64::from(disk)), ("block", block)]
+            }
+            EventKind::Reconstruction { request, block } => {
+                vec![("request", request), ("block", block)]
+            }
+            EventKind::DiskServe { disk, blocks, busy_us, queue } => vec![
+                ("disk", u64::from(disk)),
+                ("blocks", u64::from(blocks)),
+                ("busy_us", busy_us),
+                ("queue", u64::from(queue)),
+            ],
+            EventKind::ServiceError { disk, dropped } => {
+                vec![("disk", u64::from(disk)), ("dropped", u64::from(dropped))]
+            }
+            EventKind::RebuildProgress { rebuilt, total } => {
+                vec![("rebuilt", rebuilt), ("total", total)]
+            }
+            EventKind::RebuildComplete { disk } => vec![("disk", u64::from(disk))],
+            EventKind::Hiccup { request, block } => {
+                vec![("request", request), ("block", block)]
+            }
+            EventKind::LateServe { request, block } => {
+                vec![("request", request), ("block", block)]
+            }
+        }
+    }
+}
+
+/// One round-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The round the event happened in.
+    pub round: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The CSV column set, sparse: a column is empty when the event kind has
+/// no such field.
+pub const CSV_COLUMNS: [&str; 12] = [
+    "round", "event", "request", "clip", "disk", "block", "wait", "blocks", "busy_us",
+    "queue", "dropped", "rebuilt",
+];
+
+impl TraceEvent {
+    /// Appends the event as one JSONL line (newline included) to `out`.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(out, "{{\"round\":{},\"event\":\"{}\"", self.round, self.kind.name());
+        for (key, value) in self.kind.fields() {
+            let _ = write!(out, ",\"{key}\":{value}");
+        }
+        out.push_str("}\n");
+    }
+
+    /// The event as one JSONL line (newline included).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// The CSV header line (newline included) matching [`CSV_COLUMNS`].
+    #[must_use]
+    pub fn csv_header() -> String {
+        let mut s = CSV_COLUMNS.join(",");
+        s.push('\n');
+        s
+    }
+
+    /// Appends the event as one CSV line (newline included) to `out`.
+    pub fn write_csv(&self, out: &mut String) {
+        let fields = self.kind.fields();
+        let lookup = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_default()
+        };
+        let _ = write!(out, "{},{}", self.round, self.kind.name());
+        // "total" shares the `rebuilt` row via the rebuilt/total pair.
+        for column in &CSV_COLUMNS[2..] {
+            out.push(',');
+            if *column == "rebuilt" {
+                if let EventKind::RebuildProgress { rebuilt, total } = self.kind {
+                    let _ = write!(out, "{rebuilt}/{total}");
+                    continue;
+                }
+            }
+            out.push_str(&lookup(column));
+        }
+        out.push('\n');
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::write_jsonl`].
+    /// Returns `None` for malformed lines or unknown event tags.
+    #[must_use]
+    pub fn parse_jsonl(line: &str) -> Option<TraceEvent> {
+        let line = line.trim();
+        let round = parse_u64(line, "round")?;
+        let tag = parse_str(line, "event")?;
+        let u = |key: &str| parse_u64(line, key);
+        let d = |key: &str| parse_u64(line, key).and_then(|v| u32::try_from(v).ok());
+        let kind = match tag {
+            "arrival" => EventKind::Arrival { request: u("request")?, clip: u("clip")? },
+            "admission" => EventKind::Admission {
+                request: u("request")?,
+                clip: u("clip")?,
+                wait: u("wait")?,
+            },
+            "rejection" => EventKind::Rejection { request: u("request")?, clip: u("clip")? },
+            "completion" => EventKind::Completion { request: u("request")? },
+            "disk_failure" => EventKind::DiskFailure { disk: d("disk")? },
+            "disk_repair" => EventKind::DiskRepair { disk: d("disk")? },
+            "recovery_read" => EventKind::RecoveryRead {
+                request: u("request")?,
+                disk: d("disk")?,
+                block: u("block")?,
+            },
+            "reconstruction" => {
+                EventKind::Reconstruction { request: u("request")?, block: u("block")? }
+            }
+            "disk_serve" => EventKind::DiskServe {
+                disk: d("disk")?,
+                blocks: u("blocks")? as u32,
+                busy_us: u("busy_us")?,
+                queue: u("queue")? as u32,
+            },
+            "service_error" => {
+                EventKind::ServiceError { disk: d("disk")?, dropped: u("dropped")? as u32 }
+            }
+            "rebuild_progress" => {
+                EventKind::RebuildProgress { rebuilt: u("rebuilt")?, total: u("total")? }
+            }
+            "rebuild_complete" => EventKind::RebuildComplete { disk: d("disk")? },
+            "hiccup" => EventKind::Hiccup { request: u("request")?, block: u("block")? },
+            "late_serve" => EventKind::LateServe { request: u("request")?, block: u("block")? },
+            _ => return None,
+        };
+        Some(TraceEvent { round, kind })
+    }
+}
+
+/// Extracts the numeric value of `"key":<digits>` from a flat JSONL line.
+fn parse_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string value of `"key":"…"` from a flat JSONL line.
+fn parse_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { round: 0, kind: EventKind::Arrival { request: 1, clip: 9 } },
+            TraceEvent {
+                round: 3,
+                kind: EventKind::Admission { request: 1, clip: 9, wait: 3 },
+            },
+            TraceEvent { round: 3, kind: EventKind::Rejection { request: 2, clip: 4 } },
+            TraceEvent { round: 5, kind: EventKind::DiskFailure { disk: 7 } },
+            TraceEvent {
+                round: 6,
+                kind: EventKind::RecoveryRead { request: 1, disk: 2, block: 4 },
+            },
+            TraceEvent { round: 6, kind: EventKind::Reconstruction { request: 1, block: 4 } },
+            TraceEvent {
+                round: 6,
+                kind: EventKind::DiskServe { disk: 2, blocks: 8, busy_us: 1234, queue: 11 },
+            },
+            TraceEvent { round: 7, kind: EventKind::ServiceError { disk: 3, dropped: 2 } },
+            TraceEvent {
+                round: 8,
+                kind: EventKind::RebuildProgress { rebuilt: 10, total: 100 },
+            },
+            TraceEvent { round: 9, kind: EventKind::RebuildComplete { disk: 7 } },
+            TraceEvent { round: 9, kind: EventKind::DiskRepair { disk: 7 } },
+            TraceEvent { round: 10, kind: EventKind::Hiccup { request: 5, block: 2 } },
+            TraceEvent { round: 10, kind: EventKind::LateServe { request: 5, block: 3 } },
+            TraceEvent { round: 11, kind: EventKind::Completion { request: 1 } },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_kind() {
+        for event in samples() {
+            let line = event.to_jsonl();
+            assert!(line.ends_with('\n'));
+            let parsed = TraceEvent::parse_jsonl(&line).expect("parses");
+            assert_eq!(parsed, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_shape_is_flat_and_stable() {
+        let e = TraceEvent { round: 3, kind: EventKind::Admission { request: 1, clip: 9, wait: 3 } };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"round\":3,\"event\":\"admission\",\"request\":1,\"clip\":9,\"wait\":3}\n"
+        );
+    }
+
+    #[test]
+    fn csv_has_one_column_set_for_all_kinds() {
+        let header = TraceEvent::csv_header();
+        let columns = header.trim().split(',').count();
+        for event in samples() {
+            let mut line = String::new();
+            event.write_csv(&mut line);
+            assert_eq!(line.trim_end().split(',').count(), columns, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(TraceEvent::parse_jsonl("").is_none());
+        assert!(TraceEvent::parse_jsonl("{\"round\":1}").is_none());
+        assert!(TraceEvent::parse_jsonl("{\"round\":1,\"event\":\"nope\"}").is_none());
+        assert!(TraceEvent::parse_jsonl("{\"event\":\"arrival\",\"request\":1}").is_none());
+    }
+}

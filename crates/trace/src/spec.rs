@@ -1,0 +1,173 @@
+//! Declarative trace configuration.
+//!
+//! `SimConfig` and `CmServerBuilder` carry a [`TraceSpec`] — a plain
+//! value describing *whether* and *where* to trace — and the engine turns
+//! it into a live [`Tracer`] at build time. Keeping the spec `Clone` and
+//! sink-free lets configs stay copyable and comparable while sinks own
+//! files and buffers.
+
+use std::io;
+use std::path::PathBuf;
+
+use crate::sink::{CsvSink, JsonlSink, NullSink, TraceSink};
+use crate::tracer::Tracer;
+
+/// Where trace events go.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceOutput {
+    /// Tracing disabled entirely — no tracer is built, no per-event work
+    /// happens.
+    #[default]
+    Off,
+    /// Events are summarised (the [`crate::TraceSummary`] still fills in)
+    /// but discarded; the overhead-measurement and summary-only mode.
+    Null,
+    /// Events stream to a JSON Lines file.
+    Jsonl(PathBuf),
+    /// Events stream to a CSV file.
+    Csv(PathBuf),
+}
+
+/// A declarative description of the tracing a run should do.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Destination for events.
+    pub output: TraceOutput,
+    /// Keep only events from the most recent N rounds (file sinks buffer
+    /// and write the window at end of run). `None` keeps everything.
+    pub last_rounds: Option<u64>,
+}
+
+impl TraceSpec {
+    /// Tracing disabled (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        TraceSpec::default()
+    }
+
+    /// Summary-only tracing: events are counted and histogrammed but not
+    /// exported.
+    #[must_use]
+    pub fn null() -> Self {
+        TraceSpec { output: TraceOutput::Null, last_rounds: None }
+    }
+
+    /// JSONL export to `path`.
+    #[must_use]
+    pub fn jsonl(path: impl Into<PathBuf>) -> Self {
+        TraceSpec { output: TraceOutput::Jsonl(path.into()), last_rounds: None }
+    }
+
+    /// CSV export to `path`.
+    #[must_use]
+    pub fn csv(path: impl Into<PathBuf>) -> Self {
+        TraceSpec { output: TraceOutput::Csv(path.into()), last_rounds: None }
+    }
+
+    /// Restricts file exports to the most recent `last_rounds` rounds.
+    #[must_use]
+    pub fn with_last_rounds(mut self, last_rounds: u64) -> Self {
+        self.last_rounds = Some(last_rounds);
+        self
+    }
+
+    /// Is tracing fully disabled?
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.output == TraceOutput::Off
+    }
+
+    /// Derives a per-run spec from a shared one by inserting `label` into
+    /// the file name before the extension (`drill.jsonl` + `raid5-p4` →
+    /// `drill.raid5-p4.jsonl`). Harnesses that fan one `--trace PATH` out
+    /// over many runs use this so each run gets its own file. `Off` and
+    /// `Null` pass through unchanged.
+    #[must_use]
+    pub fn labeled(&self, label: &str) -> Self {
+        let relabel = |path: &PathBuf| -> PathBuf {
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            let name = if ext.is_empty() {
+                format!("{stem}.{label}")
+            } else {
+                format!("{stem}.{label}.{ext}")
+            };
+            path.with_file_name(name)
+        };
+        let output = match &self.output {
+            TraceOutput::Off => TraceOutput::Off,
+            TraceOutput::Null => TraceOutput::Null,
+            TraceOutput::Jsonl(path) => TraceOutput::Jsonl(relabel(path)),
+            TraceOutput::Csv(path) => TraceOutput::Csv(relabel(path)),
+        };
+        TraceSpec { output, last_rounds: self.last_rounds }
+    }
+
+    /// Builds the live tracer this spec describes, or `None` when
+    /// tracing is off.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from opening a file sink.
+    pub fn build(&self) -> io::Result<Option<Tracer>> {
+        let sink: Box<dyn TraceSink + Send> = match &self.output {
+            TraceOutput::Off => return Ok(None),
+            TraceOutput::Null => Box::new(NullSink),
+            TraceOutput::Jsonl(path) => {
+                let out = crate::sink::create_file(path)?;
+                match self.last_rounds {
+                    None => Box::new(JsonlSink::new(out)),
+                    Some(n) => Box::new(JsonlSink::windowed(out, n)),
+                }
+            }
+            TraceOutput::Csv(path) => {
+                let out = crate::sink::create_file(path)?;
+                match self.last_rounds {
+                    None => Box::new(CsvSink::new(out)),
+                    Some(n) => Box::new(CsvSink::windowed(out, n)),
+                }
+            }
+        };
+        Ok(Some(Tracer::new(sink)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let spec = TraceSpec::default();
+        assert!(spec.is_off());
+        assert!(spec.build().expect("build").is_none());
+    }
+
+    #[test]
+    fn null_builds_a_summary_only_tracer() {
+        let spec = TraceSpec::null();
+        assert!(!spec.is_off());
+        let tracer = spec.build().expect("build").expect("tracer");
+        assert_eq!(tracer.summary().events, 0);
+    }
+
+    #[test]
+    fn labeled_inserts_before_the_extension() {
+        let spec = TraceSpec::jsonl("out/drill.jsonl").with_last_rounds(8);
+        let run = spec.labeled("raid5-p4");
+        assert_eq!(run.output, TraceOutput::Jsonl(PathBuf::from("out/drill.raid5-p4.jsonl")));
+        assert_eq!(run.last_rounds, Some(8));
+        // Extension-less paths get the label appended.
+        let bare = TraceSpec::csv("out/drill").labeled("x");
+        assert_eq!(bare.output, TraceOutput::Csv(PathBuf::from("out/drill.x")));
+        // Off and Null pass through.
+        assert!(TraceSpec::off().labeled("x").is_off());
+        assert_eq!(TraceSpec::null().labeled("x"), TraceSpec::null());
+    }
+
+    #[test]
+    fn with_last_rounds_round_trips() {
+        let spec = TraceSpec::jsonl("/tmp/x.jsonl").with_last_rounds(16);
+        assert_eq!(spec.last_rounds, Some(16));
+        assert_eq!(spec.output, TraceOutput::Jsonl(PathBuf::from("/tmp/x.jsonl")));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the log₂ histogram: bucket edges are exact
+//! (every value lands between its bucket's lower and upper edge, and
+//! edges tile `u64` without gaps or overlaps) and `percentile` is
+//! monotone in `pct`.
+
+use cms_trace::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value falls inside the edges of its own bucket.
+    #[test]
+    fn bucket_edges_are_exact(value in any::<u64>()) {
+        let bucket = Histogram::bucket_of(value);
+        prop_assert!(Histogram::bucket_lower(bucket) <= value);
+        prop_assert!(value <= Histogram::bucket_upper(bucket));
+    }
+
+    /// Buckets tile the u64 line: each upper edge is immediately
+    /// followed by the next bucket's lower edge.
+    #[test]
+    fn buckets_tile_without_gaps(bucket in 0usize..63) {
+        let upper = Histogram::bucket_upper(bucket);
+        prop_assert_eq!(Histogram::bucket_lower(bucket + 1), upper + 1);
+        // And the edges themselves round-trip through bucket_of.
+        prop_assert_eq!(Histogram::bucket_of(Histogram::bucket_lower(bucket)), bucket);
+        prop_assert_eq!(Histogram::bucket_of(upper), bucket);
+    }
+
+    /// percentile(pct) never decreases as pct grows, and is bounded by
+    /// the extreme quantiles.
+    #[test]
+    fn percentile_is_monotone_in_pct(
+        samples in prop::collection::vec(0u64..100_000, 1..200),
+        a in 0u32..1001,
+        b in 0u32..1001,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = h.percentile(f64::from(lo) / 1000.0);
+        let p_hi = h.percentile(f64::from(hi) / 1000.0);
+        prop_assert!(p_lo <= p_hi, "percentile not monotone: p({lo}) = {p_lo} > p({hi}) = {p_hi}");
+        prop_assert!(p_hi <= h.percentile(1.0));
+        prop_assert!(h.percentile(0.0) <= p_lo);
+    }
+
+    /// The percentile upper bound is honest: at least `pct` of the mass
+    /// sits at or below the reported value.
+    #[test]
+    fn percentile_covers_the_requested_mass(
+        samples in prop::collection::vec(0u64..100_000, 1..200),
+        pct_milli in 0u32..1001,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let pct = f64::from(pct_milli) / 1000.0;
+        let bound = h.percentile(pct);
+        let at_or_below = samples.iter().filter(|&&s| s <= bound).count() as f64;
+        let need = (pct * samples.len() as f64).ceil();
+        prop_assert!(
+            at_or_below >= need,
+            "only {at_or_below} of {} samples <= p({pct}) = {bound}, need {need}",
+            samples.len()
+        );
+    }
+
+    /// Merging histograms is the same as recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        xs in prop::collection::vec(0u64..100_000, 0..100),
+        ys in prop::collection::vec(0u64..100_000, 0..100),
+    ) {
+        let mut merged = Histogram::new();
+        let mut separate = Histogram::new();
+        for &x in &xs {
+            merged.record(x);
+            separate.record(x);
+        }
+        let mut other = Histogram::new();
+        for &y in &ys {
+            merged.record(y);
+            other.record(y);
+        }
+        separate.merge(&other);
+        prop_assert_eq!(separate.total(), merged.total());
+        prop_assert_eq!(separate.percentile(0.5), merged.percentile(0.5));
+        prop_assert_eq!(separate.counts(), merged.counts());
+    }
+}
