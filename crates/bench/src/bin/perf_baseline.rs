@@ -1,0 +1,221 @@
+// lint: allow(H001) this bin hosts the bench-alloc counting global allocator, which requires unsafe GlobalAlloc
+//! Engine performance baseline: rounds/second for three fixed scenarios,
+//! written as machine-readable JSON (`BENCH_engine.json`).
+//!
+//! Scenarios (all single-cell, deterministic):
+//!
+//! * `fig6_steady` — the Figure 6 cell (DeclusteredParity, p = 4, 256 MB)
+//!   in healthy steady state;
+//! * `failure_drill` — the same cell running degraded after a disk
+//!   failure, with reconstruction verification on;
+//! * `rebuild` — background rebuild onto a spare under client load (the
+//!   A3 experiment's configuration).
+//!
+//! Each scenario steps `--warmup` rounds (default 64) to grow the scratch
+//! arenas to steady-state size, then times `--rounds` further rounds
+//! (default 256). With `--features bench-alloc` the binary installs a
+//! counting global allocator and reports the allocations attributed to
+//! the disk-service phase of the timed window — the performance contract
+//! (DESIGN.md §7) says that number is zero. Attribution is only valid
+//! single-threaded, so `--threads` defaults to 1 here (0 also means 1).
+//!
+//! Usage:
+//! `cargo run --release -p cms-bench --features bench-alloc --bin perf_baseline -- [--out BENCH_engine.json] [--rounds N] [--warmup N] [--seed S] [--threads T]`
+
+use std::time::Instant;
+
+use cms_bench::{sim_point, BenchArgs, PAPER_D};
+use cms_core::units::mib;
+use cms_core::{DiskId, Scheme};
+use cms_model::ModelInput;
+use cms_sim::{SimConfig, Simulator};
+use serde::Serialize;
+
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    //! Pass-through global allocator that notes every allocation with the
+    //! sim's hot gauge, so serve-phase allocations can be counted.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    struct Counting;
+
+    // SAFETY: defers entirely to `System`; the bookkeeping is two relaxed
+    // atomic operations and never allocates itself.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            cms_sim::hotgauge::note_alloc();
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            cms_sim::hotgauge::note_alloc();
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: Counting = Counting;
+}
+
+/// One timed scenario of the report.
+#[derive(Debug, Serialize)]
+struct Scenario {
+    name: &'static str,
+    rounds: u64,
+    elapsed_secs: f64,
+    rounds_per_sec: f64,
+    /// Allocations inside the disk-service phase of the timed window
+    /// (`None` without `--features bench-alloc`).
+    serve_allocs: Option<u64>,
+    /// Serve phases observed in the timed window.
+    serve_rounds: Option<u64>,
+    allocs_per_round: Option<f64>,
+}
+
+/// The whole `BENCH_engine.json` document.
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: &'static str,
+    threads: usize,
+    warmup_rounds: u64,
+    measured_rounds: u64,
+    seed: u64,
+    alloc_counting: bool,
+    /// Peak resident set (`VmHWM`) in KiB, when `/proc` exposes it.
+    peak_rss_kib: Option<u64>,
+    scenarios: Vec<Scenario>,
+}
+
+fn run_scenario(name: &'static str, mut sim: Simulator, warmup: u64, rounds: u64) -> Scenario {
+    for _ in 0..warmup {
+        sim.step();
+    }
+    #[cfg(feature = "bench-alloc")]
+    cms_sim::hotgauge::reset();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        sim.step();
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let serve_allocs: Option<u64>;
+    let serve_rounds: Option<u64>;
+    let allocs_per_round: Option<f64>;
+    #[cfg(feature = "bench-alloc")]
+    {
+        let (allocs, phases) = cms_sim::hotgauge::snapshot();
+        serve_allocs = Some(allocs);
+        serve_rounds = Some(phases);
+        allocs_per_round =
+            Some(if phases == 0 { 0.0 } else { allocs as f64 / phases as f64 });
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        serve_allocs = None;
+        serve_rounds = None;
+        allocs_per_round = None;
+    }
+
+    Scenario {
+        name,
+        rounds,
+        elapsed_secs,
+        rounds_per_sec: rounds as f64 / elapsed_secs,
+        serve_allocs,
+        serve_rounds,
+        allocs_per_round,
+    }
+}
+
+/// The Figure 6 cell: DeclusteredParity, p = 4, 256 MB buffer, healthy.
+fn fig6_sim(total: u64, seed: u64, threads: usize) -> Simulator {
+    let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(1000 * 50 * 3 / 2);
+    let point =
+        sim_point(Scheme::DeclusteredParity, &input, 4, seed).expect("fig6 cell constructs");
+    let mut cfg =
+        SimConfig::sigmod96(Scheme::DeclusteredParity, &point, PAPER_D).with_threads(threads);
+    cfg.rounds = total;
+    cfg.seed = seed;
+    Simulator::new(cfg).expect("fig6 sim constructs")
+}
+
+/// The same cell degraded: disk 5 fails mid-warm-up, verification on, so
+/// the timed window measures reconstruction-mode service.
+fn drill_sim(total: u64, warmup: u64, seed: u64, threads: usize) -> Simulator {
+    let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(1000 * 50 * 3 / 2);
+    let point =
+        sim_point(Scheme::DeclusteredParity, &input, 4, seed).expect("drill cell constructs");
+    let mut cfg = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, PAPER_D)
+        .with_failure(warmup / 2, DiskId(5))
+        .with_verification()
+        .with_threads(threads);
+    cfg.rounds = total;
+    cfg.seed = seed;
+    Simulator::new(cfg).expect("drill sim constructs")
+}
+
+/// The A3 rebuild configuration: small library, moderate load, background
+/// rebuild onto a spare running through the whole timed window.
+fn rebuild_sim(total: u64, warmup: u64, seed: u64, threads: usize) -> Simulator {
+    let input = ModelInput::sigmod96(mib(256)).with_storage_blocks(24_000);
+    let point =
+        sim_point(Scheme::DeclusteredParity, &input, 4, seed).expect("rebuild point constructs");
+    let mut cfg = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, PAPER_D)
+        .with_failure(warmup / 2, DiskId(1))
+        .with_threads(threads);
+    cfg.catalog_clips = 300;
+    cfg.arrival_rate = 5.0;
+    cfg.rounds = total;
+    cfg.seed = seed;
+    cfg.auto_rebuild = true;
+    Simulator::new(cfg).expect("rebuild sim constructs")
+}
+
+/// Peak resident set size (`VmHWM`) in KiB from `/proc/self/status`.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.trace_path().is_some() {
+        eprintln!("perf_baseline: --trace ignored (tracing would perturb the timings)");
+    }
+    let threads = match args.threads() {
+        0 => 1, // allocation attribution needs a single service thread
+        t => t,
+    };
+    let warmup = args.u64_value("--warmup").unwrap_or(64);
+    let rounds = args.rounds_or(256);
+    let seed = args.seed_or(1);
+    let total = warmup + rounds;
+
+    let scenarios = vec![
+        run_scenario("fig6_steady", fig6_sim(total, seed, threads), warmup, rounds),
+        run_scenario("failure_drill", drill_sim(total, warmup, seed, threads), warmup, rounds),
+        run_scenario("rebuild", rebuild_sim(total, warmup, seed, threads), warmup, rounds),
+    ];
+
+    let report = Report {
+        schema: "cms-perf-baseline/v1",
+        threads,
+        warmup_rounds: warmup,
+        measured_rounds: rounds,
+        seed,
+        alloc_counting: cfg!(feature = "bench-alloc"),
+        peak_rss_kib: peak_rss_kib(),
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let out = args.value("--out").unwrap_or("BENCH_engine.json");
+    std::fs::write(out, format!("{json}\n")).expect("output file writable");
+    println!("{json}");
+    eprintln!("perf_baseline: wrote {out}");
+}

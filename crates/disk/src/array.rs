@@ -8,7 +8,7 @@
 //! round; admission control is supposed to make deadline misses
 //! *impossible*, and the simulator asserts exactly that.
 
-use crate::cscan::{sweep_order, BlockRequest};
+use crate::cscan::{sweep_order_into, BlockRequest};
 use crate::timing::TimingModel;
 use cms_core::units::Seconds;
 use cms_core::{CmsError, DiskId, DiskParams};
@@ -48,11 +48,25 @@ pub struct ServiceContext {
     blocks_per_disk: u64,
 }
 
+/// Reusable buffers for [`Disk::service_round_with`]: the cylinder list
+/// and the C-SCAN order of one round. One instance per worker (or per
+/// disk) turns the service loop allocation-free in steady state — the
+/// buffers grow to the round budget `q` once and are reused every round
+/// thereafter (DESIGN.md §7).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceScratch {
+    cylinders: Vec<u32>,
+    order: Vec<usize>,
+}
+
 impl Disk {
     /// Executes one round of requests on this disk, in C-SCAN order, and
     /// accounts the time against this disk's state only — no shared
     /// mutation, so disks can be serviced concurrently.
     /// `deadline` is the round duration `b / r_p`.
+    ///
+    /// Allocates working buffers per call; the engine's hot path uses
+    /// [`Disk::service_round_with`] with a retained [`ServiceScratch`].
     ///
     /// # Errors
     ///
@@ -66,10 +80,31 @@ impl Disk {
         requests: &[BlockRequest],
         deadline: Seconds,
     ) -> Result<RoundOutcome, CmsError> {
+        let mut scratch = ServiceScratch::default();
+        self.service_round_with(ctx, requests, deadline, &mut scratch)
+    }
+
+    /// [`Disk::service_round`] against caller-owned scratch buffers:
+    /// allocation-free once `scratch` has grown to the round budget.
+    /// Identical results — the scratch only changes where the working
+    /// memory lives, never what is computed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Disk::service_round`].
+    // lint: hot
+    pub fn service_round_with(
+        &mut self,
+        ctx: &ServiceContext,
+        requests: &[BlockRequest],
+        deadline: Seconds,
+        scratch: &mut ServiceScratch,
+    ) -> Result<RoundOutcome, CmsError> {
         if self.status == DiskStatus::Failed {
             return Err(CmsError::invalid_params(format!("{} is failed", self.id)));
         }
-        let mut cylinders = Vec::with_capacity(requests.len());
+        scratch.cylinders.clear();
+        scratch.cylinders.reserve(requests.len());
         for r in requests {
             if r.disk != self.id {
                 return Err(CmsError::out_of_bounds(format!(
@@ -83,14 +118,14 @@ impl Disk {
                     r.block_no, ctx.blocks_per_disk
                 )));
             }
-            cylinders.push(ctx.timing.cylinder_of(r.block_no, ctx.blocks_per_disk));
+            scratch.cylinders.push(ctx.timing.cylinder_of(r.block_no, ctx.blocks_per_disk));
         }
 
-        let order = sweep_order(&cylinders, self.head);
+        sweep_order_into(&scratch.cylinders, self.head, &mut scratch.order);
         let mut busy = 0.0;
         let mut pos = self.head;
-        for &i in &order {
-            let c = cylinders[i];
+        for &i in &scratch.order {
+            let c = scratch.cylinders[i];
             busy += ctx
                 .timing
                 .block_time(&ctx.params, pos.abs_diff(c), requests[i].block_no, ctx.block_bytes);

@@ -47,12 +47,28 @@ impl BlockRequest {
 /// among same-cylinder requests).
 #[must_use]
 pub fn sweep_order(cylinders: &[u32], head: u32) -> Vec<usize> {
-    let mut upper: Vec<usize> = (0..cylinders.len()).filter(|&i| cylinders[i] >= head).collect();
-    let mut lower: Vec<usize> = (0..cylinders.len()).filter(|&i| cylinders[i] < head).collect();
-    upper.sort_by_key(|&i| (cylinders[i], i));
-    lower.sort_by_key(|&i| (cylinders[i], i));
-    upper.extend(lower);
-    upper
+    let mut out = Vec::with_capacity(cylinders.len());
+    sweep_order_into(cylinders, head, &mut out);
+    out
+}
+
+/// Allocation-free [`sweep_order`]: clears and fills `out` with the
+/// C-SCAN service order, reusing its capacity. This is the per-disk
+/// per-round hot path (DESIGN.md §7): in steady state the buffer reaches
+/// the round budget `q` once and never reallocates again.
+///
+/// The sweep halves are sorted unstably on the composite key
+/// `(cylinder, index)` — unique per element, so the result is fully
+/// deterministic and identical to a stable sort on the cylinder alone,
+/// without the merge-buffer allocation `slice::sort` performs.
+// lint: hot
+pub fn sweep_order_into(cylinders: &[u32], head: u32, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend((0..cylinders.len()).filter(|&i| cylinders[i] >= head));
+    let split = out.len();
+    out.extend((0..cylinders.len()).filter(|&i| cylinders[i] < head));
+    out[..split].sort_unstable_by_key(|&i| (cylinders[i], i));
+    out[split..].sort_unstable_by_key(|&i| (cylinders[i], i));
 }
 
 /// Total head travel (in cylinders) of a C-SCAN pass over `cylinders`
@@ -116,6 +132,32 @@ mod tests {
                 "travel {travel} exceeds two strokes from head {head}"
             );
         }
+    }
+
+    #[test]
+    fn sweep_order_into_matches_allocating_form_and_reuses_capacity() {
+        // Pseudo-random cylinder sets with deliberate duplicates, swept
+        // from heads on both sides of the data.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32 % 512
+        };
+        let mut buf = Vec::new();
+        for len in [0usize, 1, 2, 7, 31, 100] {
+            let cyl: Vec<u32> = (0..len).map(|_| next()).collect();
+            for head in [0u32, 128, 511, 600] {
+                sweep_order_into(&cyl, head, &mut buf);
+                assert_eq!(buf, sweep_order(&cyl, head), "len {len}, head {head}");
+            }
+        }
+        // Steady state: a second fill of the same size must not grow the
+        // buffer.
+        let cyl: Vec<u32> = (0..64).map(|_| next()).collect();
+        sweep_order_into(&cyl, 100, &mut buf);
+        let cap = buf.capacity();
+        sweep_order_into(&cyl, 300, &mut buf);
+        assert_eq!(buf.capacity(), cap, "reused fill must not reallocate");
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod array;
 pub mod cscan;
 pub mod timing;
 
-pub use array::{Disk, DiskArray, DiskStatus, RoundOutcome, ServiceContext};
-pub use cscan::{sweep_order, BlockRequest};
+pub use array::{Disk, DiskArray, DiskStatus, RoundOutcome, ServiceContext, ServiceScratch};
+pub use cscan::{sweep_order, sweep_order_into, BlockRequest};
 pub use timing::{RotationModel, SeekModel, TimingModel};

@@ -185,15 +185,23 @@ impl MaterializedLayout {
     /// its disk fails.
     #[must_use]
     pub fn reconstruction_reads(&self, addr: StreamAddr) -> Vec<BlockLocation> {
-        let g = self.group(self.group_id_of(addr));
-        let mut out: Vec<BlockLocation> = g
-            .data
-            .iter()
-            .filter(|&&a| a != addr)
-            .map(|&a| self.locate(a))
-            .collect();
-        out.push(g.parity);
+        let mut out = Vec::new();
+        self.reconstruction_reads_into(addr, &mut out);
         out
+    }
+
+    /// Allocation-free [`Self::reconstruction_reads`]: clears and fills
+    /// `out`, reusing its capacity (DESIGN.md §7).
+    pub fn reconstruction_reads_into(&self, addr: StreamAddr, out: &mut Vec<BlockLocation>) {
+        let g = self.group(self.group_id_of(addr));
+        out.clear();
+        out.extend(
+            g.data
+                .iter()
+                .filter(|&&a| a != addr)
+                .map(|&a| self.locate(a)),
+        );
+        out.push(g.parity);
     }
 
     /// The PGT, for the declustered family.

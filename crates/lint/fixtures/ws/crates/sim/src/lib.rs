@@ -1,4 +1,4 @@
-//! Deterministic-crate fixture: D001, P001, L000 and D003 all fire here.
+//! Deterministic-crate fixture: D001, P001, P002, L000 and D003 all fire here.
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
@@ -20,4 +20,11 @@ pub fn excused(v: Option<u32>) -> u32 { v.expect("excused") }
 
 pub fn total(handles: Vec<std::thread::JoinHandle<f64>>) -> f64 {
     handles.into_iter().map(|h| h.join().unwrap_or(0.0)).sum()
+}
+
+// lint: hot
+pub fn hot_path(xs: &[u64], out: &mut Vec<u64>) {
+    let mut tmp = Vec::new();
+    tmp.extend(xs.iter().copied());
+    out.extend(tmp);
 }

@@ -10,6 +10,7 @@
 //! | D002 | wall-clock / entropy (`Instant::now`, `SystemTime`, `thread_rng`) | lib + bin code outside `cms-bench` | no — hard fail |
 //! | D003 | unordered parallel float reduction (folding `join()`ed worker results with float `sum`/`fold`/`reduce` in one expression) | lib code everywhere | no — hard fail |
 //! | P001 | `.unwrap()` / `.expect(…)` / `panic!` in library code          | lib code everywhere                | yes — baseline |
+//! | P002 | heap allocation (`Vec::new`, `vec![…]`, `.collect()`) inside a function marked `// lint: hot` | lib code of the deterministic crates | yes — baseline |
 //! | H001 | crate root missing `#![forbid(unsafe_code)]`                   | every crate root                   | no — hard fail |
 //! | L000 | `lint: allow(…)` directive without a reason                    | anywhere a directive appears       | no — hard fail |
 //!
@@ -18,6 +19,10 @@
 //! mandatory (a bare directive suppresses nothing and trips L000).
 //! `#[cfg(test)]` items and `tests/`, `benches/`, `examples/` sources are
 //! outside the contract and skipped.
+//!
+//! Opt-in marker: a bare `// lint: hot` comment directly above (or on the
+//! first line of) a function declares it steady-state hot; P002 then holds
+//! that function's body to the zero-allocation contract of DESIGN.md §7.
 
 use crate::tokenizer::{tokenize, AllowDirective, Tok, TokKind};
 use crate::workspace::{FileClass, SourceFile};
@@ -46,7 +51,7 @@ pub struct RuleInfo {
 }
 
 /// The full catalogue, in report order.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         id: "D001",
         summary: "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort before iterating",
@@ -65,6 +70,11 @@ pub const RULES: [RuleInfo; 6] = [
     RuleInfo {
         id: "P001",
         summary: "unwrap/expect/panic! in library code can turn a recoverable disk failure into a crash",
+        ratchetable: true,
+    },
+    RuleInfo {
+        id: "P002",
+        summary: "heap allocation (Vec::new, vec![], .collect()) inside a `// lint: hot` function; reuse a scratch buffer (DESIGN.md §7)",
         ratchetable: true,
     },
     RuleInfo {
@@ -171,6 +181,46 @@ fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     mask
 }
 
+/// Token indices covered by functions declared hot with a `// lint: hot`
+/// marker. A marker on line `L` claims the function whose `fn` keyword
+/// sits on `L` or `L + 1` (same placement contract as `allowed`); the
+/// region runs from that keyword through the function body's closing
+/// brace. Markers with no adjacent `fn` claim nothing.
+fn hot_region_mask(toks: &[Tok], hots: &[u32]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for &marker in hots {
+        let Some(start) = toks.iter().position(|t| {
+            t.is_ident("fn") && (t.line == marker || t.line == marker + 1)
+        }) else {
+            continue;
+        };
+        let mut brace = 0i32;
+        let mut entered = false;
+        let mut end = start;
+        for (k, t) in toks.iter().enumerate().skip(start) {
+            if t.is_punct('{') {
+                brace += 1;
+                entered = true;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if entered && brace == 0 {
+                    end = k;
+                    break;
+                }
+            } else if t.is_punct(';') && !entered {
+                // Signature-only item (trait method): nothing to claim.
+                end = start;
+                break;
+            }
+            end = k;
+        }
+        for m in &mut mask[start..=end] {
+            *m = true;
+        }
+    }
+    mask
+}
+
 /// Is a diagnostic of `rule_id` on `line` suppressed by a well-formed
 /// allow directive (same line or the line above)?
 fn allowed(allows: &[AllowDirective], rule_id: &str, line: u32) -> bool {
@@ -185,6 +235,7 @@ pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
     let lexed = tokenize(src);
     let toks = &lexed.tokens;
     let mask = test_region_mask(toks);
+    let hot = hot_region_mask(toks, &lexed.hots);
     let mut out: Vec<Diagnostic> = Vec::new();
 
     let mut push = |rule_id: &str, line: u32, message: String| {
@@ -304,6 +355,34 @@ pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
             }
         }
 
+        // P002 — heap allocation on a declared hot path.
+        if deterministic && hot[i] {
+            let call = next.is_some_and(|t| t.is_punct('('));
+            let path = next.is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+            let vec_new = t.text == "Vec"
+                && path
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("new"));
+            let vec_macro = t.text == "vec" && next.is_some_and(|t| t.is_punct('!'));
+            let collect = t.text == "collect" && prev_dot && (call || path);
+            if vec_new || vec_macro || collect {
+                let what = if vec_new {
+                    "Vec::new()"
+                } else if vec_macro {
+                    "vec![]"
+                } else {
+                    ".collect()"
+                };
+                push(
+                    "P002",
+                    t.line,
+                    format!(
+                        "{what} inside a `lint: hot` function; reuse a caller-owned scratch buffer"
+                    ),
+                );
+            }
+        }
+
         // P001 — panicking calls in library code.
         if lib_code {
             let call = next.is_some_and(|t| t.is_punct('('));
@@ -414,6 +493,46 @@ mod tests {
         let bare = "// lint: allow(P001)\nx.unwrap();\n";
         let d = analyze_source(&sim_lib(), bare);
         assert_eq!(rules_of(&d), vec![("L000".into(), 1), ("P001".into(), 2)]);
+    }
+
+    #[test]
+    fn p002_flags_allocation_only_in_hot_functions() {
+        let hot = "// lint: hot\nfn serve() {\n    let a = Vec::new();\n    let b = vec![1, 2];\n    let c: Vec<u32> = xs.iter().collect();\n    let d = xs.iter().collect::<Vec<_>>();\n}\nfn cold() {\n    let e = Vec::new();\n}\n";
+        let d = analyze_source(&sim_lib(), hot);
+        assert_eq!(
+            rules_of(&d),
+            vec![
+                ("P002".into(), 3),
+                ("P002".into(), 4),
+                ("P002".into(), 5),
+                ("P002".into(), 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn p002_scope_and_escape_hatch() {
+        let src = "// lint: hot\nfn serve() {\n    let a = Vec::new();\n}\n";
+        // Non-deterministic crate: exempt.
+        let model = file("crates/model/src/lib.rs", FileClass::Lib, "cms-model");
+        assert!(analyze_source(&model, src).iter().all(|d| d.rule != "P002"));
+        // Bin code of a deterministic crate: exempt (hot contract covers lib).
+        let bin = file("crates/sim/src/bin/tool.rs", FileClass::Bin, "cms-sim");
+        assert!(analyze_source(&bin, src).iter().all(|d| d.rule != "P002"));
+        // Allow directive with a reason suppresses the finding.
+        let hatched = "// lint: hot\nfn serve() {\n    // lint: allow(P002) one-time growth before steady state\n    let a = Vec::new();\n}\n";
+        assert!(analyze_source(&sim_lib(), hatched).is_empty());
+        // Prose that merely mentions the marker claims nothing.
+        let prose = "// this fn is on the lint: hot path for servicing\nfn serve() {\n    let a = Vec::new();\n}\n";
+        assert!(analyze_source(&sim_lib(), prose).iter().all(|d| d.rule != "P002"));
+    }
+
+    #[test]
+    fn p002_region_ends_at_the_function_brace() {
+        // Allocation after the hot function's closing brace is clean even
+        // on the same nesting path.
+        let src = "// lint: hot\nfn serve(out: &mut Vec<u32>) {\n    out.clear();\n    if x { out.push(1); }\n}\nfn other() {\n    let v: Vec<u32> = ys.collect();\n}\n";
+        assert!(analyze_source(&sim_lib(), src).is_empty());
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct Lexed {
     pub tokens: Vec<Tok>,
     /// All `lint: allow(...)` directives found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Lines carrying a `// lint: hot` marker. The function item that
+    /// starts on (or immediately after) such a line is a declared
+    /// hot-path function; rule P002 holds its body to the
+    /// zero-allocation contract (DESIGN.md §7).
+    pub hots: Vec<u32>,
 }
 
 /// Tokenizes `src`. Never fails: unterminated constructs simply consume
@@ -110,6 +115,7 @@ pub fn tokenize(src: &str) -> Lexed {
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
                 let end = memchr_newline(b, i);
                 scan_allow(&src[i..end], line, &mut out.allows);
+                scan_hot(&src[i..end], line, &mut out.hots);
                 i = end;
             }
             b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
@@ -336,6 +342,16 @@ fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
     out.push(AllowDirective { line, rule, has_reason: !reason.is_empty() });
 }
 
+/// Detects a `lint: hot` marker in one line comment. The marker must be
+/// the whole directive (nothing but whitespace after it), so prose that
+/// merely mentions the phrase does not mark a function.
+fn scan_hot(comment: &str, line: u32, out: &mut Vec<u32>) {
+    let Some(pos) = comment.find("lint: hot") else { return };
+    if comment[pos + "lint: hot".len()..].trim().is_empty() {
+        out.push(line);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +427,12 @@ let real = HashMap::new();
     #[test]
     fn raw_identifiers_lex_as_plain_idents() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn hot_markers_are_extracted_only_when_bare() {
+        let src = "// lint: hot\nfn f() {}\n// this mentions lint: hot paths in prose\nfn g() {}\n// lint: hot   \nfn h() {}";
+        let lexed = tokenize(src);
+        assert_eq!(lexed.hots, vec![1, 5]);
     }
 }

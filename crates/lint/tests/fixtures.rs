@@ -28,7 +28,7 @@ fn fixture_workspace_produces_exactly_the_expected_diagnostics() {
     assert!(report.diagnostics.iter().all(|d| !d.file.contains("tests/")));
     // Every rule of the catalogue except D002-in-bench appears at least
     // once, so the fixtures exercise the whole catalogue.
-    for rule in ["D001", "D002", "D003", "P001", "H001", "L000"] {
+    for rule in ["D001", "D002", "D003", "P001", "P002", "H001", "L000"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "no fixture covers {rule}"

@@ -10,7 +10,7 @@ use std::fmt;
 use std::ops::{BitXor, BitXorAssign};
 
 /// A fixed-size byte block.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Block {
     data: Vec<u8>,
 }
@@ -34,18 +34,35 @@ impl Block {
     /// identical blocks.
     #[must_use]
     pub fn synthetic(clip: u64, index: u64, len: usize) -> Self {
+        let mut block = Block::default();
+        block.fill_synthetic(clip, index, len);
+        block
+    }
+
+    /// Allocation-free [`Self::synthetic`]: regenerates the deterministic
+    /// content in place, reusing the existing buffer's capacity
+    /// (DESIGN.md §7). The buffer is reserved to the next multiple of 8 so
+    /// the whole-word generator loop never reallocates mid-fill.
+    pub fn fill_synthetic(&mut self, clip: u64, index: u64, len: usize) {
         let mut state = clip
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(index)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9)
             ^ 0x94D0_49BB_1331_11EB;
-        let mut data = Vec::with_capacity(len);
-        while data.len() < len {
+        self.data.clear();
+        self.data.reserve(len.next_multiple_of(8));
+        while self.data.len() < len {
             state = splitmix64(&mut state);
-            data.extend_from_slice(&state.to_le_bytes());
+            self.data.extend_from_slice(&state.to_le_bytes());
         }
-        data.truncate(len);
-        Block { data }
+        self.data.truncate(len);
+    }
+
+    /// Replaces this block's content with a copy of `src`, reusing the
+    /// existing buffer's capacity.
+    pub fn copy_from(&mut self, src: &Block) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Block length in bytes.
@@ -206,6 +223,31 @@ mod tests {
             slow.xor_bytewise_reference(&b);
             assert_eq!(fast, slow, "len = {len}");
         }
+    }
+
+    #[test]
+    fn fill_synthetic_matches_synthetic_and_reuses_capacity() {
+        let mut b = Block::default();
+        for len in [0usize, 1, 7, 8, 9, 1023] {
+            b.fill_synthetic(9, 3, len);
+            assert_eq!(b, Block::synthetic(9, 3, len), "len = {len}");
+        }
+        b.fill_synthetic(9, 3, 1024);
+        let cap = b.data.capacity();
+        b.fill_synthetic(10, 4, 1024);
+        assert_eq!(b.data.capacity(), cap, "refill must not reallocate");
+        assert_eq!(b, Block::synthetic(10, 4, 1024));
+    }
+
+    #[test]
+    fn copy_from_replaces_content_in_place() {
+        let src = Block::synthetic(1, 2, 64);
+        let mut dst = Block::synthetic(3, 4, 128);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let cap = dst.data.capacity();
+        dst.copy_from(&Block::zeroed(32));
+        assert_eq!(dst.data.capacity(), cap, "shrinking copy must not reallocate");
     }
 
     #[test]

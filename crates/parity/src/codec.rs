@@ -50,18 +50,38 @@ impl std::error::Error for ParityError {}
 /// differ. A single data block is allowed (its parity is a copy — the
 /// `p = 2` mirroring case).
 pub fn parity_of(data: &[&Block]) -> Result<Block, ParityError> {
-    let first = data.first().ok_or(ParityError::GroupTooSmall { got: 0 })?;
-    let mut parity = Block::zeroed(first.len());
-    for block in data {
+    let mut parity = Block::default();
+    parity_into(&mut parity, data.iter().copied())?;
+    Ok(parity)
+}
+
+/// Allocation-free [`parity_of`]: XOR-folds `blocks` into `out`, reusing
+/// `out`'s buffer capacity (DESIGN.md §7). The first block is copied in
+/// rather than XORed against a fresh zero block, so steady-state
+/// reconstruction touches no allocator and makes one fewer pass over the
+/// stripe unit.
+///
+/// # Errors
+///
+/// Returns [`ParityError`] if the iterator is empty or lengths differ.
+/// `out` is left in an unspecified (but valid) state on error.
+pub fn parity_into<'a, I>(out: &mut Block, blocks: I) -> Result<(), ParityError>
+where
+    I: IntoIterator<Item = &'a Block>,
+{
+    let mut blocks = blocks.into_iter();
+    let first = blocks.next().ok_or(ParityError::GroupTooSmall { got: 0 })?;
+    out.copy_from(first);
+    for block in blocks {
         if block.len() != first.len() {
             return Err(ParityError::LengthMismatch {
                 expected: first.len(),
                 got: block.len(),
             });
         }
-        parity ^= block;
+        *out ^= block;
     }
-    Ok(parity)
+    Ok(())
 }
 
 /// Reconstructs a missing block from the `p − 1` survivors of its parity
@@ -72,6 +92,18 @@ pub fn parity_of(data: &[&Block]) -> Result<Block, ParityError> {
 /// Returns [`ParityError`] on an empty survivor list or length mismatch.
 pub fn reconstruct(survivors: &[&Block]) -> Result<Block, ParityError> {
     parity_of(survivors)
+}
+
+/// Allocation-free [`reconstruct`]: see [`parity_into`].
+///
+/// # Errors
+///
+/// Returns [`ParityError`] on an empty survivor list or length mismatch.
+pub fn reconstruct_into<'a, I>(out: &mut Block, survivors: I) -> Result<(), ParityError>
+where
+    I: IntoIterator<Item = &'a Block>,
+{
+    parity_into(out, survivors)
 }
 
 /// Verifies that a full parity group (data blocks plus parity block) XORs
@@ -163,6 +195,38 @@ mod tests {
             Err(ParityError::LengthMismatch { expected: 8, got: 16 })
         ));
         assert!(verify_group(&[&a]).is_err());
+    }
+
+    #[test]
+    fn parity_into_matches_parity_of_and_reuses_capacity() {
+        let data = group(6, 768);
+        let refs: Vec<&Block> = data.iter().collect();
+        let expect = parity_of(&refs).unwrap();
+        let mut out = Block::synthetic(0, 0, 768);
+        parity_into(&mut out, data.iter()).unwrap();
+        assert_eq!(out, expect);
+        // Refill with a same-length group: no growth of the reused block.
+        let other = group(3, 768);
+        let cap_probe = out.len();
+        reconstruct_into(&mut out, other.iter()).unwrap();
+        assert_eq!(out.len(), cap_probe);
+        let other_refs: Vec<&Block> = other.iter().collect();
+        assert_eq!(out, reconstruct(&other_refs).unwrap());
+    }
+
+    #[test]
+    fn parity_into_error_cases() {
+        let mut out = Block::default();
+        assert!(matches!(
+            parity_into(&mut out, std::iter::empty()),
+            Err(ParityError::GroupTooSmall { got: 0 })
+        ));
+        let a = Block::zeroed(8);
+        let b = Block::zeroed(16);
+        assert!(matches!(
+            parity_into(&mut out, [&a, &b].into_iter()),
+            Err(ParityError::LengthMismatch { expected: 8, got: 16 })
+        ));
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod block;
 pub mod codec;
 
 pub use block::Block;
-pub use codec::{parity_of, reconstruct, verify_group, ParityError};
+pub use codec::{parity_into, parity_of, reconstruct, reconstruct_into, verify_group, ParityError};

@@ -11,19 +11,24 @@ use cms_core::units::transfer_time;
 use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
 use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, TimingModel};
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
-use cms_parity::{parity_of, reconstruct, Block};
+use cms_parity::{parity_into, reconstruct_into, Block};
 use cms_trace::{EventKind, TraceSink, TraceSummary, Tracer};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
 use std::collections::BTreeMap;
 
 /// One scheduled disk read.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Fetch {
     client: RequestId,
     clip: ClipId,
     loc: BlockLocation,
     /// Round the block this read contributes to will be consumed.
     needed: u64,
+    /// Globally increasing issue stamp. Each disk queue is kept ordered
+    /// by `(needed, seq)`, which reproduces exactly the order the old
+    /// per-round *stable* sort on `needed` produced: among equal
+    /// deadlines, earlier-issued fetches serve first (DESIGN.md §7).
+    seq: u64,
     /// Clip-block index this read delivers directly, if any.
     serves: Option<u64>,
     /// Clip-block index whose reconstruction this read contributes to,
@@ -61,31 +66,51 @@ impl Client {
     }
 }
 
-/// The locally-computed result of draining one disk's queue for one
-/// round — everything `execute_disks`'s merge phase needs, produced
-/// without touching any shared state so disks can be serviced on worker
-/// threads.
+/// The locally-computed summary of draining one disk's queue for one
+/// round. The variable-size payloads (served fetches, trace events) live
+/// in the disk's [`RoundScratch`]; this struct carries only the `Copy`
+/// accounting, so phase one can write results into a pre-sized slot
+/// without touching the allocator.
+#[derive(Clone, Copy, Default)]
 struct DiskRound {
     /// Queue depth before the EDF drain (for `peak_disk_queue`).
     queue_len: u32,
-    /// The fetches taken this round, in EDF order, awaiting delivery.
-    served: Vec<Fetch>,
     /// Service-time accounting; `None` when the queue was empty or the
     /// disk refused service.
     outcome: Option<RoundOutcome>,
     /// Fetches dropped because the disk refused service (failed disk or
     /// out-of-range block) — merged into `Metrics::service_errors`.
     dropped: u32,
+}
+
+/// Per-disk reusable buffers for the round hot path (DESIGN.md §7). One
+/// arena per disk lives on the simulator; `execute_disks` hands each
+/// worker the arenas of its disk slice, and the sequential merge drains
+/// them in disk-ID order. Buffers are cleared, never shrunk: after
+/// warm-up every round runs allocation-free.
+#[derive(Default)]
+struct RoundScratch {
+    /// The fetches taken this round, in EDF order, awaiting delivery.
+    served: Vec<Fetch>,
+    /// Block requests handed to `Disk::service_round_with`.
+    requests: Vec<BlockRequest>,
     /// Trace events produced while servicing this disk (empty when
-    /// tracing is off). Buffered per worker and drained by the merge
+    /// tracing is off). Buffered per disk and drained by the merge
     /// phase in disk-ID order — the trace-determinism contract.
     events: Vec<EventKind>,
+    /// C-SCAN cylinder/order buffers reused inside the disk crate.
+    disk: cms_disk::ServiceScratch,
 }
 
 /// Drains up to `budget` fetches from one disk's queue
 /// (earliest-deadline-first) and services them in C-SCAN order against
 /// that disk's own head/busy state. Pure per-disk work: callable
 /// concurrently for distinct disks.
+///
+/// The queue arrives already in EDF order — `push_fetch` maintains each
+/// queue sorted by `(needed, seq)` — so the drain is a plain prefix
+/// split, not a per-round sort.
+// lint: hot
 fn serve_disk(
     queue: &mut Vec<Fetch>,
     disk: &mut Disk,
@@ -93,59 +118,54 @@ fn serve_disk(
     budget: usize,
     deadline: f64,
     collect_events: bool,
+    scratch: &mut RoundScratch,
 ) -> DiskRound {
+    scratch.served.clear();
+    scratch.requests.clear();
+    scratch.events.clear();
     if queue.is_empty() {
-        return DiskRound {
-            queue_len: 0,
-            served: Vec::new(),
-            outcome: None,
-            dropped: 0,
-            events: Vec::new(),
-        };
+        return DiskRound::default();
     }
+    debug_assert!(
+        queue.windows(2).all(|w| (w[0].needed, w[0].seq) <= (w[1].needed, w[1].seq)),
+        "disk queue must stay ordered by (needed, seq)"
+    );
     let queue_len = queue.len() as u32;
-    // Earliest-deadline-first within the per-round budget (stable sort:
-    // ties keep insertion order, part of the determinism contract).
-    queue.sort_by_key(|f| f.needed);
     let take = queue.len().min(budget);
-    let served: Vec<Fetch> = queue.drain(..take).collect();
-    let requests: Vec<BlockRequest> = served
-        .iter()
-        .map(|f| BlockRequest {
-            disk: disk.id,
-            block_no: f.loc.block_no,
-            clip: f.clip,
-            reconstruction: f.recon_for.is_some(),
-        })
-        .collect();
-    match disk.service_round(ctx, &requests, deadline) {
+    scratch.served.extend(queue.drain(..take));
+    scratch.requests.extend(scratch.served.iter().map(|f| BlockRequest {
+        disk: disk.id,
+        block_no: f.loc.block_no,
+        clip: f.clip,
+        reconstruction: f.recon_for.is_some(),
+    }));
+    match disk.service_round_with(ctx, &scratch.requests, deadline, &mut scratch.disk) {
         Ok(outcome) => {
-            let events = if collect_events {
-                vec![EventKind::DiskServe {
+            if collect_events {
+                scratch.events.push(EventKind::DiskServe {
                     disk: disk.id.raw(),
                     blocks: outcome.blocks,
                     // Microseconds losslessly represent the worst-case
                     // timing model at round scale; the f64 is computed
                     // locally per disk, so the value is thread-invariant.
-                    busy_us: (outcome.busy * 1e6) as u64,
+                    // Round to nearest: truncation would under-report
+                    // every round's busy time by up to 1µs.
+                    busy_us: (outcome.busy * 1e6).round() as u64,
                     queue: queue_len,
-                }]
-            } else {
-                Vec::new()
-            };
-            DiskRound { queue_len, served, outcome: Some(outcome), dropped: 0, events }
+                });
+            }
+            DiskRound { queue_len, outcome: Some(outcome), dropped: 0 }
         }
         // The engine never routes fetches to a failed disk, so this arm
         // is unreachable for valid layouts — but a refused round must
         // drop its fetches and be counted, never panic the server loop.
         Err(_) => {
-            let dropped = served.len() as u32;
-            let events = if collect_events {
-                vec![EventKind::ServiceError { disk: disk.id.raw(), dropped }]
-            } else {
-                Vec::new()
-            };
-            DiskRound { queue_len, served: Vec::new(), outcome: None, dropped, events }
+            let dropped = scratch.served.len() as u32;
+            scratch.served.clear();
+            if collect_events {
+                scratch.events.push(EventKind::ServiceError { disk: disk.id.raw(), dropped });
+            }
+            DiskRound { queue_len, outcome: None, dropped }
         }
     }
 }
@@ -184,6 +204,38 @@ struct RebuildState {
     rebuilt: u64,
 }
 
+/// Reusable buffers for the parity-verification path: synthetic group
+/// content, the recomputed parity block and the reconstruction output.
+/// All blocks keep their capacity across verifications.
+#[derive(Default)]
+struct VerifyScratch {
+    /// Synthetic content pool, one slot per data block of the group.
+    data: Vec<Block>,
+    parity: Block,
+    rebuilt: Block,
+    expect: Block,
+}
+
+/// Engine-level reusable buffers for the per-round pipeline
+/// (DESIGN.md §7). Each is `mem::take`n by the phase that needs it and
+/// put back afterwards, so `&mut self` calls made while iterating a
+/// buffer never alias it.
+#[derive(Default)]
+struct EngineScratch {
+    /// Client-id snapshot for `schedule_fetches`.
+    ids: Vec<RequestId>,
+    /// Completed clients collected by `consume_and_complete`.
+    done: Vec<RequestId>,
+    /// Healthy group members in `issue_group_fetch`.
+    healthy: Vec<(u64, BlockLocation)>,
+    /// Reconstruction-read locations (recovery and rebuild paths).
+    reads: Vec<BlockLocation>,
+    /// Flattened `(failed block, surviving location)` pairs staged by
+    /// `schedule_rebuild` before queue insertion.
+    rebuild_batch: Vec<(u64, BlockLocation)>,
+    verify: VerifyScratch,
+}
+
 /// The simulator: owns the layout, the admission controller, the disk
 /// array and all client state. Construct with [`Simulator::new`], then
 /// call [`Simulator::run`] (or [`Simulator::step`] for fine control).
@@ -199,6 +251,14 @@ pub struct Simulator {
     clients: BTreeMap<RequestId, Client>,
     array: DiskArray,
     queues: Vec<Vec<Fetch>>,
+    /// Issue stamp for the next fetch (see [`Fetch::seq`]).
+    fetch_seq: u64,
+    /// Per-disk round arenas, reused every round (DESIGN.md §7).
+    round_scratch: Vec<RoundScratch>,
+    /// Per-disk round summaries, reused every round.
+    round_results: Vec<DiskRound>,
+    /// Engine-level reusable buffers.
+    scratch: EngineScratch,
     /// Resolved disk-service worker count (from `cfg.threads`, 0 = auto),
     /// clamped to the number of disks.
     workers: usize,
@@ -379,6 +439,10 @@ impl Simulator {
                 ClipChoice::uniform(cfg.catalog_clips, cfg.seed ^ 0xC11)
             },
             queues: vec![Vec::new(); cfg.d as usize],
+            fetch_seq: 0,
+            round_scratch: (0..cfg.d).map(|_| RoundScratch::default()).collect(),
+            round_results: vec![DiskRound::default(); cfg.d as usize],
+            scratch: EngineScratch::default(),
             workers,
             pending: PendingList::new(),
             paused: BTreeMap::new(),
@@ -641,20 +705,27 @@ impl Simulator {
         let Some(rb) = &mut self.rebuild else { return };
         let window = 2 * self.cfg.d as usize;
         let failed = rb.disk;
-        // Collect the reads to issue first (borrow juggling: layout is
-        // immutable, queues are mutated after).
-        let mut to_issue: Vec<(u64, Vec<BlockLocation>)> = Vec::new();
+        // Stage the reads first (borrow juggling: layout is immutable,
+        // queues are mutated after) in the flat reusable batch — one
+        // `(failed block, surviving location)` pair per read, no nested
+        // per-block vectors.
+        let mut batch = std::mem::take(&mut self.scratch.rebuild_batch);
+        let mut reads = std::mem::take(&mut self.scratch.reads);
+        batch.clear();
         while rb.outstanding.len() < window && rb.next_block < rb.total {
             let block_no = rb.next_block;
             rb.next_block += 1;
-            let reads: Vec<BlockLocation> = match self.layout.slot(failed, block_no) {
-                cms_layout::Slot::Free => Vec::new(),
-                cms_layout::Slot::Data(addr) => self.layout.reconstruction_reads(addr),
+            reads.clear();
+            match self.layout.slot(failed, block_no) {
+                cms_layout::Slot::Free => {}
+                cms_layout::Slot::Data(addr) => {
+                    self.layout.reconstruction_reads_into(addr, &mut reads);
+                }
                 cms_layout::Slot::Parity(gid) => {
                     let g = self.layout.group(gid);
-                    g.data.iter().map(|&a| self.layout.locate(a)).collect()
+                    reads.extend(g.data.iter().map(|&a| self.layout.locate(a)));
                 }
-            };
+            }
             if reads.is_empty() {
                 // Unused slot: nothing to copy.
                 rb.rebuilt += 1;
@@ -662,23 +733,24 @@ impl Simulator {
                 continue;
             }
             rb.outstanding.insert(block_no, reads.len() as u32);
-            to_issue.push((block_no, reads));
+            batch.extend(reads.iter().map(|&loc| (block_no, loc)));
         }
-        for (block_no, reads) in to_issue {
-            for loc in reads {
-                debug_assert_ne!(Some(loc.disk), self.failed);
-                self.metrics.rebuild_reads += 1;
-                self.queues[loc.disk.idx()].push(Fetch {
-                    client: RequestId(u64::MAX),
-                    clip: ClipId(u64::MAX),
-                    loc,
-                    needed: u64::MAX, // lowest EDF priority: slack only
-                    serves: None,
-                    recon_for: None,
-                    rebuild_for: Some(block_no),
-                });
-            }
+        for &(block_no, loc) in &batch {
+            debug_assert_ne!(Some(loc.disk), self.failed);
+            self.metrics.rebuild_reads += 1;
+            self.push_fetch(Fetch {
+                client: RequestId(u64::MAX),
+                clip: ClipId(u64::MAX),
+                loc,
+                needed: u64::MAX, // lowest EDF priority: slack only
+                seq: 0, // stamped by push_fetch
+                serves: None,
+                recon_for: None,
+                rebuild_for: Some(block_no),
+            });
         }
+        self.scratch.rebuild_batch = batch;
+        self.scratch.reads = reads;
         if let Some(rb) = &self.rebuild {
             let (rebuilt, total) = (rb.rebuilt, rb.total);
             emit(&mut self.tracer, self.t, EventKind::RebuildProgress { rebuilt, total });
@@ -869,8 +941,10 @@ impl Simulator {
     fn schedule_fetches(&mut self) {
         let span = u64::from(self.cfg.p - 1).max(1);
         let scheme = self.cfg.scheme;
-        let ids: Vec<RequestId> = self.clients.keys().copied().collect();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
+        ids.extend(self.clients.keys().copied());
+        for &id in &ids {
             let (placement, admitted_at, first_boundary, issued) = {
                 let c = &self.clients[&id];
                 (c.placement, c.admitted_at, c.first_boundary, c.issued)
@@ -918,6 +992,7 @@ impl Simulator {
                 }
             }
         }
+        self.scratch.ids = ids;
     }
 
     /// Issues the single-block fetch for `idx`, or recovery reads if its
@@ -935,6 +1010,7 @@ impl Simulator {
                 clip,
                 loc,
                 needed,
+                seq: 0, // stamped by push_fetch
                 serves: Some(idx),
                 recon_for: None,
                 rebuild_for: None,
@@ -955,7 +1031,8 @@ impl Simulator {
         let p = self.cfg.p;
 
         let mut lost: Option<u64> = None;
-        let mut healthy: Vec<(u64, BlockLocation)> = Vec::new();
+        let mut healthy = std::mem::take(&mut self.scratch.healthy);
+        healthy.clear();
         for idx in start..end {
             let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
             let loc = self.layout.locate(addr);
@@ -972,18 +1049,20 @@ impl Simulator {
         let needed_of = |client: &Client, idx: u64| client.consume_round(idx, scheme, p);
 
         let lost_needed = lost.map(|idx| needed_of(&self.clients[&id], idx));
-        for (idx, loc) in healthy {
+        for &(idx, loc) in &healthy {
             let needed = needed_of(&self.clients[&id], idx);
             self.push_fetch(Fetch {
                 client: id,
                 clip,
                 loc,
                 needed: lost_needed.map_or(needed, |ln| needed.min(ln)),
+                seq: 0, // stamped by push_fetch
                 serves: Some(idx),
                 recon_for: lost,
                 rebuild_for: None,
             });
         }
+        self.scratch.healthy = healthy;
         // Parity read: always for streaming RAID; on failure for the
         // pre-fetching schemes (unless the parity disk itself died, in
         // which case the data is all there and nothing is lost).
@@ -995,6 +1074,7 @@ impl Simulator {
                 clip,
                 loc: parity_loc,
                 needed,
+                seq: 0, // stamped by push_fetch
                 serves: None,
                 recon_for: lost,
                 rebuild_for: None,
@@ -1040,9 +1120,10 @@ impl Simulator {
         let placement = c.placement;
         let clip = placement.id;
         let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
-        let reads = self.layout.reconstruction_reads(addr);
+        let mut reads = std::mem::take(&mut self.scratch.reads);
+        self.layout.reconstruction_reads_into(addr, &mut reads);
         let mut survivors = 0u32;
-        for loc in reads {
+        for &loc in &reads {
             if Some(loc.disk) == self.failed {
                 // The parity block (or a sibling) shares the failed disk —
                 // impossible for valid layouts; guarded by layout
@@ -1054,6 +1135,7 @@ impl Simulator {
                 clip,
                 loc,
                 needed,
+                seq: 0, // stamped by push_fetch
                 serves: None,
                 recon_for: Some(idx),
                 rebuild_for: None,
@@ -1066,6 +1148,7 @@ impl Simulator {
                 EventKind::RecoveryRead { request: id.raw(), disk: loc.disk.raw(), block: idx },
             );
         }
+        self.scratch.reads = reads;
         if let Some(tr) = self.tracer.as_mut() {
             tr.record_recovery_fanout(u64::from(survivors));
         }
@@ -1074,9 +1157,23 @@ impl Simulator {
         }
     }
 
-    fn push_fetch(&mut self, fetch: Fetch) {
+    /// Inserts a fetch into its disk's queue, keeping the queue ordered
+    /// by `(needed, seq)`. The stamp is assigned here — monotonically
+    /// increasing across the whole run — so a fresh fetch always sorts
+    /// *after* every queued fetch with the same deadline. That reproduces
+    /// the old per-round stable sort exactly: leftovers (earlier stamps)
+    /// precede new arrivals among equal deadlines, and relative order
+    /// within each group is preserved by induction.
+    // lint: hot
+    fn push_fetch(&mut self, mut fetch: Fetch) {
         debug_assert!(Some(fetch.loc.disk) != self.failed, "fetch routed to failed disk");
-        self.queues[fetch.loc.disk.idx()].push(fetch);
+        fetch.seq = self.fetch_seq;
+        self.fetch_seq += 1;
+        let queue = &mut self.queues[fetch.loc.disk.idx()];
+        // First slot with a strictly later deadline; among equal
+        // deadlines the new stamp is the largest, so it lands last.
+        let pos = queue.partition_point(|f| f.needed <= fetch.needed);
+        queue.insert(pos, fetch);
     }
 
     /// Services every disk's queue for this round, then merges the
@@ -1107,57 +1204,71 @@ impl Simulator {
         let budget = self.cfg.q as usize;
         let workers = self.workers;
         let collect_events = self.tracer.is_some();
+        // Per-disk arenas and result slots are owned by the simulator and
+        // reused every round; taking them out lets worker threads borrow
+        // them while `self.array`'s split borrow is live.
+        let mut scratches = std::mem::take(&mut self.round_scratch);
+        let mut results = std::mem::take(&mut self.round_results);
+        #[cfg(feature = "bench-alloc")]
+        crate::hotgauge::enter_serve();
         // Phase one: per-disk service, parallel over disjoint
-        // (queue, disk) pairs. `service_parts` splits the array borrow so
-        // worker threads never alias `self`.
-        let rounds: Vec<DiskRound> = {
+        // (queue, disk, scratch, result) quads. `service_parts` splits
+        // the array borrow so worker threads never alias `self`.
+        {
             let (ctx, disks) = self.array.service_parts();
-            let mut units: Vec<(&mut Vec<Fetch>, &mut Disk)> =
-                self.queues.iter_mut().zip(disks.iter_mut()).collect();
             if workers <= 1 {
-                units
+                for (((queue, disk), scratch), slot) in self
+                    .queues
                     .iter_mut()
-                    .map(|(queue, disk)| {
-                        serve_disk(queue, disk, &ctx, budget, deadline, collect_events)
-                    })
-                    .collect()
+                    .zip(disks.iter_mut())
+                    .zip(scratches.iter_mut())
+                    .zip(results.iter_mut())
+                {
+                    *slot = serve_disk(queue, disk, &ctx, budget, deadline, collect_events, scratch);
+                }
             } else {
-                let chunk = units.len().div_ceil(workers);
+                let chunk = self.queues.len().div_ceil(workers);
+                // `thread::scope` joins every spawned worker before it
+                // returns and propagates the first panic, so no explicit
+                // join handles (or join().expect) are needed.
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = units
+                    for (((queues, disks), scratches), slots) in self
+                        .queues
                         .chunks_mut(chunk)
-                        .map(|slice| {
-                            scope.spawn(move || {
-                                slice
-                                    .iter_mut()
-                                    .map(|(queue, disk)| {
-                                        serve_disk(
-                                            queue,
-                                            disk,
-                                            &ctx,
-                                            budget,
-                                            deadline,
-                                            collect_events,
-                                        )
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        // lint: allow(P001) a panicked scoped worker left shared disk state undefined; propagating is the only sound option
-                        .flat_map(|h| h.join().expect("disk service worker panicked"))
-                        .collect()
-                })
+                        .zip(disks.chunks_mut(chunk))
+                        .zip(scratches.chunks_mut(chunk))
+                        .zip(results.chunks_mut(chunk))
+                    {
+                        scope.spawn(move || {
+                            for (((queue, disk), scratch), slot) in queues
+                                .iter_mut()
+                                .zip(disks.iter_mut())
+                                .zip(scratches.iter_mut())
+                                .zip(slots.iter_mut())
+                            {
+                                *slot = serve_disk(
+                                    queue,
+                                    disk,
+                                    &ctx,
+                                    budget,
+                                    deadline,
+                                    collect_events,
+                                    scratch,
+                                );
+                            }
+                        });
+                    }
+                });
             }
-        };
+        }
+        #[cfg(feature = "bench-alloc")]
+        crate::hotgauge::exit_serve();
         // Phase two: sequential merge in disk-ID order. Each disk's
         // buffered events are drained here, so the trace stream is the
         // one the sequential loop would have written — byte-identical at
         // any thread count, exactly like `disk_busy`.
-        for (disk, round) in rounds.into_iter().enumerate() {
-            for kind in round.events {
+        for (disk, round) in results.iter().enumerate() {
+            for kind in scratches[disk].events.drain(..) {
                 emit(&mut self.tracer, self.t, kind);
             }
             self.metrics.service_errors += u64::from(round.dropped);
@@ -1169,10 +1280,12 @@ impl Simulator {
                 self.metrics.peak_utilization.max(outcome.utilization());
             self.metrics.disk_busy[disk] += outcome.busy;
             self.metrics.disk_blocks[disk] += u64::from(outcome.blocks);
-            for fetch in round.served {
+            for &fetch in &scratches[disk].served {
                 self.deliver(fetch);
             }
         }
+        self.round_scratch = scratches;
+        self.round_results = results;
     }
 
     fn deliver(&mut self, fetch: Fetch) {
@@ -1222,7 +1335,10 @@ impl Simulator {
                     );
                     if self.cfg.verify_parity {
                         let placement = self.clients[&fetch.client].placement;
-                        if !self.verify_reconstruction(placement, idx) {
+                        let mut vs = std::mem::take(&mut self.scratch.verify);
+                        let ok = self.verify_reconstruction(&mut vs, placement, idx);
+                        self.scratch.verify = vs;
+                        if !ok {
                             self.metrics.parity_mismatches += 1;
                         }
                     }
@@ -1232,36 +1348,52 @@ impl Simulator {
     }
 
     /// Byte-level check: XOR of the surviving group members equals the
-    /// synthetic content of the lost block.
-    fn verify_reconstruction(&self, placement: ClipPlacement, idx: u64) -> bool {
+    /// synthetic content of the lost block. All block buffers come from
+    /// `scratch` and are refilled in place — no allocation once the pool
+    /// has grown to the group size (DESIGN.md §7).
+    fn verify_reconstruction(
+        &self,
+        scratch: &mut VerifyScratch,
+        placement: ClipPlacement,
+        idx: u64,
+    ) -> bool {
         let lost = StreamAddr::new(placement.stream, placement.start_index + idx);
         let group = self.layout.group(self.layout.group_id_of(lost));
         let n = self.cfg.content_bytes;
-        let content = |a: StreamAddr| Block::synthetic(u64::from(a.stream), a.index, n);
+        if scratch.data.len() < group.data.len() {
+            scratch.data.resize_with(group.data.len(), Block::default);
+        }
         // Parity block content is the XOR of all the group's data blocks.
-        let data: Vec<Block> = group.data.iter().map(|&a| content(a)).collect();
-        let refs: Vec<&Block> = data.iter().collect();
+        for (slot, &a) in scratch.data.iter_mut().zip(&group.data) {
+            slot.fill_synthetic(u64::from(a.stream), a.index, n);
+        }
+        let data = &scratch.data[..group.data.len()];
         // A group that cannot produce parity (empty, or unequal block
         // lengths) can never verify — report the mismatch instead of
         // panicking mid-delivery.
-        let Ok(parity) = parity_of(&refs) else { return false };
+        if parity_into(&mut scratch.parity, data.iter()).is_err() {
+            return false;
+        }
         // Reconstruct from survivors: all data except the lost one, plus
         // parity.
-        let mut survivors: Vec<&Block> = group
+        let survivors = group
             .data
             .iter()
-            .zip(&data)
+            .zip(data)
             .filter_map(|(&a, b)| (a != lost).then_some(b))
-            .collect();
-        survivors.push(&parity);
-        let Ok(rebuilt) = reconstruct(&survivors) else { return false };
-        rebuilt == content(lost)
+            .chain(std::iter::once(&scratch.parity));
+        if reconstruct_into(&mut scratch.rebuilt, survivors).is_err() {
+            return false;
+        }
+        scratch.expect.fill_synthetic(u64::from(lost.stream), lost.index, n);
+        scratch.rebuilt == scratch.expect
     }
 
     fn consume_and_complete(&mut self) {
         let scheme = self.cfg.scheme;
         let p = self.cfg.p;
-        let mut done: Vec<RequestId> = Vec::new();
+        let mut done = std::mem::take(&mut self.scratch.done);
+        done.clear();
         let mut buffered = 0u64;
         for (&id, client) in &mut self.clients {
             while client.consumed < client.placement.len
@@ -1293,12 +1425,13 @@ impl Simulator {
             }
         }
         self.metrics.peak_buffered_blocks = self.metrics.peak_buffered_blocks.max(buffered);
-        for id in done {
+        for &id in &done {
             self.clients.remove(&id);
             self.admission.remove(id);
             self.metrics.completed += 1;
             emit(&mut self.tracer, self.t, EventKind::Completion { request: id.raw() });
         }
+        self.scratch.done = done;
     }
 }
 
@@ -1314,7 +1447,140 @@ fn build_pgt(d: u32, p: u32, seed: u64) -> Result<Pgt, CmsError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cms_core::DiskParams;
     use cms_model::{capacity, ModelInput};
+    use proptest::prelude::*;
+
+    /// The retained pre-optimization `serve_disk`: allocates fresh
+    /// buffers and stable-sorts the whole queue by `needed` every round.
+    /// The equivalence proptest below drives it in lock-step with the
+    /// scratch-reusing implementation to prove the incremental
+    /// `(needed, seq)` queue order and buffer reuse change nothing.
+    #[allow(clippy::type_complexity)]
+    fn serve_disk_reference(
+        queue: &mut Vec<Fetch>,
+        disk: &mut Disk,
+        ctx: &ServiceContext,
+        budget: usize,
+        deadline: f64,
+        collect_events: bool,
+    ) -> (u32, Vec<Fetch>, Option<RoundOutcome>, u32, Vec<EventKind>) {
+        if queue.is_empty() {
+            return (0, Vec::new(), None, 0, Vec::new());
+        }
+        let queue_len = queue.len() as u32;
+        queue.sort_by_key(|f| f.needed);
+        let take = queue.len().min(budget);
+        let served: Vec<Fetch> = queue.drain(..take).collect();
+        let requests: Vec<BlockRequest> = served
+            .iter()
+            .map(|f| BlockRequest {
+                disk: disk.id,
+                block_no: f.loc.block_no,
+                clip: f.clip,
+                reconstruction: f.recon_for.is_some(),
+            })
+            .collect();
+        match disk.service_round(ctx, &requests, deadline) {
+            Ok(outcome) => {
+                let events = if collect_events {
+                    vec![EventKind::DiskServe {
+                        disk: disk.id.raw(),
+                        blocks: outcome.blocks,
+                        busy_us: (outcome.busy * 1e6).round() as u64,
+                        queue: queue_len,
+                    }]
+                } else {
+                    Vec::new()
+                };
+                (queue_len, served, Some(outcome), 0, events)
+            }
+            Err(_) => {
+                let dropped = served.len() as u32;
+                let events = if collect_events {
+                    vec![EventKind::ServiceError { disk: disk.id.raw(), dropped }]
+                } else {
+                    Vec::new()
+                };
+                (queue_len, Vec::new(), None, dropped, events)
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn scratch_serve_disk_matches_allocating_reference(
+            // Per round: a batch of (needed, block_no, is_recon) fetches
+            // plus a drain budget. Small `needed` range forces deadline
+            // ties, the stable-order hazard.
+            rounds in prop::collection::vec(
+                (prop::collection::vec((0u64..6, 0u64..400, any::<bool>()), 0..12), 1usize..10),
+                1..6
+            ),
+            fail_disk in any::<bool>(),
+        ) {
+            let mk_array = || {
+                DiskArray::new(1, DiskParams::sigmod96(), TimingModel::worst_case(), 1 << 20)
+                    .expect("1-disk array")
+            };
+            let mut opt_array = mk_array();
+            let mut ref_array = mk_array();
+            if fail_disk {
+                opt_array.fail(DiskId(0)).unwrap();
+                ref_array.fail(DiskId(0)).unwrap();
+            }
+            let mut opt_queue: Vec<Fetch> = Vec::new();
+            let mut ref_queue: Vec<Fetch> = Vec::new();
+            let mut scratch = RoundScratch::default();
+            let mut seq = 0u64;
+            let deadline = 0.5;
+            for (batch, budget) in rounds {
+                for (needed, block_no, recon) in batch {
+                    let fetch = Fetch {
+                        client: RequestId(seq),
+                        clip: ClipId(seq % 7),
+                        loc: BlockLocation { disk: DiskId(0), block_no },
+                        needed,
+                        seq,
+                        serves: (!recon).then_some(block_no),
+                        recon_for: recon.then_some(block_no),
+                        rebuild_for: None,
+                    };
+                    seq += 1;
+                    // Mirror push_fetch's ordered insert on one side, the
+                    // old plain append on the other.
+                    let pos = opt_queue.partition_point(|f| f.needed <= fetch.needed);
+                    opt_queue.insert(pos, fetch);
+                    ref_queue.push(fetch);
+                }
+                let opt_round = {
+                    let (ctx, disks) = opt_array.service_parts();
+                    serve_disk(&mut opt_queue, &mut disks[0], &ctx, budget, deadline, true, &mut scratch)
+                };
+                let (ref_len, ref_served, ref_outcome, ref_dropped, ref_events) = {
+                    let (ctx, disks) = ref_array.service_parts();
+                    serve_disk_reference(&mut ref_queue, &mut disks[0], &ctx, budget, deadline, true)
+                };
+                prop_assert_eq!(opt_round.queue_len, ref_len);
+                prop_assert_eq!(opt_round.dropped, ref_dropped);
+                prop_assert_eq!(&scratch.served, &ref_served, "served order diverged");
+                prop_assert_eq!(&scratch.events, &ref_events);
+                match (opt_round.outcome, ref_outcome) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.blocks, b.blocks);
+                        prop_assert_eq!(a.busy.to_bits(), b.busy.to_bits(), "busy time diverged");
+                        prop_assert_eq!(a.deadline.to_bits(), b.deadline.to_bits());
+                    }
+                    (a, b) => prop_assert!(false, "outcome presence diverged: {a:?} vs {b:?}"),
+                }
+                // The leftover queues must agree element-for-element: the
+                // reference's post-sort remainder is exactly the order the
+                // incremental queue maintains.
+                prop_assert_eq!(&opt_queue, &ref_queue, "leftover queues diverged");
+            }
+        }
+    }
 
     /// A small, fast configuration used by most tests.
     fn small_cfg(scheme: Scheme) -> SimConfig {

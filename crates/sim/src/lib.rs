@@ -55,6 +55,8 @@
 
 pub mod config;
 pub mod engine;
+#[cfg(feature = "bench-alloc")]
+pub mod hotgauge;
 pub mod metrics;
 
 pub use config::{FailureScenario, SimConfig};

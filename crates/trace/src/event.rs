@@ -140,45 +140,54 @@ impl EventKind {
         }
     }
 
-    /// The kind's payload as `(key, value)` pairs in render order.
-    fn fields(&self) -> Vec<(&'static str, u64)> {
+    /// The kind's payload as `(key, value)` pairs in render order,
+    /// returned as a fixed four-slot array plus its used length — no
+    /// kind has more than four fields, and rendering an event must not
+    /// allocate (tracing sits on the round hot path, DESIGN.md §7).
+    fn fields(&self) -> ([(&'static str, u64); 4], usize) {
+        const NIL: (&str, u64) = ("", 0);
         match *self {
             EventKind::Arrival { request, clip } => {
-                vec![("request", request), ("clip", clip)]
+                ([("request", request), ("clip", clip), NIL, NIL], 2)
             }
             EventKind::Admission { request, clip, wait } => {
-                vec![("request", request), ("clip", clip), ("wait", wait)]
+                ([("request", request), ("clip", clip), ("wait", wait), NIL], 3)
             }
             EventKind::Rejection { request, clip } => {
-                vec![("request", request), ("clip", clip)]
+                ([("request", request), ("clip", clip), NIL, NIL], 2)
             }
-            EventKind::Completion { request } => vec![("request", request)],
-            EventKind::DiskFailure { disk } => vec![("disk", u64::from(disk))],
-            EventKind::DiskRepair { disk } => vec![("disk", u64::from(disk))],
+            EventKind::Completion { request } => ([("request", request), NIL, NIL, NIL], 1),
+            EventKind::DiskFailure { disk } => ([("disk", u64::from(disk)), NIL, NIL, NIL], 1),
+            EventKind::DiskRepair { disk } => ([("disk", u64::from(disk)), NIL, NIL, NIL], 1),
             EventKind::RecoveryRead { request, disk, block } => {
-                vec![("request", request), ("disk", u64::from(disk)), ("block", block)]
+                ([("request", request), ("disk", u64::from(disk)), ("block", block), NIL], 3)
             }
             EventKind::Reconstruction { request, block } => {
-                vec![("request", request), ("block", block)]
+                ([("request", request), ("block", block), NIL, NIL], 2)
             }
-            EventKind::DiskServe { disk, blocks, busy_us, queue } => vec![
-                ("disk", u64::from(disk)),
-                ("blocks", u64::from(blocks)),
-                ("busy_us", busy_us),
-                ("queue", u64::from(queue)),
-            ],
+            EventKind::DiskServe { disk, blocks, busy_us, queue } => (
+                [
+                    ("disk", u64::from(disk)),
+                    ("blocks", u64::from(blocks)),
+                    ("busy_us", busy_us),
+                    ("queue", u64::from(queue)),
+                ],
+                4,
+            ),
             EventKind::ServiceError { disk, dropped } => {
-                vec![("disk", u64::from(disk)), ("dropped", u64::from(dropped))]
+                ([("disk", u64::from(disk)), ("dropped", u64::from(dropped)), NIL, NIL], 2)
             }
             EventKind::RebuildProgress { rebuilt, total } => {
-                vec![("rebuilt", rebuilt), ("total", total)]
+                ([("rebuilt", rebuilt), ("total", total), NIL, NIL], 2)
             }
-            EventKind::RebuildComplete { disk } => vec![("disk", u64::from(disk))],
+            EventKind::RebuildComplete { disk } => {
+                ([("disk", u64::from(disk)), NIL, NIL, NIL], 1)
+            }
             EventKind::Hiccup { request, block } => {
-                vec![("request", request), ("block", block)]
+                ([("request", request), ("block", block), NIL, NIL], 2)
             }
             EventKind::LateServe { request, block } => {
-                vec![("request", request), ("block", block)]
+                ([("request", request), ("block", block), NIL, NIL], 2)
             }
         }
     }
@@ -204,7 +213,8 @@ impl TraceEvent {
     /// Appends the event as one JSONL line (newline included) to `out`.
     pub fn write_jsonl(&self, out: &mut String) {
         let _ = write!(out, "{{\"round\":{},\"event\":\"{}\"", self.round, self.kind.name());
-        for (key, value) in self.kind.fields() {
+        let (fields, used) = self.kind.fields();
+        for &(key, value) in &fields[..used] {
             let _ = write!(out, ",\"{key}\":{value}");
         }
         out.push_str("}\n");
@@ -228,13 +238,9 @@ impl TraceEvent {
 
     /// Appends the event as one CSV line (newline included) to `out`.
     pub fn write_csv(&self, out: &mut String) {
-        let fields = self.kind.fields();
+        let (fields, used) = self.kind.fields();
         let lookup = |key: &str| {
-            fields
-                .iter()
-                .find(|(k, _)| *k == key)
-                .map(|(_, v)| v.to_string())
-                .unwrap_or_default()
+            fields[..used].iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
         };
         let _ = write!(out, "{},{}", self.round, self.kind.name());
         // "total" shares the `rebuilt` row via the rebuilt/total pair.
@@ -246,7 +252,9 @@ impl TraceEvent {
                     continue;
                 }
             }
-            out.push_str(&lookup(column));
+            if let Some(v) = lookup(column) {
+                let _ = write!(out, "{v}");
+            }
         }
         out.push('\n');
     }

@@ -105,6 +105,11 @@ enum LineBuffer {
 struct TextSink<W: Write> {
     out: W,
     buffer: LineBuffer,
+    /// Reused render buffer for streaming mode: in steady state,
+    /// recording an event costs zero allocations (DESIGN.md §7). The
+    /// windowed mode still owns one `String` per retained line — it
+    /// buffers by construction.
+    line: String,
     io_errors: u64,
 }
 
@@ -114,7 +119,7 @@ impl<W: Write> TextSink<W> {
             None => LineBuffer::All,
             Some(last_rounds) => LineBuffer::Window { last_rounds, lines: VecDeque::new() },
         };
-        TextSink { out, buffer, io_errors: 0 }
+        TextSink { out, buffer, line: String::new(), io_errors: 0 }
     }
 
     fn write_line(&mut self, line: &str) {
@@ -123,14 +128,26 @@ impl<W: Write> TextSink<W> {
         }
     }
 
-    fn record_line(&mut self, round: u64, line: String) {
+    /// Records one line rendered by `fill` (which must append exactly one
+    /// newline-terminated line). Streaming mode renders into the reused
+    /// buffer and writes immediately; windowed mode renders into a fresh
+    /// `String` it retains until flush.
+    fn record_with(&mut self, round: u64, fill: impl FnOnce(&mut String)) {
         match &mut self.buffer {
-            LineBuffer::All => self.write_line(&line),
+            LineBuffer::All => {
+                let mut line = std::mem::take(&mut self.line);
+                line.clear();
+                fill(&mut line);
+                self.write_line(&line);
+                self.line = line;
+            }
             LineBuffer::Window { last_rounds, lines } => {
                 let horizon = round.saturating_sub(*last_rounds);
                 while lines.front().is_some_and(|(r, _)| *r < horizon) {
                     lines.pop_front();
                 }
+                let mut line = String::new();
+                fill(&mut line);
                 lines.push_back((round, line));
             }
         }
@@ -187,7 +204,7 @@ impl JsonlSink<BufWriter<File>> {
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn record(&mut self, event: &TraceEvent) {
-        self.inner.record_line(event.round, event.to_jsonl());
+        self.inner.record_with(event.round, |line| event.write_jsonl(line));
     }
 
     fn flush(&mut self) {
@@ -240,9 +257,7 @@ impl<W: Write> TraceSink for CsvSink<W> {
             self.header_written = true;
             self.inner.write_line(&TraceEvent::csv_header());
         }
-        let mut line = String::with_capacity(64);
-        event.write_csv(&mut line);
-        self.inner.record_line(event.round, line);
+        self.inner.record_with(event.round, |line| event.write_csv(line));
     }
 
     fn flush(&mut self) {
