@@ -166,6 +166,13 @@ impl Admission for DeclusteredAdmission {
         let (total, _) = self.loads(disk.raw(), 0);
         total + self.lambda_max * self.f
     }
+
+    fn nominal_capacity(&self) -> u64 {
+        // Per disk, condition (a) caps clips at q − λ_max·f and condition
+        // (b) at f per row — whichever binds first.
+        let per_disk = self.per_disk_capacity().min(self.r * self.f);
+        u64::from(self.d) * u64::from(per_disk)
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,13 @@ impl Admission for DynamicAdmission {
     fn worst_case_load(&self, disk: DiskId) -> u32 {
         self.served(disk.raw()) + self.max_cont(disk.raw())
     }
+
+    fn nominal_capacity(&self) -> u64 {
+        // Contingency follows the clips, so once anything is active every
+        // disk withholds at least one block for the worst failure source:
+        // d × (q − 1) bounds the admissible set from above.
+        u64::from(self.d) * u64::from(self.q.saturating_sub(1))
+    }
 }
 
 #[cfg(test)]

@@ -203,6 +203,13 @@ impl Admission for FlatAdmission {
         }
         normal + parity_from.values().copied().max().unwrap_or(0)
     }
+
+    fn nominal_capacity(&self) -> u64 {
+        // Condition (a): q − f clips per disk at each of the p−1 fetch
+        // cadences, every clip occupying p−1 disks per fetch — the
+        // per-disk cap times d over one whole cadence cycle.
+        u64::from(self.d) * u64::from(self.per_disk_capacity())
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,11 @@ impl Admission for PrefetchParityDiskAdmission {
         let (cadence, class) = self.slot(cluster);
         self.count[cadence as usize][class as usize]
     }
+
+    fn nominal_capacity(&self) -> u64 {
+        // q clips per (cadence, cluster-class) slot: q·d(p−1)/p total.
+        u64::from(self.cadences) * u64::from(self.clusters) * u64::from(self.q)
+    }
 }
 
 /// §7.3 controller: streaming RAID. A cluster is one logical disk serving
@@ -215,6 +220,11 @@ impl Admission for StreamingRaidAdmission {
         let cluster = disk.raw() / self.p;
         self.count[self.current_class(cluster) as usize]
     }
+
+    fn nominal_capacity(&self) -> u64 {
+        // One class per cluster, q clips per class.
+        u64::from(self.clusters) * u64::from(self.q)
+    }
 }
 
 /// §7.4 controller: the non-clustered baseline. Clustered placement, but
@@ -302,6 +312,11 @@ impl Admission for NonClusteredAdmission {
         // §7.4 caveat.)
         let _ = disk;
         self.count.iter().copied().max().unwrap_or(0)
+    }
+
+    fn nominal_capacity(&self) -> u64 {
+        // q clips per data-disk phase: q·d(p−1)/p total.
+        u64::from(self.data_disks) * u64::from(self.q)
     }
 }
 

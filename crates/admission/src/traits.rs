@@ -60,6 +60,13 @@ pub trait Admission {
     /// *current* round, maximized over all possible single-disk failures.
     /// The simulator asserts this never exceeds [`Admission::q`].
     fn worst_case_load(&self, disk: DiskId) -> u32;
+
+    /// Fault-free array-wide stream capacity: the number of concurrently
+    /// active clips this controller will admit with every disk healthy
+    /// (an upper bound where the exact count depends on request mix).
+    /// Degraded-mode admission scales this by the surviving-disk
+    /// fraction to cap the active set while the array is down a disk.
+    fn nominal_capacity(&self) -> u64;
 }
 
 /// Shared phase arithmetic: a clip admitted at round `t_adm` starting on

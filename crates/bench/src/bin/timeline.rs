@@ -31,10 +31,14 @@ struct RoundAgg {
     hiccups: u64,
     late_serves: u64,
     service_errors: u64,
+    lost_streams: u64,
+    degraded_refusals: u64,
     rebuild: Option<(u64, u64)>,
     failed: Vec<u64>,
     repaired: Vec<u64>,
     rebuilt: Vec<u64>,
+    transient: Vec<u64>,
+    slowed: Vec<u64>,
 }
 
 impl RoundAgg {
@@ -54,6 +58,11 @@ impl RoundAgg {
             EventKind::DiskFailure { disk } => self.failed.push(u64::from(disk)),
             EventKind::DiskRepair { disk } => self.repaired.push(u64::from(disk)),
             EventKind::RebuildComplete { disk } => self.rebuilt.push(u64::from(disk)),
+            EventKind::DiskTransient { disk, .. } => self.transient.push(u64::from(disk)),
+            EventKind::DiskSlow { disk, .. } => self.slowed.push(u64::from(disk)),
+            EventKind::DiskTransientEnd { .. } | EventKind::DiskSlowEnd { .. } => {}
+            EventKind::StreamLost { .. } => self.lost_streams += 1,
+            EventKind::DegradedRefusal { .. } => self.degraded_refusals += 1,
         }
     }
 
@@ -67,12 +76,16 @@ impl RoundAgg {
         self.hiccups += other.hiccups;
         self.late_serves += other.late_serves;
         self.service_errors += other.service_errors;
+        self.lost_streams += other.lost_streams;
+        self.degraded_refusals += other.degraded_refusals;
         if other.rebuild.is_some() {
             self.rebuild = other.rebuild;
         }
         self.failed.extend_from_slice(&other.failed);
         self.repaired.extend_from_slice(&other.repaired);
         self.rebuilt.extend_from_slice(&other.rebuilt);
+        self.transient.extend_from_slice(&other.transient);
+        self.slowed.extend_from_slice(&other.slowed);
     }
 
     fn markers(&self) -> String {
@@ -86,11 +99,23 @@ impl RoundAgg {
         for d in &self.rebuilt {
             out.push_str(&format!("  REBUILT(d{d})"));
         }
+        for d in &self.transient {
+            out.push_str(&format!("  BLIP(d{d})"));
+        }
+        for d in &self.slowed {
+            out.push_str(&format!("  SLOW(d{d})"));
+        }
         if self.hiccups > 0 {
             out.push_str(&format!("  !hiccups={}", self.hiccups));
         }
         if self.service_errors > 0 {
             out.push_str(&format!("  !errors={}", self.service_errors));
+        }
+        if self.lost_streams > 0 {
+            out.push_str(&format!("  !lost={}", self.lost_streams));
+        }
+        if self.degraded_refusals > 0 {
+            out.push_str(&format!("  refused={}", self.degraded_refusals));
         }
         out
     }
@@ -154,13 +179,15 @@ fn render(rounds: &BTreeMap<u64, RoundAgg>, summary: &TraceSummary, width: usize
     );
     println!(
         "         {} blocks served, {} recovery reads, {} reconstructions, {} hiccups, \
-         {} late serves, {} service errors",
+         {} late serves, {} service errors, {} lost streams, {} degraded refusals",
         summary.blocks_served,
         summary.recovery_reads,
         summary.reconstructions,
         summary.hiccups,
         summary.late_serves,
-        summary.service_errors
+        summary.service_errors,
+        summary.lost_streams,
+        summary.degraded_refusals
     );
     match summary.failure_round {
         None => println!("         no disk failure in this trace"),

@@ -1,0 +1,282 @@
+//! The fault-schedule campaign: canned multi-event failure scenarios
+//! swept across schemes, emitting one JSONL verdict per (scenario,
+//! scheme) run.
+//!
+//! Each scenario is a [`cms_fault::FaultSchedule`] spec plus workload
+//! knobs, run on a small 8-disk array (the engine test geometry: p = 4,
+//! q = 8, f = 2) so a full sweep finishes in seconds. The rows are
+//! emitted in fixed (scenario, scheme) order and every simulation is
+//! bit-identical at any `--jobs`/`--threads` setting, so the output can
+//! be diffed byte-for-byte against the committed golden
+//! (`crates/bench/goldens/campaign.jsonl`) — CI's `fault-campaign` job
+//! does exactly that at 1 and 8 worker threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cms_core::Scheme;
+use cms_sim::{FaultSchedule, Metrics, SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// One canned fault scenario: a schedule spec plus the workload knobs
+/// that make its failure mode observable.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable scenario name (the JSONL key and `--scenario` filter).
+    pub name: &'static str,
+    /// The fault-schedule spec, in [`FaultSchedule::parse`] syntax.
+    pub spec: &'static str,
+    /// Rebuild the failed disk onto a hot spare in the background.
+    pub auto_rebuild: bool,
+    /// Enforce the degraded-mode admission cap while any disk is down.
+    pub degraded_admission: bool,
+    /// Mean Poisson arrivals per round.
+    pub arrival_rate: f64,
+}
+
+/// The canned scenario set. Disks 1 and 3 share parity groups in the
+/// seed-7 (8, 4) declustered design (and a cluster in the clustered
+/// placements), so the double-failure scenarios provably overlap; a
+/// complementary pair such as 1 and 2 would reconstruct around both
+/// failures and lose nothing.
+pub const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        name: "single_failure",
+        spec: "@30 fail 1\n",
+        auto_rebuild: false,
+        degraded_admission: true,
+        arrival_rate: 20.0, // overload: the degraded cap must bite
+    },
+    Scenario {
+        name: "fail_during_rebuild",
+        spec: "@30 fail 1\n@50 fail 3\n",
+        auto_rebuild: true,
+        degraded_admission: false,
+        arrival_rate: 3.0,
+    },
+    Scenario {
+        name: "transient_blip",
+        spec: "@30 transient 2 rounds=10\n",
+        auto_rebuild: false,
+        degraded_admission: false,
+        arrival_rate: 3.0,
+    },
+    Scenario {
+        name: "double_failure_same_group",
+        spec: "@30 fail 1\n@40 fail 3\n",
+        auto_rebuild: false,
+        degraded_admission: false,
+        arrival_rate: 3.0,
+    },
+    Scenario {
+        name: "slow_disk",
+        spec: "@30 slow 2 factor=4 rounds=20\n",
+        auto_rebuild: false,
+        degraded_admission: false,
+        arrival_rate: 1.0,
+    },
+];
+
+/// Schemes the campaign sweeps: one declustered representative, one
+/// clustered representative, and the no-redundancy baseline.
+pub const CAMPAIGN_SCHEMES: [Scheme; 3] =
+    [Scheme::DeclusteredParity, Scheme::PrefetchParityDisks, Scheme::NonClustered];
+
+/// One (scenario, scheme) verdict — a JSONL line of the campaign output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Playback glitches over the whole run.
+    pub hiccups: u64,
+    /// Streams deterministically declared lost (second failure in their
+    /// parity group).
+    pub lost_streams: u64,
+    /// Admissions refused by the degraded-mode cap.
+    pub degraded_refusals: u64,
+    /// Rebuild blocks abandoned because a second failure removed a
+    /// needed source.
+    pub unrecoverable_blocks: u64,
+    /// Round the background rebuild finished, if it did.
+    pub rebuild_completed_round: Option<u64>,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Clips played to completion.
+    pub completed: u64,
+    /// Failure-mode recovery reads issued.
+    pub recovery_reads: u64,
+    /// Background-rebuild source reads issued.
+    pub rebuild_reads: u64,
+    /// Reconstructed blocks that failed byte-level verification (always
+    /// 0 — anything else is a layout/codec bug).
+    pub parity_mismatches: u64,
+    /// Did the run stay glitch-free end to end?
+    pub guarantees_held: bool,
+}
+
+impl CampaignRow {
+    fn from_metrics(scenario: &Scenario, scheme: Scheme, m: &Metrics) -> Self {
+        CampaignRow {
+            scenario: scenario.name.to_string(),
+            scheme,
+            hiccups: m.hiccups,
+            lost_streams: m.lost_streams,
+            degraded_refusals: m.degraded_refusals,
+            unrecoverable_blocks: m.unrecoverable_blocks,
+            rebuild_completed_round: m.rebuild_completed_round,
+            admitted: m.admitted,
+            completed: m.completed,
+            recovery_reads: m.recovery_reads,
+            rebuild_reads: m.rebuild_reads,
+            parity_mismatches: m.parity_mismatches,
+            guarantees_held: m.guarantees_held(),
+        }
+    }
+}
+
+/// Builds the simulation config for one campaign run: the engine test
+/// geometry (d = 8, p = 4, q = 8, f = 2) with byte-level verification
+/// on, parameterized by the scenario's knobs.
+///
+/// # Panics
+///
+/// Panics if the canned spec fails to parse — a campaign table bug.
+#[must_use]
+pub fn campaign_config(
+    scenario: &Scenario,
+    scheme: Scheme,
+    rounds: u64,
+    seed: u64,
+    threads: usize,
+) -> SimConfig {
+    // lint: allow(P001) canned table specs are parse-tested; a bad one is a build bug
+    let faults = FaultSchedule::parse(scenario.spec).expect("canned spec must parse");
+    SimConfig {
+        scheme,
+        d: 8,
+        p: 4,
+        q: 8,
+        f: 2,
+        block_bytes: 1 << 20,
+        catalog_clips: 40,
+        clip_len: 20,
+        clip_len_spread: 0,
+        arrival_rate: scenario.arrival_rate,
+        zipf_theta: 0.0,
+        rounds,
+        failure: None,
+        faults: Some(faults),
+        degraded_admission: scenario.degraded_admission,
+        verify_parity: true,
+        content_bytes: 256,
+        seed,
+        admission_scan: 64,
+        aging_limit: 200,
+        auto_rebuild: scenario.auto_rebuild,
+        threads,
+        trace: cms_sim::TraceSpec::off(),
+    }
+}
+
+/// Runs the campaign: every scenario × scheme, `jobs` runs in flight at
+/// once (0 = one per task), each simulation's disk loop at
+/// `sim_threads`. Rows come back in fixed (scenario, scheme) order and
+/// are bit-identical at any `jobs`/`sim_threads` setting. `filter`
+/// restricts to one scenario by name.
+#[must_use]
+pub fn campaign_rows(
+    rounds: u64,
+    seed: u64,
+    jobs: usize,
+    sim_threads: usize,
+    filter: Option<&str>,
+) -> Vec<CampaignRow> {
+    let tasks: Vec<(usize, &Scenario, Scheme)> = SCENARIOS
+        .iter()
+        .filter(|sc| filter.is_none_or(|f| f == sc.name))
+        .flat_map(|sc| CAMPAIGN_SCHEMES.into_iter().map(move |scheme| (sc, scheme)))
+        .enumerate()
+        .map(|(slot, (sc, scheme))| (slot, sc, scheme))
+        .collect();
+    let workers = if jobs == 0 { tasks.len() } else { jobs }.clamp(1, tasks.len().max(1));
+    let results: Vec<Mutex<Option<CampaignRow>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(slot, scenario, scheme)) = tasks.get(i) else { break };
+                let cfg = campaign_config(scenario, scheme, rounds, seed, sim_threads);
+                // lint: allow(P001) the fixed campaign geometry always constructs
+                let sim = Simulator::new(cfg).expect("campaign geometry must construct");
+                let row = CampaignRow::from_metrics(scenario, scheme, &sim.run());
+                // lint: allow(P001) a poisoned slot means a worker already panicked
+                *results[slot].lock().expect("campaign worker panicked") = Some(row);
+            });
+        }
+    });
+    results
+        .into_iter()
+        // lint: allow(P001) a poisoned slot means a worker already panicked
+        .filter_map(|m| m.into_inner().expect("campaign worker panicked"))
+        .collect()
+}
+
+/// Serializes rows as JSONL (one compact JSON object per line) — the
+/// campaign's on-disk and golden format.
+///
+/// # Panics
+///
+/// Panics if serialization fails (plain data; it cannot).
+#[must_use]
+pub fn to_jsonl(rows: &[CampaignRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        // lint: allow(P001) plain-data serialization cannot fail
+        out.push_str(&serde_json::to_string(row).expect("serializable"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_specs_parse_and_validate() {
+        for sc in &SCENARIOS {
+            let sched = FaultSchedule::parse(sc.spec).expect(sc.name);
+            sched.validate(8).expect(sc.name);
+        }
+    }
+
+    #[test]
+    fn filter_restricts_to_one_scenario() {
+        let rows = campaign_rows(60, 7, 0, 1, Some("transient_blip"));
+        assert_eq!(rows.len(), CAMPAIGN_SCHEMES.len());
+        assert!(rows.iter().all(|r| r.scenario == "transient_blip"));
+    }
+
+    #[test]
+    fn jobs_do_not_change_rows() {
+        let seq = campaign_rows(60, 7, 1, 1, Some("double_failure_same_group"));
+        let par = campaign_rows(60, 7, 8, 1, Some("double_failure_same_group"));
+        assert_eq!(seq, par);
+        assert_eq!(to_jsonl(&seq), to_jsonl(&par));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let rows = campaign_rows(60, 7, 0, 1, Some("slow_disk"));
+        let text = to_jsonl(&rows);
+        let back: Vec<CampaignRow> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+            .collect();
+        assert_eq!(rows, back);
+    }
+}

@@ -11,9 +11,11 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod campaign;
 pub mod cli;
 pub mod figures;
 
+pub use campaign::{campaign_rows, CampaignRow, Scenario, CAMPAIGN_SCHEMES, SCENARIOS};
 pub use cli::BenchArgs;
 pub use figures::{
     failure_drill, failure_drill_threaded, failure_drill_traced, fig5_rows, fig6_rows,

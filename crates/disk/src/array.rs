@@ -20,6 +20,11 @@ pub enum DiskStatus {
     Healthy,
     /// Failed; all reads to it must be served by reconstruction.
     Failed,
+    /// Temporarily unreachable (controller reset, cable blip): refuses
+    /// service exactly like [`DiskStatus::Failed`], but the platters are
+    /// intact — when the window ends the disk returns to service with
+    /// its data, so no rebuild is triggered.
+    Transient,
 }
 
 /// One physical disk.
@@ -29,6 +34,11 @@ pub struct Disk {
     pub id: DiskId,
     /// Health state.
     pub status: DiskStatus,
+    /// Service-time multiplier: 1 for a nominal disk, `k` for a disk
+    /// currently serving `k`× slower (thermal recalibration, media
+    /// retries). Busy time scales by this factor; admission must shrink
+    /// the disk's round budget to compensate.
+    pub slow_factor: u32,
     /// Current head cylinder (persisted across rounds).
     head: u32,
     /// Cumulative busy time, seconds.
@@ -100,8 +110,12 @@ impl Disk {
         deadline: Seconds,
         scratch: &mut ServiceScratch,
     ) -> Result<RoundOutcome, CmsError> {
-        if self.status == DiskStatus::Failed {
-            return Err(CmsError::invalid_params(format!("{} is failed", self.id)));
+        if self.status != DiskStatus::Healthy {
+            return Err(CmsError::invalid_params(format!(
+                "{} is {}",
+                self.id,
+                if self.status == DiskStatus::Failed { "failed" } else { "transiently down" }
+            )));
         }
         scratch.cylinders.clear();
         scratch.cylinders.reserve(requests.len());
@@ -132,6 +146,7 @@ impl Disk {
             pos = c;
         }
         self.head = pos;
+        let busy = busy * f64::from(self.slow_factor.max(1));
         self.busy_total += busy;
         self.blocks_served += requests.len() as u64;
         Ok(RoundOutcome { blocks: requests.len() as u32, busy, deadline })
@@ -204,6 +219,7 @@ impl DiskArray {
             .map(|i| Disk {
                 id: DiskId(i),
                 status: DiskStatus::Healthy,
+                slow_factor: 1,
                 head: 0,
                 busy_total: 0.0,
                 blocks_served: 0,
@@ -254,7 +270,9 @@ impl DiskArray {
         let n = self.disks.len();
         match self.disks.get_mut(disk.idx()) {
             Some(d) => {
-                let transitioned = d.status == DiskStatus::Healthy;
+                // A transient outage escalating to a hard failure is a
+                // transition too: the data is now actually gone.
+                let transitioned = d.status != DiskStatus::Failed;
                 d.status = DiskStatus::Failed;
                 Ok(transitioned)
             }
@@ -287,19 +305,124 @@ impl DiskArray {
         }
     }
 
+    /// Marks `disk` transiently unreachable: it refuses service but keeps
+    /// its data, so no rebuild is needed when the window ends. Idempotent;
+    /// returns whether this call made the Healthy→Transient transition.
+    /// A disk that is already [`DiskStatus::Failed`] stays failed (a hard
+    /// failure outranks a blip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range.
+    pub fn set_transient(&mut self, disk: DiskId) -> Result<bool, CmsError> {
+        let n = self.disks.len();
+        match self.disks.get_mut(disk.idx()) {
+            Some(d) => {
+                let transitioned = d.status == DiskStatus::Healthy;
+                if transitioned {
+                    d.status = DiskStatus::Transient;
+                }
+                Ok(transitioned)
+            }
+            None => Err(CmsError::out_of_bounds(format!(
+                "cannot mark disk {} transient: array has {n} disks",
+                disk.idx()
+            ))),
+        }
+    }
+
+    /// Ends a transient outage: the disk returns to service with its data
+    /// intact. Idempotent; returns whether this call made the
+    /// Transient→Healthy transition. A [`DiskStatus::Failed`] disk is
+    /// left failed — only [`DiskArray::repair`] clears a hard failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range.
+    pub fn clear_transient(&mut self, disk: DiskId) -> Result<bool, CmsError> {
+        let n = self.disks.len();
+        match self.disks.get_mut(disk.idx()) {
+            Some(d) => {
+                let transitioned = d.status == DiskStatus::Transient;
+                if transitioned {
+                    d.status = DiskStatus::Healthy;
+                }
+                Ok(transitioned)
+            }
+            None => Err(CmsError::out_of_bounds(format!(
+                "cannot clear transient on disk {}: array has {n} disks",
+                disk.idx()
+            ))),
+        }
+    }
+
+    /// Sets the disk's service-time multiplier (`1` = nominal). Returns
+    /// the previous factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] if the disk id is out of range,
+    /// and [`CmsError::InvalidParams`] for a factor of zero.
+    pub fn set_slow_factor(&mut self, disk: DiskId, factor: u32) -> Result<u32, CmsError> {
+        if factor == 0 {
+            return Err(CmsError::invalid_params("slow factor must be >= 1"));
+        }
+        let n = self.disks.len();
+        match self.disks.get_mut(disk.idx()) {
+            Some(d) => {
+                let prev = d.slow_factor;
+                d.slow_factor = factor;
+                Ok(prev)
+            }
+            None => Err(CmsError::out_of_bounds(format!(
+                "cannot set slow factor on disk {}: array has {n} disks",
+                disk.idx()
+            ))),
+        }
+    }
+
+    /// The disk's current service-time multiplier (1 = nominal).
+    /// Out-of-range ids read as nominal.
+    #[must_use]
+    pub fn slow_factor(&self, disk: DiskId) -> u32 {
+        self.disks.get(disk.idx()).map_or(1, |d| d.slow_factor)
+    }
+
     /// Health of a disk.
     #[must_use]
     pub fn status(&self, disk: DiskId) -> DiskStatus {
         self.disks[disk.idx()].status
     }
 
-    /// Is `disk` currently failed? (Out-of-range ids read as healthy —
-    /// they can never serve a misrouted fetch anyway.)
+    /// Is `disk` currently failed? Out-of-range ids are a caller bug —
+    /// routing code must never manufacture a disk id the array does not
+    /// have — so they trip a debug assertion; release builds read them as
+    /// healthy (an out-of-range disk can never serve a misrouted fetch
+    /// anyway, so "healthy" is the non-escalating answer).
     #[must_use]
     pub fn is_failed(&self, disk: DiskId) -> bool {
+        debug_assert!(
+            disk.idx() < self.disks.len(),
+            "is_failed({disk}) on a {}-disk array",
+            self.disks.len()
+        );
         self.disks
             .get(disk.idx())
             .is_some_and(|d| d.status == DiskStatus::Failed)
+    }
+
+    /// Is `disk` currently unable to serve (hard-failed or in a transient
+    /// outage)? Same out-of-range contract as [`DiskArray::is_failed`].
+    #[must_use]
+    pub fn is_down(&self, disk: DiskId) -> bool {
+        debug_assert!(
+            disk.idx() < self.disks.len(),
+            "is_down({disk}) on a {}-disk array",
+            self.disks.len()
+        );
+        self.disks
+            .get(disk.idx())
+            .is_some_and(|d| d.status != DiskStatus::Healthy)
     }
 
     /// Is any disk failed? Returns the first failed disk, if any.
@@ -478,8 +601,61 @@ mod tests {
         assert!(a.repair(DiskId(1)).unwrap(), "first repair transitions");
         assert!(!a.repair(DiskId(1)).unwrap(), "second repair is idempotent");
         assert!(!a.is_failed(DiskId(1)));
-        // Out-of-range reads as healthy rather than panicking.
-        assert!(!a.is_failed(DiskId(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is_failed")]
+    #[cfg(debug_assertions)]
+    fn is_failed_out_of_range_is_a_caller_bug() {
+        // Routing code must never manufacture a disk id the array lacks;
+        // debug builds trip the assertion instead of reading "healthy".
+        let a = array(TimingModel::worst_case());
+        let _ = a.is_failed(DiskId(99));
+    }
+
+    #[test]
+    fn transient_refuses_service_but_keeps_data() {
+        let mut a = array(TimingModel::worst_case());
+        assert!(a.set_transient(DiskId(1)).unwrap(), "first call transitions");
+        assert!(!a.set_transient(DiskId(1)).unwrap(), "second call is idempotent");
+        assert_eq!(a.status(DiskId(1)), DiskStatus::Transient);
+        assert!(a.is_down(DiskId(1)));
+        assert!(!a.is_failed(DiskId(1)), "transient is not a hard failure");
+        assert_eq!(a.healthy_count(), 3);
+        assert_eq!(a.failed_disk(), None, "no rebuild trigger for a blip");
+        assert!(a.service_round(DiskId(1), &reqs(1, &[1]), 1.0).is_err());
+        assert!(a.clear_transient(DiskId(1)).unwrap());
+        assert!(!a.clear_transient(DiskId(1)).unwrap());
+        assert!(a.service_round(DiskId(1), &reqs(1, &[1]), 1.0).is_ok());
+        // A hard failure outranks a blip in both directions.
+        a.fail(DiskId(2)).unwrap();
+        assert!(!a.set_transient(DiskId(2)).unwrap());
+        assert_eq!(a.status(DiskId(2)), DiskStatus::Failed);
+        assert!(!a.clear_transient(DiskId(2)).unwrap());
+        assert_eq!(a.status(DiskId(2)), DiskStatus::Failed);
+        // ... and escalating a transient disk to failed is a transition.
+        a.set_transient(DiskId(3)).unwrap();
+        assert!(a.fail(DiskId(3)).unwrap(), "transient -> failed transitions");
+        // Out-of-range ids surface as typed errors, never a panic.
+        assert!(a.set_transient(DiskId(99)).is_err());
+        assert!(a.clear_transient(DiskId(99)).is_err());
+    }
+
+    #[test]
+    fn slow_factor_scales_busy_time() {
+        let blocks: Vec<u64> = (0..8u64).map(|i| i * 1000).collect();
+        let mut nominal = array(TimingModel::worst_case());
+        let mut slow = array(TimingModel::worst_case());
+        assert_eq!(slow.set_slow_factor(DiskId(0), 3).unwrap(), 1);
+        assert_eq!(slow.slow_factor(DiskId(0)), 3);
+        let on = nominal.service_round(DiskId(0), &reqs(0, &blocks), 10.0).unwrap();
+        let os = slow.service_round(DiskId(0), &reqs(0, &blocks), 10.0).unwrap();
+        assert!((os.busy - 3.0 * on.busy).abs() < 1e-9, "{} vs 3x{}", os.busy, on.busy);
+        // Restoring the factor restores nominal service.
+        assert_eq!(slow.set_slow_factor(DiskId(0), 1).unwrap(), 3);
+        assert!(slow.set_slow_factor(DiskId(0), 0).is_err());
+        assert!(slow.set_slow_factor(DiskId(99), 2).is_err());
+        assert_eq!(slow.slow_factor(DiskId(1)), 1);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Seeded schedule generators for the failure regimes the related work
+//! cares about: independent failures, a correlated shelf losing several
+//! disks at once, and a second failure landing mid-rebuild.
+//!
+//! Every generator is a pure function of its parameters and seed — the
+//! same inputs produce the same [`FaultSchedule`] on every run, so a
+//! campaign sweep is replayable from its manifest alone. All outputs are
+//! sorted by round and pass [`FaultSchedule::check_consistency`] (the
+//! proptests in `tests/prop.rs` pin both properties down).
+
+use crate::schedule::{FaultEvent, FaultSchedule, ScheduledEvent};
+use cms_core::DiskId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent fail/repair cycles: each disk, independently with
+/// probability `p_fail`, suffers one failure at a uniform round in
+/// `[1, horizon)`, repaired `repair_rounds` later (if that still falls
+/// inside the horizon — late failures stay unrepaired). Failures on
+/// *different* disks may overlap freely; that is the double-failure
+/// regime the engine must survive.
+#[must_use]
+pub fn independent(d: u32, horizon: u64, p_fail: f64, repair_rounds: u64, seed: u64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let horizon = horizon.max(2);
+    for disk in 0..d {
+        if !rng.gen_bool(p_fail) {
+            continue;
+        }
+        let fail_round = rng.gen_range(1u64..horizon);
+        events.push(ScheduledEvent { round: fail_round, event: FaultEvent::Fail(DiskId(disk)) });
+        let repair_round = fail_round.saturating_add(repair_rounds.max(1));
+        if repair_round < horizon {
+            events.push(ScheduledEvent {
+                round: repair_round,
+                event: FaultEvent::Repair(DiskId(disk)),
+            });
+        }
+    }
+    FaultSchedule::new(events)
+}
+
+/// Correlated shelf failure: `width` consecutive disks starting at a
+/// random shelf boundary all fail within a window of `spread` rounds
+/// after `start_round` — the power-supply / enclosure fault that defeats
+/// schemes whose parity groups sit on one shelf. No repairs are
+/// scheduled; the scenario measures how much of the load survives.
+#[must_use]
+pub fn correlated_shelf(d: u32, width: u32, start_round: u64, spread: u64, seed: u64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = width.clamp(1, d);
+    let shelves = d / width;
+    let shelf = if shelves > 1 { rng.gen_range(0u32..shelves) } else { 0 };
+    let first = shelf * width;
+    let mut events = Vec::new();
+    for i in 0..width {
+        let jitter = if spread > 0 { rng.gen_range(0u64..spread.saturating_add(1)) } else { 0 };
+        events.push(ScheduledEvent {
+            round: start_round.saturating_add(jitter),
+            event: FaultEvent::Fail(DiskId(first + i)),
+        });
+    }
+    // Same-round events on distinct disks are fine; dedupe is not needed
+    // because each disk fails exactly once.
+    FaultSchedule::new(events)
+}
+
+/// Fail-during-rebuild: disk `a` fails at `first_round`; while its
+/// rebuild is still in flight, a second, randomly chosen surviving disk
+/// fails `gap` rounds later. Neither is repaired — the scenario exists to
+/// exercise the second-failure path (streams whose parity group lost two
+/// members are declared lost deterministically).
+#[must_use]
+pub fn fail_during_rebuild(d: u32, first_round: u64, gap: u64, seed: u64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = if d > 1 { rng.gen_range(0u32..d) } else { 0 };
+    let b = if d > 1 {
+        let pick = rng.gen_range(0u32..d - 1);
+        if pick >= a { pick + 1 } else { pick }
+    } else {
+        0
+    };
+    FaultSchedule::new(vec![
+        ScheduledEvent { round: first_round, event: FaultEvent::Fail(DiskId(a)) },
+        ScheduledEvent {
+            round: first_round.saturating_add(gap.max(1)),
+            event: FaultEvent::Fail(DiskId(b)),
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_is_deterministic_and_consistent() {
+        let a = independent(16, 200, 0.5, 30, 9);
+        let b = independent(16, 200, 0.5, 30, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "p=0.5 over 16 disks should fire at least once");
+        a.check_consistency(16).unwrap();
+    }
+
+    #[test]
+    fn independent_zero_probability_is_empty() {
+        assert!(independent(16, 200, 0.0, 30, 1).is_empty());
+    }
+
+    #[test]
+    fn correlated_shelf_fails_consecutive_disks_once_each() {
+        let s = correlated_shelf(16, 4, 50, 5, 3);
+        assert_eq!(s.len(), 4);
+        s.check_consistency(16).unwrap();
+        let mut disks: Vec<u32> = s.events().iter().map(|e| e.event.disk().raw()).collect();
+        disks.sort_unstable();
+        let first = disks[0];
+        assert_eq!(disks, (first..first + 4).collect::<Vec<_>>());
+        assert_eq!(first % 4, 0, "shelf starts on a width boundary");
+        for e in s.events() {
+            assert!(matches!(e.event, FaultEvent::Fail(_)));
+            assert!((50..=55).contains(&e.round));
+        }
+    }
+
+    #[test]
+    fn fail_during_rebuild_hits_two_distinct_disks() {
+        for seed in 0..32 {
+            let s = fail_during_rebuild(8, 40, 15, seed);
+            assert_eq!(s.len(), 2);
+            s.check_consistency(8).unwrap();
+            let a = s.events()[0].event.disk();
+            let b = s.events()[1].event.disk();
+            assert_ne!(a, b, "seed {seed} picked the same disk twice");
+            assert_eq!(s.events()[0].round, 40);
+            assert_eq!(s.events()[1].round, 55);
+        }
+    }
+}

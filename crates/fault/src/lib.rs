@@ -1,0 +1,41 @@
+//! # cms-fault — declarative fault schedules for the CM server
+//!
+//! The paper's guarantees are statements about what the server does
+//! *across* a failure: contingency bandwidth `f` absorbs the failure-mode
+//! load (§4–§6), declustering spreads rebuild reads over every survivor
+//! (§4.1), and admitted streams never hiccup. The interesting regimes
+//! from the related work are multi-event — a second fault landing
+//! mid-rebuild, correlated shelf failures, transient blips — so fault
+//! injection must be a first-class, replayable input rather than an
+//! ad-hoc `fail()`/`repair()` pair in a drill binary.
+//!
+//! A [`FaultSchedule`] is a round-stamped list of [`FaultEvent`]s, kept
+//! sorted by round. It can be written by hand, parsed from a tiny
+//! line-oriented text spec ([`FaultSchedule::parse`], round-tripped by
+//! `Display`), or produced by the seeded generators in [`gen`]
+//! (independent failures, correlated-shelf, fail-during-rebuild). The
+//! simulation engine drains due events at the start of each round —
+//! before admission — on the coordinating thread, so scheduled faults
+//! obey the same bit-identical replay contract as everything else
+//! (DESIGN.md §10).
+//!
+//! ```
+//! use cms_fault::{FaultEvent, FaultSchedule, ScheduledEvent};
+//! use cms_core::DiskId;
+//!
+//! let s = FaultSchedule::parse("@40 fail 2\n@90 repair 2\n").unwrap();
+//! assert_eq!(s.events().len(), 2);
+//! assert_eq!(s.events()[0].event, FaultEvent::Fail(DiskId(2)));
+//! // Display renders the same spec back.
+//! assert_eq!(FaultSchedule::parse(&s.to_string()).unwrap(), s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod gen;
+pub mod schedule;
+
+pub use gen::{correlated_shelf, fail_during_rebuild, independent};
+pub use schedule::{FaultEvent, FaultSchedule, ScheduledEvent};

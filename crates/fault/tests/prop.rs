@@ -1,0 +1,99 @@
+//! Property tests for the fault-schedule subsystem: the parser round-trip
+//! and the structural guarantees the generators advertise (sorted by
+//! round, state-machine-consistent — in particular, never repairing a
+//! disk that is not failed).
+
+use cms_core::DiskId;
+use cms_fault::{correlated_shelf, fail_during_rebuild, independent};
+use cms_fault::{FaultEvent, FaultSchedule, ScheduledEvent};
+use proptest::prelude::*;
+
+const D: u32 = 16;
+
+/// Strategy for one arbitrary (not necessarily consistent) event.
+fn arb_event() -> impl Strategy<Value = ScheduledEvent> {
+    (
+        0u64..500,
+        prop_oneof![
+            (0u32..D).prop_map(|d| FaultEvent::Fail(DiskId(d))),
+            (0u32..D).prop_map(|d| FaultEvent::Repair(DiskId(d))),
+            ((0u32..D), (1u64..40))
+                .prop_map(|(d, rounds)| FaultEvent::Transient { disk: DiskId(d), rounds }),
+            ((0u32..D), (2u32..9), (1u64..40)).prop_map(|(d, factor, rounds)| {
+                FaultEvent::SlowDisk { disk: DiskId(d), factor, rounds }
+            }),
+        ],
+    )
+        .prop_map(|(round, event)| ScheduledEvent { round, event })
+}
+
+proptest! {
+    #[test]
+    fn parse_format_parse_round_trips(events in prop::collection::vec(arb_event(), 0..24)) {
+        let schedule = FaultSchedule::new(events);
+        let text = schedule.to_string();
+        let reparsed = FaultSchedule::parse(&text)
+            .unwrap_or_else(|e| panic!("formatted schedule must reparse: {e}\n{text}"));
+        prop_assert_eq!(reparsed, schedule, "{}", text);
+    }
+
+    #[test]
+    fn new_sorts_and_is_stable_for_equal_rounds(events in prop::collection::vec(arb_event(), 0..24)) {
+        let schedule = FaultSchedule::new(events.clone());
+        // Sorted by round.
+        prop_assert!(schedule.events().windows(2).all(|w| w[0].round <= w[1].round));
+        // Stable: same-round events keep their input order.
+        for round in schedule.events().iter().map(|e| e.round) {
+            let input: Vec<_> =
+                events.iter().filter(|e| e.round == round).map(|e| e.event).collect();
+            let output: Vec<_> = schedule
+                .events()
+                .iter()
+                .filter(|e| e.round == round)
+                .map(|e| e.event)
+                .collect();
+            prop_assert_eq!(input, output, "round {}", round);
+        }
+    }
+
+    #[test]
+    fn independent_is_sorted_and_consistent(
+        horizon in 10u64..400,
+        p in 0.0f64..1.0,
+        repair in 1u64..60,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = independent(D, horizon, p, repair, seed);
+        prop_assert!(s.events().windows(2).all(|w| w[0].round <= w[1].round));
+        // Consistency implies: every repair targets a disk failed earlier
+        // and not yet repaired — i.e. the generator never repairs a
+        // healthy disk.
+        s.check_consistency(D).unwrap();
+        prop_assert_eq!(independent(D, horizon, p, repair, seed), s, "same seed, same schedule");
+    }
+
+    #[test]
+    fn correlated_shelf_is_sorted_and_consistent(
+        width in 1u32..D + 1,
+        start in 0u64..200,
+        spread in 0u64..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = correlated_shelf(D, width, start, spread, seed);
+        prop_assert!(s.events().windows(2).all(|w| w[0].round <= w[1].round));
+        s.check_consistency(D).unwrap();
+        prop_assert_eq!(s.len() as u32, width.clamp(1, D));
+    }
+
+    #[test]
+    fn fail_during_rebuild_is_sorted_and_consistent(
+        first in 1u64..200,
+        gap in 0u64..60,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = fail_during_rebuild(D, first, gap, seed);
+        prop_assert!(s.events().windows(2).all(|w| w[0].round <= w[1].round));
+        s.check_consistency(D).unwrap();
+        prop_assert_eq!(s.len(), 2);
+    }
+}

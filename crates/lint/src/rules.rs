@@ -31,8 +31,15 @@ use crate::workspace::{FileClass, SourceFile};
 /// to their library code. `cms-trace` is included because exported event
 /// streams carry the same byte-identical promise as the metrics
 /// (DESIGN.md §6).
-pub const DETERMINISTIC_CRATES: [&str; 6] =
-    ["cms-sim", "cms-disk", "cms-admission", "cms-core", "cms-server", "cms-trace"];
+pub const DETERMINISTIC_CRATES: [&str; 7] = [
+    "cms-sim",
+    "cms-disk",
+    "cms-admission",
+    "cms-core",
+    "cms-server",
+    "cms-trace",
+    "cms-fault",
+];
 
 /// The only crate allowed to read wall clocks or OS entropy (it measures
 /// real time by design).

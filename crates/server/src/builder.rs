@@ -162,6 +162,8 @@ impl CmServerBuilder {
             zipf_theta: 0.0,
             rounds: u64::MAX, // unused: the server ticks manually
             failure: None,
+            faults: None,
+            degraded_admission: false,
             verify_parity: self.verify_parity,
             content_bytes: 512,
             seed: self.seed,

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use cms_core::{CmsError, DiskId, Scheme};
+use cms_fault::FaultSchedule;
 use cms_model::CapacityPoint;
 use cms_trace::TraceSpec;
 
@@ -43,8 +44,18 @@ pub struct SimConfig {
     pub zipf_theta: f64,
     /// Rounds to simulate.
     pub rounds: u64,
-    /// Failure to inject, if any.
+    /// Failure to inject, if any. The single-event predecessor of
+    /// [`SimConfig::faults`]; both may be set and both are applied.
     pub failure: Option<FailureScenario>,
+    /// Declarative multi-event fault schedule (hard failures, repairs,
+    /// transient outages, slow-disk windows), drained at the start of each
+    /// round before admission. See [`cms_fault::FaultSchedule`].
+    pub faults: Option<FaultSchedule>,
+    /// Enforce degraded-mode admission: while any disk is down, cap the
+    /// active stream count at `healthy_disks × (q − f)` (zero for
+    /// NonClustered or a second concurrent outage) and refuse admissions
+    /// beyond it, counting each refusal instead of risking hiccups.
+    pub degraded_admission: bool,
     /// Verify reconstructed blocks byte-for-byte against synthetic
     /// content (slower; used by the failure drills).
     pub verify_parity: bool,
@@ -98,6 +109,8 @@ impl SimConfig {
             zipf_theta: 0.0,
             rounds: 600,
             failure: None,
+            faults: None,
+            degraded_admission: false,
             verify_parity: false,
             content_bytes: 512,
             seed: 0x51_6D0D,
@@ -129,6 +142,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_failure(mut self, fail_round: u64, disk: DiskId) -> Self {
         self.failure = Some(FailureScenario { fail_round, disk, repair_round: None });
+        self
+    }
+
+    /// Attaches a declarative multi-event fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enforces the degraded-mode admission cap while any disk is down.
+    #[must_use]
+    pub fn with_degraded_admission(mut self) -> Self {
+        self.degraded_admission = true;
         self
     }
 
@@ -168,6 +195,9 @@ impl SimConfig {
             if fs.disk.raw() >= self.d {
                 return Err(CmsError::invalid_params("failure disk out of range"));
             }
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate(self.d)?;
         }
         if self.arrival_rate < 0.0 || !self.arrival_rate.is_finite() {
             return Err(CmsError::invalid_params("arrival rate must be finite and >= 0"));
@@ -241,6 +271,22 @@ mod tests {
 
         let mut c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
         c.arrival_rate = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_schedules_are_validated_against_d() {
+        use cms_fault::FaultSchedule;
+        let sched = FaultSchedule::parse("@10 fail 3\n@40 repair 3\n").unwrap();
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
+            .with_faults(sched.clone())
+            .with_degraded_admission();
+        assert!(c.degraded_admission);
+        c.validate().unwrap();
+
+        // A disk id beyond the array is rejected at validate() time.
+        let bad = FaultSchedule::parse("@10 fail 40\n").unwrap();
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32).with_faults(bad);
         assert!(c.validate().is_err());
     }
 }

@@ -10,11 +10,12 @@ use cms_bibd::{best_design, DesignRequest, Pgt};
 use cms_core::units::transfer_time;
 use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
 use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, TimingModel};
+use cms_fault::FaultEvent;
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
 use cms_parity::{parity_into, reconstruct_into, Block};
 use cms_trace::{EventKind, TraceSink, TraceSummary, Tracer};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One scheduled disk read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,10 @@ fn serve_disk(
     if queue.is_empty() {
         return DiskRound::default();
     }
+    // A slowed disk serves a proportionally smaller slice of its round
+    // budget; its per-block busy time is scaled up by the same factor
+    // inside the disk model. Pure per-disk state: thread-invariant.
+    let budget = (budget / disk.slow_factor.max(1) as usize).max(1);
     debug_assert!(
         queue.windows(2).all(|w| (w[0].needed, w[0].seq) <= (w[1].needed, w[1].seq)),
         "disk queue must stay ordered by (needed, seq)"
@@ -265,7 +270,19 @@ pub struct Simulator {
     round_duration: f64,
     t: u64,
     next_request: u64,
-    failed: Option<DiskId>,
+    /// Disks currently hard-failed. More than one entry means some
+    /// parity groups may have lost two members; their streams are
+    /// declared lost deterministically, never silently mis-served.
+    failed: BTreeSet<DiskId>,
+    /// Transiently down disks → first round they are back up. Data is
+    /// intact (no rebuild); service is refused like a failure.
+    transient_until: BTreeMap<DiskId, u64>,
+    /// Slowed disks → first round their service factor resets to 1.
+    slow_until: BTreeMap<DiskId, u64>,
+    /// Next unapplied event in `cfg.faults` (round-sorted, so a cursor).
+    fault_cursor: usize,
+    /// Failed disks queued behind the single active rebuild slot.
+    rebuild_pending: Vec<DiskId>,
     rebuild: Option<RebuildState>,
     metrics: Metrics,
     /// Event tracer, present when `cfg.trace` (or `set_trace_sink`)
@@ -426,6 +443,8 @@ impl Simulator {
         let metrics = Metrics {
             disk_busy: vec![0.0; cfg.d as usize],
             disk_blocks: vec![0; cfg.d as usize],
+            disk_recovery_reads: vec![0; cfg.d as usize],
+            disk_rebuild_reads: vec![0; cfg.d as usize],
             ..Metrics::default()
         };
         let tracer = cfg.trace.build().map_err(|e| {
@@ -454,7 +473,11 @@ impl Simulator {
             round_duration,
             t: 0,
             next_request: 0,
-            failed: None,
+            failed: BTreeSet::new(),
+            transient_until: BTreeMap::new(),
+            slow_until: BTreeMap::new(),
+            fault_cursor: 0,
+            rebuild_pending: Vec::new(),
             rebuild: None,
             metrics,
             tracer,
@@ -520,10 +543,12 @@ impl Simulator {
             self.metrics.service_errors,
             self.metrics.rebuild_reads,
             self.metrics.late_serves,
+            self.metrics.lost_streams,
+            self.metrics.degraded_refusals,
         );
         let round = self.t;
         self.metrics.rounds += 1;
-        self.inject_failure();
+        self.apply_faults();
         self.generate_arrivals();
         self.admit_from_head();
         self.schedule_fetches();
@@ -543,6 +568,8 @@ impl Simulator {
             service_errors: self.metrics.service_errors - before.6,
             rebuild_reads: self.metrics.rebuild_reads - before.7,
             late_serves: self.metrics.late_serves - before.8,
+            lost_streams: self.metrics.lost_streams - before.9,
+            degraded_refusals: self.metrics.degraded_refusals - before.10,
             active: self.clients.len() as u64,
             pending: self.pending.len() as u64,
         }
@@ -572,10 +599,23 @@ impl Simulator {
         self.pending.len()
     }
 
-    /// The currently failed disk, if any.
+    /// The lowest-numbered currently failed disk, if any (the only one,
+    /// under the manual single-failure API).
     #[must_use]
     pub fn failed_disk(&self) -> Option<DiskId> {
-        self.failed
+        self.failed.iter().next().copied()
+    }
+
+    /// All currently failed disks, in id order.
+    #[must_use]
+    pub fn failed_disks(&self) -> Vec<DiskId> {
+        self.failed.iter().copied().collect()
+    }
+
+    /// Is `disk` unavailable for service (hard-failed or transiently
+    /// down)?
+    fn is_down(&self, disk: DiskId) -> bool {
+        self.failed.contains(&disk) || self.transient_until.contains_key(&disk)
     }
 
     /// Submits an external playback request for `clip` (in addition to —
@@ -666,7 +706,7 @@ impl Simulator {
         if disk.raw() >= self.cfg.d {
             return Err(CmsError::invalid_params("disk id out of range"));
         }
-        if self.failed.is_some() {
+        if !self.failed.is_empty() {
             return Err(CmsError::invalid_params(
                 "single-failure model: repair the failed disk first",
             ));
@@ -675,19 +715,16 @@ impl Simulator {
         Ok(())
     }
 
-    /// Repairs the currently failed disk.
+    /// Repairs a failed disk.
     ///
     /// # Errors
     ///
     /// Returns [`CmsError::InvalidParams`] if that disk is not failed.
     pub fn repair_disk(&mut self, disk: DiskId) -> Result<(), CmsError> {
-        if self.failed != Some(disk) {
+        if !self.failed.contains(&disk) {
             return Err(CmsError::invalid_params(format!("{disk} is not failed")));
         }
-        self.array.repair(disk)?;
-        self.failed = None;
-        self.rebuild = None;
-        emit(&mut self.tracer, self.t, EventKind::DiskRepair { disk: disk.raw() });
+        self.repair_now(disk);
         Ok(())
     }
 
@@ -732,12 +769,24 @@ impl Simulator {
                 self.metrics.rebuilt_blocks += 1;
                 continue;
             }
+            if reads.iter().any(|l| {
+                self.failed.contains(&l.disk) || self.transient_until.contains_key(&l.disk)
+            }) {
+                // A second outage removed a source this block needs: the
+                // rebuild completes around the hole, which is counted —
+                // the affected groups' streams were already declared
+                // lost when the second disk went down.
+                rb.rebuilt += 1;
+                self.metrics.unrecoverable_blocks += 1;
+                continue;
+            }
             rb.outstanding.insert(block_no, reads.len() as u32);
             batch.extend(reads.iter().map(|&loc| (block_no, loc)));
         }
         for &(block_no, loc) in &batch {
-            debug_assert_ne!(Some(loc.disk), self.failed);
+            debug_assert!(!self.is_down(loc.disk), "rebuild read routed to a down disk");
             self.metrics.rebuild_reads += 1;
+            self.metrics.disk_rebuild_reads[loc.disk.idx()] += 1;
             self.push_fetch(Fetch {
                 client: RequestId(u64::MAX),
                 clip: ClipId(u64::MAX),
@@ -770,13 +819,31 @@ impl Simulator {
             if self.array.repair(rb.disk).is_err() {
                 self.metrics.service_errors += 1;
             }
-            self.failed = None;
+            self.failed.remove(&rb.disk);
             self.metrics.rebuild_completed_round = Some(self.t);
             emit(
                 &mut self.tracer,
                 self.t,
                 EventKind::RebuildComplete { disk: rb.disk.raw() },
             );
+            self.start_next_rebuild();
+        }
+    }
+
+    /// Promotes the next failed disk waiting for the single rebuild slot.
+    fn start_next_rebuild(&mut self) {
+        while self.rebuild.is_none() && !self.rebuild_pending.is_empty() {
+            let disk = self.rebuild_pending.remove(0);
+            if !self.failed.contains(&disk) {
+                continue; // repaired while waiting
+            }
+            self.rebuild = Some(RebuildState {
+                disk,
+                next_block: 0,
+                total: self.layout.blocks_used(disk),
+                outstanding: BTreeMap::new(),
+                rebuilt: 0,
+            });
         }
     }
 
@@ -787,45 +854,186 @@ impl Simulator {
             self.metrics.service_errors += 1;
             return;
         }
-        self.failed = Some(disk);
+        // A hard failure outranks (and ends) any transient window.
+        self.transient_until.remove(&disk);
+        if !self.failed.insert(disk) {
+            return; // already failed
+        }
         emit(&mut self.tracer, self.t, EventKind::DiskFailure { disk: disk.raw() });
         if self.cfg.auto_rebuild {
-            self.rebuild = Some(RebuildState {
-                disk,
-                next_block: 0,
-                total: self.layout.blocks_used(disk),
-                outstanding: BTreeMap::new(),
-                rebuilt: 0,
-            });
+            if self.rebuild.is_none() {
+                self.rebuild = Some(RebuildState {
+                    disk,
+                    next_block: 0,
+                    total: self.layout.blocks_used(disk),
+                    outstanding: BTreeMap::new(),
+                    rebuilt: 0,
+                });
+            } else {
+                self.rebuild_pending.push(disk);
+            }
         }
-        // Re-route already queued, unserved reads on the failed disk.
+        self.strand_queue(disk);
+    }
+
+    /// Returns `disk` to service: clears its failed state, cancels or
+    /// dequeues its rebuild, and promotes the next pending rebuild.
+    fn repair_now(&mut self, disk: DiskId) {
+        if self.array.repair(disk).is_err() {
+            self.metrics.service_errors += 1;
+            return;
+        }
+        if !self.failed.remove(&disk) {
+            return;
+        }
+        if self.rebuild.as_ref().is_some_and(|rb| rb.disk == disk) {
+            self.rebuild = None;
+        }
+        self.rebuild_pending.retain(|&d| d != disk);
+        emit(&mut self.tracer, self.t, EventKind::DiskRepair { disk: disk.raw() });
+        self.start_next_rebuild();
+    }
+
+    /// Re-routes reads already queued on a disk that just went down:
+    /// data reads fall back to reconstruction, reads that were
+    /// themselves reconstruction inputs mean the stream lost a second
+    /// group member, and rebuild source reads leave a counted hole.
+    fn strand_queue(&mut self, disk: DiskId) {
         let stranded: Vec<Fetch> = std::mem::take(&mut self.queues[disk.idx()]);
         for fetch in stranded {
+            if let Some(idx) = fetch.recon_for {
+                // This read was reconstructing `idx` from survivors;
+                // losing a survivor is a second failure in the group.
+                self.lose_stream(fetch.client, idx);
+                continue;
+            }
             if let Some(idx) = fetch.serves {
                 self.schedule_recovery(fetch.client, idx, fetch.needed);
             }
-            // Pure recovery reads on the failed disk cannot occur:
-            // recovery targets survivors only, and two failures are out
-            // of scope.
+            if let Some(block_no) = fetch.rebuild_for {
+                self.abandon_rebuild_block(block_no);
+            }
         }
     }
 
-    fn inject_failure(&mut self) {
-        let Some(fs) = self.cfg.failure else { return };
-        if self.t == fs.fail_round && self.failed.is_none() {
-            self.fail_now(fs.disk);
+    /// Deterministically terminates a stream whose due block became
+    /// unreconstructable (a second failure in its parity group). The
+    /// client is removed and counted — never silently mis-served.
+    fn lose_stream(&mut self, id: RequestId, block: u64) {
+        if self.clients.remove(&id).is_some() {
+            self.admission.remove(id);
+            self.metrics.lost_streams += 1;
+            emit(
+                &mut self.tracer,
+                self.t,
+                EventKind::StreamLost { request: id.raw(), block },
+            );
         }
-        if let Some(repair) = fs.repair_round {
-            if self.t == repair && self.failed == Some(fs.disk) {
-                if self.array.repair(fs.disk).is_err() {
-                    self.metrics.service_errors += 1;
-                }
-                self.failed = None;
+    }
+
+    /// Drops a rebuild block whose in-flight source reads were stranded
+    /// by a second outage; the hole is counted, not silently filled.
+    fn abandon_rebuild_block(&mut self, block_no: u64) {
+        if let Some(rb) = &mut self.rebuild {
+            if rb.outstanding.remove(&block_no).is_some() {
+                rb.rebuilt += 1;
+                self.metrics.unrecoverable_blocks += 1;
+            }
+        }
+    }
+
+    /// Round-start fault processing on the coordinating thread (so the
+    /// whole round observes a settled array): expire transient and slow
+    /// windows, apply the legacy single-failure scenario, then drain
+    /// every scheduled event due this round, in schedule order.
+    fn apply_faults(&mut self) {
+        while let Some(disk) = self
+            .transient_until
+            .iter()
+            .find(|&(_, &end)| end <= self.t)
+            .map(|(&d, _)| d)
+        {
+            self.transient_until.remove(&disk);
+            if self.array.clear_transient(disk).unwrap_or(false) {
                 emit(
                     &mut self.tracer,
                     self.t,
-                    EventKind::DiskRepair { disk: fs.disk.raw() },
+                    EventKind::DiskTransientEnd { disk: disk.raw() },
                 );
+            }
+        }
+        while let Some(disk) = self
+            .slow_until
+            .iter()
+            .find(|&(_, &end)| end <= self.t)
+            .map(|(&d, _)| d)
+        {
+            self.slow_until.remove(&disk);
+            if self.array.set_slow_factor(disk, 1).is_ok() {
+                emit(&mut self.tracer, self.t, EventKind::DiskSlowEnd { disk: disk.raw() });
+            }
+        }
+        if let Some(fs) = self.cfg.failure {
+            if self.t == fs.fail_round && self.failed.is_empty() {
+                self.fail_now(fs.disk);
+            }
+            if let Some(repair) = fs.repair_round {
+                if self.t == repair && self.failed.contains(&fs.disk) {
+                    self.repair_now(fs.disk);
+                }
+            }
+        }
+        loop {
+            let next = self
+                .cfg
+                .faults
+                .as_ref()
+                .and_then(|s| s.events().get(self.fault_cursor).copied());
+            let Some(e) = next else { break };
+            if e.round > self.t {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.apply_fault_event(e.event);
+        }
+    }
+
+    /// Applies one scheduled fault event. Inapplicable events (failing
+    /// an already-failed disk, a transient window on a down disk) are
+    /// deterministic no-ops, mirroring `FaultSchedule::check_consistency`.
+    fn apply_fault_event(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Fail(disk) => {
+                if !self.failed.contains(&disk) {
+                    self.fail_now(disk);
+                }
+            }
+            FaultEvent::Repair(disk) => {
+                if self.failed.contains(&disk) {
+                    self.repair_now(disk);
+                }
+            }
+            FaultEvent::Transient { disk, rounds } => {
+                if !self.is_down(disk) && self.array.set_transient(disk).unwrap_or(false) {
+                    self.transient_until.insert(disk, self.t.saturating_add(rounds));
+                    emit(
+                        &mut self.tracer,
+                        self.t,
+                        EventKind::DiskTransient { disk: disk.raw(), rounds },
+                    );
+                    self.strand_queue(disk);
+                }
+            }
+            FaultEvent::SlowDisk { disk, factor, rounds } => {
+                let factor = factor.max(1);
+                if self.array.set_slow_factor(disk, factor).is_ok() {
+                    self.slow_until.insert(disk, self.t.saturating_add(rounds));
+                    emit(
+                        &mut self.tracer,
+                        self.t,
+                        EventKind::DiskSlow { disk: disk.raw(), factor, rounds },
+                    );
+                }
             }
         }
     }
@@ -852,7 +1060,30 @@ impl Simulator {
     /// overtake it. Bypass keeps the disks busy; the aging guard keeps
     /// the policy starvation-free (a head's wait is bounded by the limit
     /// plus one clip duration).
+    /// The maximum active-stream count while degraded, when enforcement
+    /// is on and any disk is down: the scheme's fault-free capacity
+    /// ([`Admission::nominal_capacity`]) scaled by the surviving-disk
+    /// fraction — the lost disk's share of the array is withheld so
+    /// survivors keep contingency headroom for its recovery reads — and
+    /// zero for NonClustered (no redundancy to serve through an outage)
+    /// or a second concurrent outage (beyond the designed tolerance).
+    fn degraded_cap(&self) -> Option<u64> {
+        if !self.cfg.degraded_admission {
+            return None;
+        }
+        let down = (self.failed.len() + self.transient_until.len()) as u64;
+        if down == 0 {
+            return None;
+        }
+        if self.cfg.scheme == Scheme::NonClustered || down > 1 {
+            return Some(0);
+        }
+        let healthy = u64::from(self.cfg.d).saturating_sub(down);
+        Some(self.admission.nominal_capacity() * healthy / u64::from(self.cfg.d))
+    }
+
     fn admit_from_head(&mut self) {
+        let degraded_cap = self.degraded_cap();
         let head_aged = self
             .pending
             .head_wait(Round(self.t))
@@ -880,6 +1111,23 @@ impl Simulator {
                     EventKind::Completion { request: cand_id.raw() },
                 );
                 continue;
+            }
+            if let Some(cap) = degraded_cap {
+                if self.clients.len() as u64 >= cap {
+                    // Degraded mode: the cap is reached; refuse this
+                    // round's remaining candidates (they stay queued)
+                    // and count one refusal for the blocked head.
+                    self.metrics.degraded_refusals += 1;
+                    emit(
+                        &mut self.tracer,
+                        self.t,
+                        EventKind::DegradedRefusal {
+                            request: cand_id.raw(),
+                            clip: cand_clip.raw(),
+                        },
+                    );
+                    break;
+                }
             }
             let start = StreamAddr::new(placement.stream, placement.start_index);
             let loc = self.layout.locate(start);
@@ -998,11 +1246,13 @@ impl Simulator {
     /// Issues the single-block fetch for `idx`, or recovery reads if its
     /// disk is down.
     fn issue_data_fetch(&mut self, id: RequestId, idx: u64, needed: u64) {
-        let c = &self.clients[&id];
+        let Some(c) = self.clients.get(&id) else {
+            return; // stream already lost or completed
+        };
         let addr = StreamAddr::new(c.placement.stream, c.placement.start_index + idx);
         let clip = c.placement.id;
         let loc = self.layout.locate(addr);
-        if Some(loc.disk) == self.failed {
+        if self.is_down(loc.disk) {
             self.schedule_recovery(id, idx, needed);
         } else {
             self.push_fetch(Fetch {
@@ -1024,21 +1274,26 @@ impl Simulator {
     /// recovery rule: the parity block substitutes, and the sibling reads
     /// of the same fetch double as reconstruction inputs.
     fn issue_group_fetch(&mut self, id: RequestId, start: u64, end: u64, with_parity: bool) {
-        let c = &self.clients[&id];
+        let Some(c) = self.clients.get(&id) else {
+            return; // stream already lost or completed
+        };
         let placement = c.placement;
         let clip = placement.id;
         let scheme = self.cfg.scheme;
         let p = self.cfg.p;
 
         let mut lost: Option<u64> = None;
+        let mut lost_count = 0u32;
         let mut healthy = std::mem::take(&mut self.scratch.healthy);
         healthy.clear();
         for idx in start..end {
             let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
             let loc = self.layout.locate(addr);
-            if Some(loc.disk) == self.failed {
-                debug_assert!(lost.is_none(), "one failure cannot hit two disks of a group");
-                lost = Some(idx);
+            if self.is_down(loc.disk) {
+                lost_count += 1;
+                if lost.is_none() {
+                    lost = Some(idx);
+                }
             } else {
                 healthy.push((idx, loc));
             }
@@ -1046,6 +1301,15 @@ impl Simulator {
         let first_addr = StreamAddr::new(placement.stream, placement.start_index + start);
         let group = self.layout.group(self.layout.group_id_of(first_addr));
         let parity_loc = group.parity;
+        let parity_alive = !self.is_down(parity_loc.disk);
+        if lost_count > 1 || (lost_count == 1 && !parity_alive) {
+            // Two group members down (or the lost data block's parity
+            // with it): the group cannot reconstruct — declare the
+            // stream lost instead of mis-serving a partial XOR.
+            self.scratch.healthy = healthy;
+            self.lose_stream(id, lost.unwrap_or(start));
+            return;
+        }
         let needed_of = |client: &Client, idx: u64| client.consume_round(idx, scheme, p);
 
         let lost_needed = lost.map(|idx| needed_of(&self.clients[&id], idx));
@@ -1066,7 +1330,6 @@ impl Simulator {
         // Parity read: always for streaming RAID; on failure for the
         // pre-fetching schemes (unless the parity disk itself died, in
         // which case the data is all there and nothing is lost).
-        let parity_alive = Some(parity_loc.disk) != self.failed;
         if parity_alive && (with_parity || lost.is_some()) {
             let needed = lost_needed.unwrap_or_else(|| needed_of(&self.clients[&id], start));
             self.push_fetch(Fetch {
@@ -1081,6 +1344,7 @@ impl Simulator {
             });
             if let Some(idx) = lost {
                 self.metrics.recovery_reads += 1;
+                self.metrics.disk_recovery_reads[parity_loc.disk.idx()] += 1;
                 emit(
                     &mut self.tracer,
                     self.t,
@@ -1097,13 +1361,7 @@ impl Simulator {
             // carries recon_for: the healthy siblings of this fetch plus
             // the parity block (when alive).
             let survivors = (end - start - 1) + u64::from(parity_alive);
-            if survivors == 0 {
-                // Degenerate single-block group whose parity died with the
-                // data: unrecoverable only under a double failure, which
-                // cannot happen; a lone lost block with dead parity means
-                // p = 2 mirror with both copies on failed disks.
-                unreachable!("single failure cannot erase both data and parity");
-            }
+            debug_assert!(survivors > 0, "unreconstructable groups are declared lost above");
             if let Some(tr) = self.tracer.as_mut() {
                 tr.record_recovery_fanout(survivors);
             }
@@ -1116,20 +1374,24 @@ impl Simulator {
     /// Schedules the declustered/non-clustered recovery reads that rebuild
     /// clip block `idx` after its disk failed.
     fn schedule_recovery(&mut self, id: RequestId, idx: u64, needed: u64) {
-        let c = &self.clients[&id];
+        let Some(c) = self.clients.get(&id) else {
+            return; // stream already lost or completed
+        };
         let placement = c.placement;
         let clip = placement.id;
         let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
         let mut reads = std::mem::take(&mut self.scratch.reads);
         self.layout.reconstruction_reads_into(addr, &mut reads);
+        // A second down disk among the sources (or no sources at all)
+        // makes the block unreconstructable: the stream is declared
+        // lost, never silently mis-served from a partial XOR.
+        if reads.is_empty() || reads.iter().any(|l| self.is_down(l.disk)) {
+            self.scratch.reads = reads;
+            self.lose_stream(id, idx);
+            return;
+        }
         let mut survivors = 0u32;
         for &loc in &reads {
-            if Some(loc.disk) == self.failed {
-                // The parity block (or a sibling) shares the failed disk —
-                // impossible for valid layouts; guarded by layout
-                // invariants.
-                continue;
-            }
             self.push_fetch(Fetch {
                 client: id,
                 clip,
@@ -1142,6 +1404,7 @@ impl Simulator {
             });
             survivors += 1;
             self.metrics.recovery_reads += 1;
+            self.metrics.disk_recovery_reads[loc.disk.idx()] += 1;
             emit(
                 &mut self.tracer,
                 self.t,
@@ -1166,7 +1429,7 @@ impl Simulator {
     /// within each group is preserved by induction.
     // lint: hot
     fn push_fetch(&mut self, mut fetch: Fetch) {
-        debug_assert!(Some(fetch.loc.disk) != self.failed, "fetch routed to failed disk");
+        debug_assert!(!self.is_down(fetch.loc.disk), "fetch routed to a down disk");
         fetch.seq = self.fetch_seq;
         self.fetch_seq += 1;
         let queue = &mut self.queues[fetch.loc.disk.idx()];
@@ -1598,6 +1861,8 @@ mod tests {
             zipf_theta: 0.0,
             rounds: 120,
             failure: None,
+            faults: None,
+            degraded_admission: false,
             verify_parity: false,
             content_bytes: 256,
             seed: 7,
@@ -2032,6 +2297,114 @@ mod tests {
             Some(true),
             "summary runs alongside the ring"
         );
+    }
+
+    #[test]
+    fn scheduled_double_failure_declares_streams_lost() {
+        // Two hard failures 10 rounds apart: every stream whose due
+        // group spans both disks is terminated deterministically. Disks
+        // 1 and 3 share parity groups in the seed-7 (8, 4) design; a
+        // pair from complementary sets (e.g. 1 and 2) never would, and
+        // the array would keep reconstructing around both.
+        let faults = cms_fault::FaultSchedule::parse("@30 fail 1\n@40 fail 3\n").unwrap();
+        let cfg = small_cfg(Scheme::DeclusteredParity).with_faults(faults);
+        let run = || Simulator::new(cfg.clone()).unwrap().run();
+        let m = run();
+        assert!(m.lost_streams > 0, "overlapping groups must lose streams: {m:?}");
+        assert_eq!(m.parity_mismatches, 0);
+        assert!(m.completed + m.lost_streams <= m.admitted);
+        assert_eq!(m, run(), "loss declaration must be deterministic");
+    }
+
+    #[test]
+    fn transient_outage_reconstructs_and_recovers() {
+        let faults =
+            cms_fault::FaultSchedule::parse("@30 transient 2 rounds=10\n").unwrap();
+        let cfg = small_cfg(Scheme::DeclusteredParity).with_faults(faults).with_verification();
+        let m = Simulator::new(cfg).unwrap().run();
+        assert_eq!(m.hiccups, 0, "reconstruction covers the blip: {m:?}");
+        assert_eq!(m.lost_streams, 0);
+        assert_eq!(m.parity_mismatches, 0);
+        assert!(m.recovery_reads > 0, "reads during the window go through recovery");
+        assert!(m.completed > 0);
+        // The disk served blocks again after the window closed.
+        assert!(m.disk_blocks[2] > 0, "disk 2 must return to service");
+    }
+
+    #[test]
+    fn slow_disk_window_throttles_but_loses_nothing() {
+        let faults =
+            cms_fault::FaultSchedule::parse("@30 slow 2 factor=4 rounds=20\n").unwrap();
+        let mut cfg = small_cfg(Scheme::DeclusteredParity).with_faults(faults);
+        cfg.arrival_rate = 1.0;
+        let m = Simulator::new(cfg).unwrap().run();
+        assert_eq!(m.lost_streams, 0);
+        assert_eq!(m.parity_mismatches, 0);
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    fn degraded_admission_caps_active_streams() {
+        let mut cfg = small_cfg(Scheme::DeclusteredParity)
+            .with_failure(20, DiskId(1))
+            .with_degraded_admission();
+        cfg.arrival_rate = 20.0; // keep the pending queue deep
+        let m = Simulator::new(cfg.clone()).unwrap().run();
+        assert!(m.degraded_refusals > 0, "cap must bite under overload: {m:?}");
+        // Enforcement off: same workload admits past the cap's refusals.
+        let mut open = cfg;
+        open.degraded_admission = false;
+        let o = Simulator::new(open).unwrap().run();
+        assert_eq!(o.degraded_refusals, 0);
+        assert!(o.admitted >= m.admitted);
+    }
+
+    #[test]
+    fn nonclustered_degraded_cap_is_zero() {
+        let faults = cms_fault::FaultSchedule::parse("@20 fail 1\n").unwrap();
+        let mut cfg = small_cfg(Scheme::NonClustered)
+            .with_faults(faults)
+            .with_degraded_admission();
+        cfg.arrival_rate = 10.0;
+        let m = Simulator::new(cfg).unwrap().run();
+        assert!(m.degraded_refusals > 0, "no admissions while degraded: {m:?}");
+    }
+
+    #[test]
+    fn fault_schedule_repair_restores_service() {
+        let faults =
+            cms_fault::FaultSchedule::parse("@30 fail 2\n@60 repair 2\n").unwrap();
+        let mut cfg = small_cfg(Scheme::DeclusteredParity).with_faults(faults);
+        cfg.rounds = 150;
+        let mut sim = Simulator::new(cfg).unwrap();
+        for _ in 0..40 {
+            sim.step();
+        }
+        assert_eq!(sim.failed_disk(), Some(DiskId(2)));
+        for _ in 0..30 {
+            sim.step();
+        }
+        assert_eq!(sim.failed_disk(), None, "scheduled repair must clear the failure");
+        for _ in 0..80 {
+            sim.step();
+        }
+        let m = sim.metrics();
+        assert_eq!(m.hiccups, 0);
+        assert_eq!(m.lost_streams, 0);
+    }
+
+    #[test]
+    fn fault_schedule_runs_are_thread_invariant() {
+        let faults = cms_fault::FaultSchedule::parse(
+            "@25 transient 0 rounds=6\n@30 fail 1\n@45 slow 4 factor=3 rounds=15\n@70 fail 2\n",
+        )
+        .unwrap();
+        let mut base = small_cfg(Scheme::DeclusteredParity).with_faults(faults);
+        base.auto_rebuild = true;
+        let seq = Simulator::new(base.clone().with_threads(1)).unwrap().run();
+        let par = Simulator::new(base.with_threads(4)).unwrap().run();
+        assert_eq!(seq, par, "multi-event fault runs must be bit-identical");
+        assert!(seq.lost_streams > 0, "double failure must surface in metrics");
     }
 
     #[test]

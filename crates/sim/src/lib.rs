@@ -62,6 +62,9 @@ pub mod metrics;
 pub use config::{FailureScenario, SimConfig};
 pub use engine::Simulator;
 pub use metrics::{Metrics, RoundReport};
+// Re-exported so simulator users can script multi-event fault
+// campaigns without depending on cms-fault directly.
+pub use cms_fault::{FaultEvent, FaultSchedule, ScheduledEvent};
 // Re-exported so simulator users can configure and consume tracing
 // without depending on cms-trace directly.
 pub use cms_trace::{

@@ -27,6 +27,10 @@ pub struct RoundReport {
     pub service_errors: u64,
     /// Background-rebuild reads issued this round.
     pub rebuild_reads: u64,
+    /// Streams declared lost this round (second failure in their group).
+    pub lost_streams: u64,
+    /// Admissions refused this round by the degraded-mode cap.
+    pub degraded_refusals: u64,
     /// Fetches delivered later than the round before they were needed,
     /// this round.
     pub late_serves: u64,
@@ -92,6 +96,16 @@ pub struct Metrics {
     /// Round at which the rebuild finished (the array returned to full
     /// redundancy), if it did.
     pub rebuild_completed_round: Option<u64>,
+    /// Streams deterministically declared lost because a second failure
+    /// in the same parity group made a due block unreconstructable. The
+    /// client is terminated and counted here — never silently mis-served.
+    pub lost_streams: u64,
+    /// Admissions refused by the degraded-mode cap (active streams held
+    /// at `healthy_disks × (q − f)` while any disk is down).
+    pub degraded_refusals: u64,
+    /// Rebuild blocks abandoned because a second failure removed a source
+    /// needed to reconstruct them; the rebuild completes around the hole.
+    pub unrecoverable_blocks: u64,
     /// Histogram of admission waits, log₂-bucketed: bucket `k` counts
     /// admissions that waited in `[2^k − 1, 2^(k+1) − 1)` rounds (bucket
     /// 0 = admitted immediately). Drives the percentile queries; the
@@ -105,6 +119,13 @@ pub struct Metrics {
     pub disk_busy: Vec<f64>,
     /// Blocks served per disk, indexed by disk id.
     pub disk_blocks: Vec<u64>,
+    /// Recovery (failure-mode) reads issued per disk, indexed by disk id.
+    /// The declustered-vs-clustered differential tests compare the spread
+    /// of this vector among survivors (§4.1 / §6.1).
+    pub disk_recovery_reads: Vec<u64>,
+    /// Background-rebuild source reads issued per disk, indexed by disk
+    /// id.
+    pub disk_rebuild_reads: Vec<u64>,
 }
 
 impl Metrics {

@@ -53,6 +53,52 @@ pub enum EventKind {
         /// Repaired disk.
         disk: u32,
     },
+    /// A disk entered a transient outage: it refuses service for a fixed
+    /// window but keeps its data (no rebuild when the window ends).
+    DiskTransient {
+        /// Affected disk.
+        disk: u32,
+        /// Window length in rounds.
+        rounds: u64,
+    },
+    /// A transient outage expired; the disk is serving again.
+    DiskTransientEnd {
+        /// Recovered disk.
+        disk: u32,
+    },
+    /// A disk entered a slow window: it still serves, but `factor`×
+    /// slower, so its per-round budget shrinks accordingly.
+    DiskSlow {
+        /// Affected disk.
+        disk: u32,
+        /// Service-time multiplier.
+        factor: u32,
+        /// Window length in rounds.
+        rounds: u64,
+    },
+    /// A slow window expired; the disk serves at nominal speed again.
+    DiskSlowEnd {
+        /// Recovered disk.
+        disk: u32,
+    },
+    /// A stream was declared lost: a second failure left one of its
+    /// blocks unreconstructable, so the engine terminated it
+    /// deterministically instead of mis-serving.
+    StreamLost {
+        /// Terminated client.
+        request: u64,
+        /// First clip-block index that became unreconstructable.
+        block: u64,
+    },
+    /// Degraded-mode admission refused a request because the surviving
+    /// bandwidth (contingency fraction `f` spent on failure-mode load)
+    /// cannot carry another stream. The request stays queued.
+    DegradedRefusal {
+        /// Refused request.
+        request: u64,
+        /// Requested clip.
+        clip: u64,
+    },
     /// A recovery read was issued on a surviving disk to reconstruct a
     /// block lost to the failed disk.
     RecoveryRead {
@@ -129,6 +175,12 @@ impl EventKind {
             EventKind::Completion { .. } => "completion",
             EventKind::DiskFailure { .. } => "disk_failure",
             EventKind::DiskRepair { .. } => "disk_repair",
+            EventKind::DiskTransient { .. } => "disk_transient",
+            EventKind::DiskTransientEnd { .. } => "disk_transient_end",
+            EventKind::DiskSlow { .. } => "disk_slow",
+            EventKind::DiskSlowEnd { .. } => "disk_slow_end",
+            EventKind::StreamLost { .. } => "stream_lost",
+            EventKind::DegradedRefusal { .. } => "degraded_refusal",
             EventKind::RecoveryRead { .. } => "recovery_read",
             EventKind::Reconstruction { .. } => "reconstruction",
             EventKind::DiskServe { .. } => "disk_serve",
@@ -159,6 +211,28 @@ impl EventKind {
             EventKind::Completion { request } => ([("request", request), NIL, NIL, NIL], 1),
             EventKind::DiskFailure { disk } => ([("disk", u64::from(disk)), NIL, NIL, NIL], 1),
             EventKind::DiskRepair { disk } => ([("disk", u64::from(disk)), NIL, NIL, NIL], 1),
+            EventKind::DiskTransient { disk, rounds } => {
+                ([("disk", u64::from(disk)), ("rounds", rounds), NIL, NIL], 2)
+            }
+            EventKind::DiskTransientEnd { disk } => {
+                ([("disk", u64::from(disk)), NIL, NIL, NIL], 1)
+            }
+            EventKind::DiskSlow { disk, factor, rounds } => (
+                [
+                    ("disk", u64::from(disk)),
+                    ("factor", u64::from(factor)),
+                    ("rounds", rounds),
+                    NIL,
+                ],
+                3,
+            ),
+            EventKind::DiskSlowEnd { disk } => ([("disk", u64::from(disk)), NIL, NIL, NIL], 1),
+            EventKind::StreamLost { request, block } => {
+                ([("request", request), ("block", block), NIL, NIL], 2)
+            }
+            EventKind::DegradedRefusal { request, clip } => {
+                ([("request", request), ("clip", clip), NIL, NIL], 2)
+            }
             EventKind::RecoveryRead { request, disk, block } => {
                 ([("request", request), ("disk", u64::from(disk)), ("block", block), NIL], 3)
             }
@@ -279,6 +353,20 @@ impl TraceEvent {
             "completion" => EventKind::Completion { request: u("request")? },
             "disk_failure" => EventKind::DiskFailure { disk: d("disk")? },
             "disk_repair" => EventKind::DiskRepair { disk: d("disk")? },
+            "disk_transient" => {
+                EventKind::DiskTransient { disk: d("disk")?, rounds: u("rounds")? }
+            }
+            "disk_transient_end" => EventKind::DiskTransientEnd { disk: d("disk")? },
+            "disk_slow" => EventKind::DiskSlow {
+                disk: d("disk")?,
+                factor: d("factor")?,
+                rounds: u("rounds")?,
+            },
+            "disk_slow_end" => EventKind::DiskSlowEnd { disk: d("disk")? },
+            "stream_lost" => EventKind::StreamLost { request: u("request")?, block: u("block")? },
+            "degraded_refusal" => {
+                EventKind::DegradedRefusal { request: u("request")?, clip: u("clip")? }
+            }
             "recovery_read" => EventKind::RecoveryRead {
                 request: u("request")?,
                 disk: d("disk")?,
@@ -355,6 +443,15 @@ mod tests {
             },
             TraceEvent { round: 9, kind: EventKind::RebuildComplete { disk: 7 } },
             TraceEvent { round: 9, kind: EventKind::DiskRepair { disk: 7 } },
+            TraceEvent { round: 9, kind: EventKind::DiskTransient { disk: 1, rounds: 5 } },
+            TraceEvent { round: 9, kind: EventKind::DiskTransientEnd { disk: 1 } },
+            TraceEvent {
+                round: 9,
+                kind: EventKind::DiskSlow { disk: 4, factor: 3, rounds: 12 },
+            },
+            TraceEvent { round: 9, kind: EventKind::DiskSlowEnd { disk: 4 } },
+            TraceEvent { round: 10, kind: EventKind::StreamLost { request: 6, block: 17 } },
+            TraceEvent { round: 10, kind: EventKind::DegradedRefusal { request: 7, clip: 2 } },
             TraceEvent { round: 10, kind: EventKind::Hiccup { request: 5, block: 2 } },
             TraceEvent { round: 10, kind: EventKind::LateServe { request: 5, block: 3 } },
             TraceEvent { round: 11, kind: EventKind::Completion { request: 1 } },

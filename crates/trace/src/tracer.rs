@@ -28,6 +28,14 @@ pub struct TraceSummary {
     pub hiccups: u64,
     /// `LateServe` events.
     pub late_serves: u64,
+    /// `StreamLost` events (streams terminated by a second failure).
+    pub lost_streams: u64,
+    /// `DegradedRefusal` events (admissions refused while degraded).
+    pub degraded_refusals: u64,
+    /// `DiskTransient` events (transient outage windows opened).
+    pub transient_outages: u64,
+    /// `DiskSlow` events (slow windows opened).
+    pub slow_windows: u64,
     /// Fetches dropped across all `ServiceError` events.
     pub service_errors: u64,
     /// Blocks retrieved across all `DiskServe` events.
@@ -86,6 +94,11 @@ impl TraceSummary {
             }
             EventKind::Hiccup { .. } => self.hiccups += 1,
             EventKind::LateServe { .. } => self.late_serves += 1,
+            EventKind::StreamLost { .. } => self.lost_streams += 1,
+            EventKind::DegradedRefusal { .. } => self.degraded_refusals += 1,
+            EventKind::DiskTransient { .. } => self.transient_outages += 1,
+            EventKind::DiskSlow { .. } => self.slow_windows += 1,
+            EventKind::DiskTransientEnd { .. } | EventKind::DiskSlowEnd { .. } => {}
         }
     }
 

@@ -63,8 +63,19 @@ fn assert_identical(base: &Metrics, other: &Metrics, label: &str) {
         base.rebuild_completed_round, other.rebuild_completed_round,
         "{label}: rebuild_completed_round"
     );
+    assert_eq!(base.lost_streams, other.lost_streams, "{label}: lost_streams");
+    assert_eq!(base.degraded_refusals, other.degraded_refusals, "{label}: degraded_refusals");
+    assert_eq!(
+        base.unrecoverable_blocks, other.unrecoverable_blocks,
+        "{label}: unrecoverable_blocks"
+    );
     assert_eq!(base.wait_histogram, other.wait_histogram, "{label}: wait_histogram");
     assert_eq!(base.disk_blocks, other.disk_blocks, "{label}: disk_blocks");
+    assert_eq!(
+        base.disk_recovery_reads, other.disk_recovery_reads,
+        "{label}: disk_recovery_reads"
+    );
+    assert_eq!(base.disk_rebuild_reads, other.disk_rebuild_reads, "{label}: disk_rebuild_reads");
     assert_eq!(base.disk_busy.len(), other.disk_busy.len(), "{label}: disk_busy length");
     for (disk, (a, b)) in base.disk_busy.iter().zip(&other.disk_busy).enumerate() {
         assert_eq!(
@@ -123,6 +134,34 @@ fn rebuild_replay_is_identical_at_any_thread_count() {
     for threads in THREAD_COUNTS {
         let m = run(cfg(threads));
         assert_identical(&base, &m, &format!("background rebuild, {threads} threads"));
+    }
+}
+
+#[test]
+fn fault_schedule_replay_is_identical_at_any_thread_count() {
+    // A full multi-event campaign — transient outage, hard failure with
+    // background rebuild, slow-disk window, repair — under degraded-mode
+    // admission. Every fault path (strand/recovery/rebuild/refusal) must
+    // merge deterministically.
+    let cfg = |threads| {
+        let faults = cms_sim::FaultSchedule::parse(
+            "@20 transient 3 rounds=8\n@40 fail 5\n@60 slow 7 factor=3 rounds=12\n@90 repair 5\n",
+        )
+        .expect("schedule parses");
+        let mut c = paper_cfg(Scheme::DeclusteredParity, 0xFA_5C4D)
+            .with_faults(faults)
+            .with_degraded_admission()
+            .with_rebuild()
+            .with_verification()
+            .with_threads(threads);
+        c.catalog_clips = 200;
+        c
+    };
+    let base = run(cfg(1));
+    assert!(base.recovery_reads > 0, "the schedule must force recovery");
+    for threads in THREAD_COUNTS {
+        let m = run(cfg(threads));
+        assert_identical(&base, &m, &format!("fault schedule, {threads} threads"));
     }
 }
 

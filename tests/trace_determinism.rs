@@ -117,40 +117,78 @@ fn rebuild_trace_is_byte_identical_and_reports_a_finite_gap() {
 }
 
 #[test]
+fn fault_schedule_trace_is_byte_identical_at_any_thread_count() {
+    // The multi-event campaign schedule: transient outage, hard failure
+    // with rebuild, slow-disk window, repair — all under degraded-mode
+    // admission. The fault events themselves (DiskTransient/DiskSlow/
+    // StreamLost/DegradedRefusal) ride the same ordered stream as the
+    // service events, so the export must stay byte-identical.
+    let cfg = |threads| {
+        let faults = cms_sim::FaultSchedule::parse(
+            "@20 transient 3 rounds=8\n@40 fail 5\n@60 slow 7 factor=3 rounds=12\n@90 repair 5\n",
+        )
+        .expect("schedule parses");
+        let mut c = paper_cfg(Scheme::DeclusteredParity, 0x005C_4D17)
+            .with_faults(faults)
+            .with_degraded_admission()
+            .with_rebuild()
+            .with_verification()
+            .with_threads(threads);
+        c.catalog_clips = 200;
+        c
+    };
+    let (base_m, base_s, base) = traced_run(cfg(1));
+    assert!(base_m.recovery_reads > 0, "the schedule must force recovery");
+    assert!(base_s.transient_outages > 0, "summary must count the transient window");
+    assert!(base_s.slow_windows > 0, "summary must count the slow window");
+    for threads in THREAD_COUNTS {
+        let (m, s, bytes) = traced_run(cfg(threads));
+        assert_eq!(base_m, m, "fault schedule metrics, {threads} threads");
+        assert_eq!(base_s, s, "fault schedule summary, {threads} threads");
+        assert_byte_identical(&base, &bytes, &format!("fault schedule, {threads} threads"));
+    }
+}
+
+#[test]
 fn round_reports_conserve_into_final_metrics() {
     // Summing what every round claims happened must reproduce the final
     // metrics — through failure, recovery and rebuild — so dashboards fed
     // per-round and post-mortems fed end-of-run state can never disagree.
     let mut cfg = paper_cfg(Scheme::DeclusteredParity, 0xC0_13)
         .with_failure(40, DiskId(3))
-        .with_rebuild();
+        .with_rebuild()
+        .with_degraded_admission();
     cfg.catalog_clips = 200;
     cfg.rounds = 300;
     let rounds = cfg.rounds;
     let mut sim = Simulator::new(cfg).expect("constructs");
-    let mut sums = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut sums = [0u64; 11];
     for _ in 0..rounds {
         let r = sim.step_report();
-        sums.0 += r.arrivals;
-        sums.1 += r.admissions;
-        sums.2 += r.completions;
-        sums.3 += r.blocks_served;
-        sums.4 += r.recovery_reads;
-        sums.5 += r.hiccups;
-        sums.6 += r.service_errors;
-        sums.7 += r.rebuild_reads;
-        sums.8 += r.late_serves;
+        sums[0] += r.arrivals;
+        sums[1] += r.admissions;
+        sums[2] += r.completions;
+        sums[3] += r.blocks_served;
+        sums[4] += r.recovery_reads;
+        sums[5] += r.hiccups;
+        sums[6] += r.service_errors;
+        sums[7] += r.rebuild_reads;
+        sums[8] += r.late_serves;
+        sums[9] += r.lost_streams;
+        sums[10] += r.degraded_refusals;
     }
     let m = sim.metrics().clone();
-    assert_eq!(sums.0, m.arrivals, "arrivals conserve");
-    assert_eq!(sums.1, m.admitted, "admissions conserve");
-    assert_eq!(sums.2, m.completed, "completions conserve");
-    assert_eq!(sums.3, m.blocks_fetched, "blocks served conserve");
-    assert_eq!(sums.4, m.recovery_reads, "recovery reads conserve");
-    assert_eq!(sums.5, m.hiccups, "hiccups conserve");
-    assert_eq!(sums.6, m.service_errors, "service errors conserve");
-    assert_eq!(sums.7, m.rebuild_reads, "rebuild reads conserve");
-    assert_eq!(sums.8, m.late_serves, "late serves conserve");
-    assert!(sums.4 > 0, "the drill must exercise recovery");
-    assert!(sums.7 > 0, "the drill must exercise rebuild");
+    assert_eq!(sums[0], m.arrivals, "arrivals conserve");
+    assert_eq!(sums[1], m.admitted, "admissions conserve");
+    assert_eq!(sums[2], m.completed, "completions conserve");
+    assert_eq!(sums[3], m.blocks_fetched, "blocks served conserve");
+    assert_eq!(sums[4], m.recovery_reads, "recovery reads conserve");
+    assert_eq!(sums[5], m.hiccups, "hiccups conserve");
+    assert_eq!(sums[6], m.service_errors, "service errors conserve");
+    assert_eq!(sums[7], m.rebuild_reads, "rebuild reads conserve");
+    assert_eq!(sums[8], m.late_serves, "late serves conserve");
+    assert_eq!(sums[9], m.lost_streams, "lost streams conserve");
+    assert_eq!(sums[10], m.degraded_refusals, "degraded refusals conserve");
+    assert!(sums[4] > 0, "the drill must exercise recovery");
+    assert!(sums[7] > 0, "the drill must exercise rebuild");
 }
