@@ -1,0 +1,92 @@
+//! `Admission::nominal_capacity` across all six controllers.
+//!
+//! The engine's degraded-mode cap is `nominal_capacity × healthy/d`
+//! (zero for NonClustered or a double outage), and the conformance
+//! harness holds measured capacity to the model bound through these
+//! values — so each controller's formula gets pinned here, plus one
+//! fill-to-the-brim consistency check where admission is cheap to
+//! drive exhaustively.
+
+use cms_admission::{
+    Admission, AdmitRequest, DeclusteredAdmission, DynamicAdmission, FlatAdmission,
+    NonClusteredAdmission, PrefetchParityDiskAdmission, StreamingRaidAdmission,
+};
+use cms_core::{DiskId, RequestId};
+
+fn req(id: u64, start_disk: u32) -> AdmitRequest {
+    AdmitRequest {
+        id: RequestId(id),
+        stream: 0,
+        start_index: u64::from(start_disk),
+        start_disk: DiskId(start_disk),
+        row: 0,
+        len: 40,
+    }
+}
+
+#[test]
+fn declustered_takes_the_binding_condition() {
+    // Condition (a) binds: q − λ·f = 10 − 1·2 = 8 < r·f = 8·2.
+    let a = DeclusteredAdmission::new(8, 8, 10, 2, 1).unwrap();
+    assert_eq!(a.nominal_capacity(), 8 * 8);
+    // Condition (b) binds: r·f = 2·1 = 2 < q − λ·f = 9.
+    let b = DeclusteredAdmission::new(8, 2, 10, 1, 1).unwrap();
+    assert_eq!(b.nominal_capacity(), 8 * 2);
+}
+
+#[test]
+fn dynamic_withholds_one_block_per_disk() {
+    let c = DynamicAdmission::new(8, 6, vec![vec![1, 2, 3]]).unwrap();
+    assert_eq!(c.nominal_capacity(), 8 * (6 - 1));
+    // q = 1 saturates the subtraction instead of underflowing.
+    let tight = DynamicAdmission::new(8, 1, vec![vec![1]]).unwrap();
+    assert_eq!(tight.nominal_capacity(), 0);
+}
+
+#[test]
+fn flat_reserves_contingency_on_every_disk() {
+    let c = FlatAdmission::new(9, 4, 5, 1).unwrap();
+    assert_eq!(c.nominal_capacity(), 9 * (5 - 1));
+}
+
+#[test]
+fn prefetch_parity_disks_counts_cadence_by_cluster_slots() {
+    // (p−1) cadences × d/p clusters × q each = q·d(p−1)/p.
+    let c = PrefetchParityDiskAdmission::new(8, 4, 6).unwrap();
+    assert_eq!(c.nominal_capacity(), 3 * 2 * 6);
+}
+
+#[test]
+fn streaming_raid_counts_one_class_per_cluster() {
+    let c = StreamingRaidAdmission::new(8, 4, 6).unwrap();
+    assert_eq!(c.nominal_capacity(), 2 * 6);
+}
+
+#[test]
+fn non_clustered_counts_data_disk_phases() {
+    // d(p−1)/p data disks, q per phase — the §7.4 best-until-failure
+    // capacity of the parity-disk family.
+    let c = NonClusteredAdmission::new(8, 4, 6).unwrap();
+    assert_eq!(c.nominal_capacity(), 6 * 6);
+}
+
+#[test]
+fn streaming_raid_admits_exactly_its_nominal_capacity() {
+    let mut c = StreamingRaidAdmission::new(8, 4, 3).unwrap();
+    let nominal = c.nominal_capacity();
+    let mut admitted = 0u64;
+    let mut id = 0u64;
+    for cluster in 0..2u32 {
+        for _ in 0..10 {
+            if c.try_admit(req(id, cluster * 4)).is_ok() {
+                admitted += 1;
+            }
+            id += 1;
+        }
+    }
+    assert_eq!(
+        admitted, nominal,
+        "greedy same-round fill must stop exactly at the nominal capacity"
+    );
+    assert_eq!(c.active() as u64, nominal);
+}

@@ -1,0 +1,511 @@
+//! The five invariant families and the checker that holds one engine
+//! run to them (DESIGN.md §11).
+//!
+//! Each check is *scheme- and regime-aware*: an invariant is only
+//! asserted where the paper's analysis actually promises it (no rebuild
+//! window under saturation, no hiccup guarantee for the non-clustered
+//! baseline through an outage), and the checker reports which families
+//! a case exercised so the harness can prove coverage rather than
+//! assume it.
+
+use crate::case::ConformanceCase;
+use cms_core::{CmsError, DiskId, Scheme};
+use cms_fault::{FaultEvent, FaultSchedule};
+use cms_sim::run_case;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The five invariant families of the conformance contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InvariantId {
+    /// No hiccups, lost streams, parity mismatches or service errors
+    /// while admission says the load is feasible (single outage at most,
+    /// no slow windows, scheme guarantees apply).
+    FeasibleService,
+    /// Measured capacity never exceeds the model bound, the engine's
+    /// nominal ceiling equals the model's, and a saturated fault-free
+    /// run lands within the stated tolerance below the bound.
+    CapacityBound,
+    /// A light-load single-failure rebuild completes within the model's
+    /// window.
+    RebuildWindow,
+    /// The degraded-mode admission cap is computed per the stated
+    /// formula and never exceeded by admissions.
+    DegradedCap,
+    /// Per-round report deltas sum exactly to the final metrics, and the
+    /// stream-accounting identities hold.
+    Conservation,
+}
+
+impl InvariantId {
+    /// All five families, in display order.
+    pub const ALL: [InvariantId; 5] = [
+        InvariantId::FeasibleService,
+        InvariantId::CapacityBound,
+        InvariantId::RebuildWindow,
+        InvariantId::DegradedCap,
+        InvariantId::Conservation,
+    ];
+
+    /// Stable kebab-case token, used in repro headers.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            InvariantId::FeasibleService => "feasible-service",
+            InvariantId::CapacityBound => "capacity-bound",
+            InvariantId::RebuildWindow => "rebuild-window",
+            InvariantId::DegradedCap => "degraded-cap",
+            InvariantId::Conservation => "conservation",
+        }
+    }
+
+    /// Inverse of [`InvariantId::token`].
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|i| i.token() == token)
+    }
+}
+
+impl fmt::Display for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One observed contract violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which family failed.
+    pub invariant: InvariantId,
+    /// Human-readable specifics (round, observed vs expected values).
+    pub detail: String,
+}
+
+/// Deliberate contract mutations, for the harness's self-test: the
+/// mutation check tightens a bound to an impossible value and verifies
+/// the machinery (detection → shrinking → repro round-trip → replay)
+/// fires end to end. Production checking uses [`Overrides::default`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overrides {
+    /// Replace the model's capacity bound.
+    pub capacity_bound: Option<u64>,
+    /// Replace the model's rebuild window (rounds after the failure).
+    pub rebuild_window: Option<u64>,
+}
+
+/// What one checked case produced.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Violations found (empty = conforming run).
+    pub violations: Vec<Violation>,
+    /// Families whose preconditions this case met (and were asserted).
+    pub exercised: Vec<InvariantId>,
+    /// The model-side capacity bound the run was held to.
+    pub bound: u64,
+    /// Peak simultaneously-active streams observed.
+    pub peak_active: u64,
+}
+
+impl CheckOutcome {
+    /// Did `invariant` fail?
+    #[must_use]
+    pub fn violates(&self, invariant: InvariantId) -> bool {
+        self.violations.iter().any(|v| v.invariant == invariant)
+    }
+}
+
+/// Static facts about a (consistent) fault schedule, mirrored from the
+/// engine's round-start semantics: transient windows expire before the
+/// round's events apply, hard failures last until an explicit repair.
+/// With auto-rebuild the real outage may end *earlier* (rebuild
+/// completion re-enables the disk), so `max_concurrent_down` is an upper
+/// bound — conservative in exactly the direction the preconditions need.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleFacts {
+    /// Peak number of simultaneously down disks implied by the schedule.
+    pub max_concurrent_down: u64,
+    /// Any slow-disk window present?
+    pub has_slow: bool,
+    /// Events that take a disk down (fail or transient).
+    pub down_events: usize,
+    /// Hard-failure events.
+    pub fail_events: usize,
+    /// The first hard failure, if any.
+    pub first_fail: Option<(u64, DiskId)>,
+}
+
+impl ScheduleFacts {
+    /// Computes the facts for a schedule (assumed consistent for `d`).
+    #[must_use]
+    pub fn of(faults: &FaultSchedule) -> Self {
+        let mut facts = ScheduleFacts::default();
+        let mut failed: Vec<DiskId> = Vec::new();
+        let mut transient: BTreeMap<DiskId, u64> = BTreeMap::new();
+        for e in faults.events() {
+            transient.retain(|_, end| *end > e.round);
+            match e.event {
+                FaultEvent::Fail(disk) => {
+                    facts.fail_events += 1;
+                    facts.down_events += 1;
+                    if facts.first_fail.is_none() {
+                        facts.first_fail = Some((e.round, disk));
+                    }
+                    if !failed.contains(&disk) {
+                        failed.push(disk);
+                    }
+                }
+                FaultEvent::Repair(disk) => failed.retain(|&f| f != disk),
+                FaultEvent::Transient { disk, rounds } => {
+                    facts.down_events += 1;
+                    transient.insert(disk, e.round.saturating_add(rounds));
+                }
+                FaultEvent::SlowDisk { .. } => facts.has_slow = true,
+            }
+            let down = (failed.len() + transient.len()) as u64;
+            facts.max_concurrent_down = facts.max_concurrent_down.max(down);
+        }
+        facts
+    }
+
+    /// Is the schedule exactly one hard failure and nothing else?
+    #[must_use]
+    pub fn single_fail_only(&self) -> bool {
+        self.fail_events == 1 && self.down_events == 1 && !self.has_slow
+    }
+}
+
+/// Light-load threshold for the rebuild-window invariant, in
+/// milli-arrivals per round: at ≤ 2 arrivals/round the generated
+/// geometries stay far from saturation, so the slack-bandwidth analysis
+/// behind the window bound applies.
+pub const LIGHT_LOAD_MILLI: u64 = 2_000;
+
+/// Runs `case` through the engine and checks every applicable invariant
+/// family against the analytical model.
+///
+/// # Errors
+///
+/// Propagates infeasible/invalid-case errors from construction — the
+/// generator filters these out, so an error here inside the harness is
+/// itself a finding.
+pub fn check_case(case: &ConformanceCase) -> Result<CheckOutcome, CmsError> {
+    check_case_with(case, Overrides::default())
+}
+
+/// [`check_case`] with deliberate contract mutations (see [`Overrides`]).
+///
+/// # Errors
+///
+/// As for [`check_case`].
+pub fn check_case_with(
+    case: &ConformanceCase,
+    ov: Overrides,
+) -> Result<CheckOutcome, CmsError> {
+    let (point, cfg) = case.to_parts()?;
+    let run = run_case(cfg)?;
+    let facts = ScheduleFacts::of(&case.faults);
+    let bound = ov
+        .capacity_bound
+        .unwrap_or_else(|| cms_model::capacity_bound(&point, case.d));
+    let mut violations = Vec::new();
+    let mut exercised = Vec::new();
+    let m = &run.metrics;
+
+    // ---- CapacityBound (always exercised) -------------------------------
+    exercised.push(InvariantId::CapacityBound);
+    if m.peak_active > bound {
+        violations.push(Violation {
+            invariant: InvariantId::CapacityBound,
+            detail: format!("peak_active {} exceeds model bound {bound}", m.peak_active),
+        });
+    }
+    if ov.capacity_bound.is_none() && run.nominal_capacity != bound {
+        violations.push(Violation {
+            invariant: InvariantId::CapacityBound,
+            detail: format!(
+                "engine nominal capacity {} != model bound {bound}",
+                run.nominal_capacity
+            ),
+        });
+    }
+    // Tolerance floor: only meaningful for a saturated fault-free run
+    // (enough offered load to fill the array, enough rounds to get
+    // there, no outages to cap admission).
+    let saturated = case.faults.is_empty()
+        && !case.degraded
+        && case.rounds >= 3 * case.clip_len
+        && case.arrival_milli.saturating_mul(case.clip_len) >= 2_000 * bound;
+    if saturated {
+        let floor =
+            (cms_model::capacity_tolerance(case.scheme) * bound as f64).floor() as u64;
+        if m.peak_active < floor {
+            violations.push(Violation {
+                invariant: InvariantId::CapacityBound,
+                detail: format!(
+                    "saturated run peaked at {} streams, below the stated floor {floor} \
+                     (tolerance {} of bound {bound})",
+                    m.peak_active,
+                    cms_model::capacity_tolerance(case.scheme)
+                ),
+            });
+        }
+    }
+
+    // ---- FeasibleService ------------------------------------------------
+    // Always-on correctness: reconstructed bytes verify, routing never
+    // drops a fetch.
+    if m.parity_mismatches != 0 {
+        violations.push(Violation {
+            invariant: InvariantId::FeasibleService,
+            detail: format!("{} parity mismatches", m.parity_mismatches),
+        });
+    }
+    if m.service_errors != 0 {
+        violations.push(Violation {
+            invariant: InvariantId::FeasibleService,
+            detail: format!("{} service errors", m.service_errors),
+        });
+    }
+    // The guarantee regime: at most one disk down at a time, no slow
+    // windows, and the scheme actually promises hiccup-free service
+    // (NonClustered only fault-free — §7.4). One further boundary the
+    // fuzzer itself established (see regressions/): the §2 contingency
+    // analysis vets the *admitted* set — it reserves `f` for the
+    // streams admission let in under fault-free accounting. Streams
+    // admitted while a disk is already down are vetted by nothing
+    // unless the degraded-mode cap is enforcing, so unconstrained
+    // admission into a degraded array voids the hiccup guarantee.
+    let admitted_while_down: u64 = run
+        .reports
+        .iter()
+        .filter(|r| r.down_disks > 0)
+        .map(|r| r.admissions)
+        .sum();
+    let guarantee = !facts.has_slow
+        && facts.max_concurrent_down <= 1
+        && (case.scheme != Scheme::NonClustered || facts.down_events == 0)
+        && (admitted_while_down == 0 || case.degraded);
+    if guarantee {
+        exercised.push(InvariantId::FeasibleService);
+        if m.hiccups != 0 {
+            violations.push(Violation {
+                invariant: InvariantId::FeasibleService,
+                detail: format!("{} hiccups in the guarantee regime", m.hiccups),
+            });
+        }
+        if m.lost_streams != 0 {
+            violations.push(Violation {
+                invariant: InvariantId::FeasibleService,
+                detail: format!("{} streams lost without a double outage", m.lost_streams),
+            });
+        }
+    }
+    if !facts.has_slow && m.peak_utilization > 1.0 + 1e-9 {
+        violations.push(Violation {
+            invariant: InvariantId::FeasibleService,
+            detail: format!("peak disk utilization {} exceeds the round", m.peak_utilization),
+        });
+    }
+
+    // ---- RebuildWindow --------------------------------------------------
+    if case.auto_rebuild
+        && case.scheme != Scheme::NonClustered
+        && facts.single_fail_only()
+        && case.arrival_milli <= LIGHT_LOAD_MILLI
+    {
+        let (fail_round, disk) = facts.first_fail.unwrap_or((0, DiskId(0)));
+        let blocks = run.disk_blocks_used.get(disk.idx()).copied().unwrap_or(0);
+        let window = ov
+            .rebuild_window
+            .unwrap_or_else(|| cms_model::rebuild_window_rounds(&point, case.d, blocks));
+        let deadline = fail_round.saturating_add(window);
+        // Only assert when the run is long enough to observe the window.
+        if deadline < case.rounds {
+            exercised.push(InvariantId::RebuildWindow);
+            match m.rebuild_completed_round {
+                Some(done) if done <= deadline => {}
+                Some(done) => violations.push(Violation {
+                    invariant: InvariantId::RebuildWindow,
+                    detail: format!(
+                        "rebuild of {blocks} blocks finished at round {done}, after the \
+                         model window (failure at {fail_round} + {window})"
+                    ),
+                }),
+                None => violations.push(Violation {
+                    invariant: InvariantId::RebuildWindow,
+                    detail: format!(
+                        "rebuild of {blocks} blocks never completed within {} rounds \
+                         (window was {window} after the failure at {fail_round})",
+                        case.rounds
+                    ),
+                }),
+            }
+        }
+    }
+
+    // ---- DegradedCap ----------------------------------------------------
+    let mut prev_active = 0u64;
+    let mut cap_seen = false;
+    for r in &run.reports {
+        let expected = if !case.degraded || r.down_disks == 0 {
+            None
+        } else if case.scheme == Scheme::NonClustered || r.down_disks > 1 {
+            Some(0)
+        } else {
+            let healthy = u64::from(case.d).saturating_sub(r.down_disks);
+            Some(run.nominal_capacity * healthy / u64::from(case.d))
+        };
+        if r.degraded_cap != expected {
+            violations.push(Violation {
+                invariant: InvariantId::DegradedCap,
+                detail: format!(
+                    "round {}: engine cap {:?} != stated formula {:?} ({} down)",
+                    r.round, r.degraded_cap, expected, r.down_disks
+                ),
+            });
+        }
+        if let Some(cap) = r.degraded_cap {
+            cap_seen = true;
+            // The cap refuses *new* admissions; it never evicts. So the
+            // admissions a round may grant are bounded by the headroom
+            // at admission time: active streams carried in, minus losses
+            // already applied this round (faults apply before
+            // admission), up to the cap.
+            let headroom = (cap + r.lost_streams).saturating_sub(prev_active);
+            if r.admissions > headroom {
+                violations.push(Violation {
+                    invariant: InvariantId::DegradedCap,
+                    detail: format!(
+                        "round {}: {} admissions exceed degraded headroom {headroom} \
+                         (cap {cap}, carried {prev_active}, lost {})",
+                        r.round, r.admissions, r.lost_streams
+                    ),
+                });
+            }
+        }
+        prev_active = r.active;
+    }
+    if cap_seen {
+        exercised.push(InvariantId::DegradedCap);
+    }
+
+    // ---- Conservation (always exercised) --------------------------------
+    exercised.push(InvariantId::Conservation);
+    let mut conserve = |name: &str, total: u64, sum: u64| {
+        if total != sum {
+            violations.push(Violation {
+                invariant: InvariantId::Conservation,
+                detail: format!("{name}: metrics total {total} != sum of round deltas {sum}"),
+            });
+        }
+    };
+    let sum = |f: fn(&cms_sim::RoundReport) -> u64| run.reports.iter().map(f).sum::<u64>();
+    conserve("arrivals", m.arrivals, sum(|r| r.arrivals));
+    conserve("admitted", m.admitted, sum(|r| r.admissions));
+    conserve("completed", m.completed, sum(|r| r.completions));
+    conserve("blocks_fetched", m.blocks_fetched, sum(|r| r.blocks_served));
+    conserve("recovery_reads", m.recovery_reads, sum(|r| r.recovery_reads));
+    conserve("hiccups", m.hiccups, sum(|r| r.hiccups));
+    conserve("service_errors", m.service_errors, sum(|r| r.service_errors));
+    conserve("rebuild_reads", m.rebuild_reads, sum(|r| r.rebuild_reads));
+    conserve("late_serves", m.late_serves, sum(|r| r.late_serves));
+    conserve("lost_streams", m.lost_streams, sum(|r| r.lost_streams));
+    conserve("degraded_refusals", m.degraded_refusals, sum(|r| r.degraded_refusals));
+    if run.reports.len() as u64 != case.rounds || m.rounds != case.rounds {
+        violations.push(Violation {
+            invariant: InvariantId::Conservation,
+            detail: format!(
+                "round count mismatch: {} reports, metrics.rounds {}, configured {}",
+                run.reports.len(),
+                m.rounds,
+                case.rounds
+            ),
+        });
+    }
+    if let Some(last) = run.reports.last() {
+        let expected_active = m.admitted - m.completed.min(m.admitted);
+        let expected_active = expected_active.saturating_sub(m.lost_streams);
+        if last.active != expected_active {
+            violations.push(Violation {
+                invariant: InvariantId::Conservation,
+                detail: format!(
+                    "stream accounting: final active {} != admitted {} - completed {} - lost {}",
+                    last.active, m.admitted, m.completed, m.lost_streams
+                ),
+            });
+        }
+        if last.pending != m.still_pending {
+            violations.push(Violation {
+                invariant: InvariantId::Conservation,
+                detail: format!(
+                    "final pending {} != metrics.still_pending {}",
+                    last.pending, m.still_pending
+                ),
+            });
+        }
+    }
+
+    Ok(CheckOutcome {
+        violations,
+        exercised,
+        bound,
+        peak_active: run.metrics.peak_active,
+    })
+}
+
+/// Replays `case` at 1, 2 and 8 disk-service threads and returns the
+/// violation sets, asserting nothing — callers compare. The determinism
+/// contract says all three must be byte-identical.
+///
+/// # Errors
+///
+/// As for [`check_case_with`].
+pub fn replay_at_thread_counts(
+    case: &ConformanceCase,
+    ov: Overrides,
+) -> Result<Vec<(usize, CheckOutcome)>, CmsError> {
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let outcome = check_case_with(&case.with_threads(threads), ov)?;
+        out.push((threads, outcome));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_tokens_round_trip() {
+        for inv in InvariantId::ALL {
+            assert_eq!(InvariantId::from_token(inv.token()), Some(inv));
+        }
+        assert_eq!(InvariantId::from_token("nonsense"), None);
+    }
+
+    #[test]
+    fn schedule_facts_track_overlap() {
+        let s = FaultSchedule::parse("@10 fail 1\n@20 fail 2\n@30 repair 1\n").unwrap();
+        let facts = ScheduleFacts::of(&s);
+        assert_eq!(facts.max_concurrent_down, 2);
+        assert_eq!(facts.fail_events, 2);
+        assert!(!facts.single_fail_only());
+
+        let s = FaultSchedule::parse("@10 fail 1\n@20 repair 1\n@30 fail 2\n").unwrap();
+        assert_eq!(ScheduleFacts::of(&s).max_concurrent_down, 1);
+
+        let s = FaultSchedule::parse("@10 transient 1 rounds=5\n@15 fail 2\n").unwrap();
+        // The transient expires exactly as the failure lands: overlap 1.
+        assert_eq!(ScheduleFacts::of(&s).max_concurrent_down, 1);
+
+        let s = FaultSchedule::parse("@10 transient 1 rounds=6\n@15 fail 2\n").unwrap();
+        assert_eq!(ScheduleFacts::of(&s).max_concurrent_down, 2);
+
+        let s = FaultSchedule::parse("@5 slow 0 factor=4 rounds=10\n@8 fail 1\n").unwrap();
+        let facts = ScheduleFacts::of(&s);
+        assert!(facts.has_slow);
+        assert_eq!(facts.max_concurrent_down, 1, "slow disks are up");
+        assert!(!facts.single_fail_only());
+    }
+}

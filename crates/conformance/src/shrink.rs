@@ -1,0 +1,176 @@
+//! Greedy deterministic shrinking.
+//!
+//! The vendored proptest facade has no shrinking, so the harness rolls
+//! its own: a fixed ladder of simplifying transformations (drop a fault
+//! event, halve the horizon, calm the workload, shrink the geometry,
+//! drop feature toggles), each accepted only if the *same* invariant
+//! family still fails on the smaller case. Candidates that go
+//! infeasible or make the schedule inconsistent are rejected by
+//! construction (`to_parts` re-checks both), so every accepted shrink
+//! is a valid, runnable case — the final result is what lands in the
+//! committed repro file.
+
+use crate::case::ConformanceCase;
+use crate::invariants::{check_case_with, InvariantId, Overrides};
+use cms_fault::FaultSchedule;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal failing case found.
+    pub case: ConformanceCase,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Engine runs spent (accepted + rejected candidates).
+    pub checks: usize,
+}
+
+/// Does `case` still violate `target` (under `ov`)? Infeasible or
+/// inconsistent candidates count as "no".
+fn still_fails(case: &ConformanceCase, target: InvariantId, ov: Overrides) -> bool {
+    check_case_with(case, ov).map(|o| o.violates(target)).unwrap_or(false)
+}
+
+/// All single-step shrink candidates of `case`, in preference order
+/// (structurally smaller first).
+fn candidates(case: &ConformanceCase) -> Vec<ConformanceCase> {
+    let mut out = Vec::new();
+    // 1. Drop each fault event.
+    for drop_idx in 0..case.faults.len() {
+        let events: Vec<_> = case
+            .faults
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != drop_idx)
+            .map(|(_, e)| *e)
+            .collect();
+        let mut cand = case.clone();
+        cand.faults = FaultSchedule::new(events);
+        out.push(cand);
+    }
+    // 2. Shorten the run.
+    for rounds in [case.rounds / 2, case.rounds.saturating_sub(16), case.rounds - 1] {
+        if rounds >= 8 && rounds < case.rounds {
+            let mut cand = case.clone();
+            cand.rounds = rounds;
+            out.push(cand);
+        }
+    }
+    // 3. Calm the workload.
+    for arrival in [0, case.arrival_milli / 2] {
+        if arrival < case.arrival_milli {
+            let mut cand = case.clone();
+            cand.arrival_milli = arrival;
+            out.push(cand);
+        }
+    }
+    // 4. Shrink the catalog.
+    if case.clips / 2 >= 4 {
+        let mut cand = case.clone();
+        cand.clips /= 2;
+        out.push(cand);
+    }
+    if case.clip_len / 2 >= 4 {
+        let mut cand = case.clone();
+        cand.clip_len /= 2;
+        out.push(cand);
+    }
+    // 5. Shrink the buffer and the parity group.
+    if case.buffer_mib / 2 >= 16 {
+        let mut cand = case.clone();
+        cand.buffer_mib /= 2;
+        out.push(cand);
+    }
+    if case.p > 2 {
+        let mut cand = case.clone();
+        cand.p = 2;
+        out.push(cand);
+    }
+    // 6. Drop feature toggles and the seed.
+    if case.auto_rebuild {
+        let mut cand = case.clone();
+        cand.auto_rebuild = false;
+        out.push(cand);
+    }
+    if case.degraded {
+        let mut cand = case.clone();
+        cand.degraded = false;
+        out.push(cand);
+    }
+    if case.seed != 0 {
+        let mut cand = case.clone();
+        cand.seed = 0;
+        out.push(cand);
+    }
+    out
+}
+
+/// Greedily shrinks `case` while `target` keeps failing, spending at
+/// most `max_checks` engine runs. The input must itself fail `target`
+/// (callers establish that before shrinking); the result is the last
+/// accepted candidate, or the input unchanged if nothing smaller fails.
+#[must_use]
+pub fn shrink_case(
+    case: &ConformanceCase,
+    target: InvariantId,
+    ov: Overrides,
+    max_checks: usize,
+) -> ShrinkResult {
+    let mut best = case.clone();
+    let mut steps = 0usize;
+    let mut checks = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if checks >= max_checks {
+                break 'outer;
+            }
+            checks += 1;
+            if still_fails(&cand, target, ov) {
+                best = cand;
+                steps += 1;
+                continue 'outer; // restart the ladder from the smaller case
+            }
+        }
+        break; // full pass with no acceptance: fixpoint
+    }
+    ShrinkResult { case: best, steps, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_core::Scheme;
+
+    /// With an impossible capacity bound (0), every run violates
+    /// CapacityBound, so the shrinker must drive the case to its floors
+    /// and stay deterministic.
+    #[test]
+    fn shrinks_to_floors_under_a_mutated_bound() {
+        let case = ConformanceCase {
+            scheme: Scheme::DeclusteredParity,
+            d: 8,
+            p: 4,
+            buffer_mib: 128,
+            clips: 32,
+            clip_len: 16,
+            arrival_milli: 4_000,
+            rounds: 120,
+            seed: 41,
+            auto_rebuild: true,
+            degraded: true,
+            threads: 1,
+            faults: FaultSchedule::parse("@20 fail 1\n@60 repair 1\n").unwrap(),
+        };
+        let ov = Overrides { capacity_bound: Some(0), ..Overrides::default() };
+        assert!(still_fails(&case, InvariantId::CapacityBound, ov));
+        let a = shrink_case(&case, InvariantId::CapacityBound, ov, 200);
+        let b = shrink_case(&case, InvariantId::CapacityBound, ov, 200);
+        assert_eq!(a.case, b.case, "shrinking must be deterministic");
+        assert!(a.steps > 0, "must find something to shrink");
+        assert!(a.case.faults.is_empty(), "fault events are removable here");
+        assert!(a.case.rounds < case.rounds);
+        assert!(!a.case.auto_rebuild && !a.case.degraded);
+        assert!(still_fails(&a.case, InvariantId::CapacityBound, ov));
+    }
+}

@@ -1,0 +1,108 @@
+//! The harness self-test: mutate the contract and prove the whole
+//! failure pipeline fires.
+//!
+//! A fuzzer that never fails proves nothing about its own machinery.
+//! Here the capacity bound is overridden to an impossible value so a
+//! perfectly healthy run *must* violate it, and the pipeline is then
+//! held to its guarantees end to end: detection → greedy shrinking →
+//! a repro file that parses byte-identically (and is a valid fault
+//! spec on its own) → replay at 1/2/8 disk-service threads with
+//! identical outcomes.
+
+use cms_conformance::{
+    check_case_with, replay_at_thread_counts, shrink_case, ConformanceCase, InvariantId,
+    Overrides, Repro,
+};
+use cms_core::Scheme;
+use cms_fault::FaultSchedule;
+
+fn healthy_case() -> ConformanceCase {
+    ConformanceCase {
+        scheme: Scheme::StreamingRaid,
+        d: 8,
+        p: 4,
+        buffer_mib: 64,
+        clips: 16,
+        clip_len: 8,
+        arrival_milli: 1_500,
+        rounds: 90,
+        seed: 11,
+        auto_rebuild: false,
+        degraded: false,
+        threads: 1,
+        faults: FaultSchedule::parse("@12 fail 2\n@40 repair 2\n").unwrap(),
+    }
+}
+
+fn impossible_bound() -> Overrides {
+    Overrides { capacity_bound: Some(1), ..Overrides::default() }
+}
+
+#[test]
+fn mutated_contract_shrinks_to_a_deterministic_parseable_repro() {
+    let case = healthy_case();
+    let ov = impossible_bound();
+
+    // 1. Detection: the mutation must fire on the original case.
+    let outcome = check_case_with(&case, ov).expect("case must run");
+    assert!(
+        outcome.violates(InvariantId::CapacityBound),
+        "an impossible bound must be violated: {:?}",
+        outcome.violations
+    );
+
+    // 2. Shrinking: the minimum must still fail, and the greedy ladder
+    // must have found something strictly simpler to chew off (this case
+    // has droppable fault events and excess rounds).
+    let shrunk = shrink_case(&case, InvariantId::CapacityBound, ov, 400);
+    assert!(shrunk.steps > 0, "nothing shrank from a visibly reducible case");
+    let shrunk_outcome = check_case_with(&shrunk.case, ov).expect("shrunk case must run");
+    let detail = shrunk_outcome
+        .violations
+        .iter()
+        .find(|v| v.invariant == InvariantId::CapacityBound)
+        .map(|v| v.detail.clone())
+        .expect("shrunk case must still violate the target");
+
+    // 3. Repro round-trip: text → parse → identical, and the whole file
+    // must independently parse as a cms-fault spec.
+    let repro = Repro { case: shrunk.case.clone(), invariant: InvariantId::CapacityBound, detail };
+    let text = repro.to_text();
+    assert_eq!(Repro::parse(&text).expect("repro must parse"), repro, "{text}");
+    assert_eq!(
+        FaultSchedule::parse(&text).expect("repro must be a valid fault spec"),
+        repro.case.faults
+    );
+
+    // 4. Determinism: 1/2/8 threads reproduce the same violation with
+    // the same observables.
+    let runs = replay_at_thread_counts(&repro.case, ov).expect("replay must run");
+    assert_eq!(runs.len(), 3);
+    let (_, first) = &runs[0];
+    for (threads, o) in &runs {
+        assert!(
+            o.violates(InvariantId::CapacityBound),
+            "{threads} thread(s): the shrunk repro stopped failing"
+        );
+        assert_eq!(
+            (o.bound, o.peak_active),
+            (first.bound, first.peak_active),
+            "{threads} thread(s): outcome drifted across thread counts"
+        );
+    }
+}
+
+#[test]
+fn rebuild_window_mutation_also_fires() {
+    // The second override axis: an instant-rebuild expectation must fail
+    // on any case that actually rebuilds.
+    let mut case = healthy_case();
+    case.auto_rebuild = true;
+    let ov = Overrides { rebuild_window: Some(0), ..Overrides::default() };
+    let outcome = check_case_with(&case, ov).expect("case must run");
+    assert!(
+        outcome.violates(InvariantId::RebuildWindow),
+        "a zero-round rebuild window must be violated: {:?}",
+        outcome.violations
+    );
+}

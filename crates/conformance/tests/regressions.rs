@@ -1,0 +1,89 @@
+//! Replays every committed repro in `regressions/` through the full
+//! conformance contract.
+//!
+//! Each `*.repro` file is a shrunk fuzz counterexample whose underlying
+//! divergence has since been fixed; replaying them here keeps those
+//! fixes pinned. Every file is parsed (the whole file must be a valid
+//! `cms-fault` spec), replayed at 1, 2 and 8 disk-service threads, and
+//! must produce zero violations with byte-identical outcomes across
+//! thread counts. An empty corpus passes — the suite only ever tightens
+//! as counterexamples accumulate.
+
+use cms_conformance::{replay_at_thread_counts, Overrides, Repro, MAGIC};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("regressions")
+}
+
+fn corpus() -> Vec<(String, Repro)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(corpus_dir()) else {
+        return out; // no corpus directory: nothing to replay
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "repro") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        assert!(
+            text.starts_with(MAGIC),
+            "{name}: first line must be `{MAGIC}`"
+        );
+        let repro =
+            Repro::parse(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        out.push((name, repro));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn corpus_files_carry_their_own_names() {
+    for (name, repro) in corpus() {
+        assert_eq!(
+            name,
+            repro.file_name(),
+            "corpus file name must match the repro's canonical name"
+        );
+    }
+}
+
+#[test]
+fn every_committed_repro_now_conforms_at_all_thread_counts() {
+    for (name, repro) in corpus() {
+        let runs = replay_at_thread_counts(&repro.case, Overrides::default())
+            .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        assert_eq!(runs.len(), 3, "{name}: expected 1/2/8-thread replays");
+        for (threads, outcome) in &runs {
+            assert!(
+                outcome.violations.is_empty(),
+                "{name}: regressed at {threads} thread(s): {:?}",
+                outcome.violations
+            );
+            // The family the repro was captured for must actually have
+            // been asserted — otherwise the replay silently proves
+            // nothing about the original divergence.
+            assert!(
+                outcome.exercised.contains(&repro.invariant),
+                "{name}: family {} not exercised at {threads} thread(s) \
+                 (exercised: {:?})",
+                repro.invariant,
+                outcome.exercised
+            );
+        }
+        // Determinism: thread count must not change the observable
+        // outcome, only the wall-clock it took to produce it.
+        let (_, first) = &runs[0];
+        for (threads, outcome) in &runs[1..] {
+            assert_eq!(
+                (outcome.bound, outcome.peak_active, &outcome.exercised),
+                (first.bound, first.peak_active, &first.exercised),
+                "{name}: outcome differs at {threads} thread(s)"
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The CI conformance smoke: a bounded seeded case budget through the
+//! full model-vs-engine contract.
+//!
+//! Budget defaults to 64 cases (the CI floor) and is raised locally via
+//! `CMS_CONFORMANCE_CASES`; the base seed moves with
+//! `CMS_CONFORMANCE_SEED` (EXPERIMENTS.md F1).
+
+use cms_conformance::{env_budget, env_seed, run_harness, HarnessConfig, InvariantId};
+
+#[test]
+fn seeded_budget_conforms_and_covers_every_family() {
+    let cfg = HarnessConfig {
+        base_seed: env_seed(0xC0F0),
+        budget: env_budget(64).max(64),
+        ..HarnessConfig::default()
+    };
+    let report = run_harness(cfg);
+    assert!(report.cases_run >= 64, "ran only {} cases", report.cases_run);
+    // Geometry is drawn to be mostly feasible; a high skip rate means
+    // the generator drifted away from the model's feasible region.
+    assert!(
+        report.infeasible_skipped <= report.cases_run,
+        "{} infeasible skips for {} runs",
+        report.infeasible_skipped,
+        report.cases_run
+    );
+    // All six schemes must appear, which covers (at least) the three
+    // clustered schemes the campaign exercises.
+    assert_eq!(report.schemes.len(), 6, "schemes covered: {:?}", report.schemes);
+    // Every invariant family must actually have been asserted.
+    for inv in InvariantId::ALL {
+        let n = report.exercised.get(inv.token()).copied().unwrap_or(0);
+        assert!(n > 0, "family {inv} never exercised: {:?}", report.exercised);
+    }
+    // And the contract must hold. On failure, print ready-to-commit
+    // repro files — copy one into crates/conformance/regressions/.
+    if !report.failures.is_empty() {
+        let mut msg = String::new();
+        for f in &report.failures {
+            msg.push_str(&format!(
+                "\n--- seed {} shrank to {} ---\n{}",
+                f.seed,
+                f.repro.file_name(),
+                f.repro.to_text()
+            ));
+        }
+        panic!(
+            "{} conformance failure(s) in {} cases:{msg}",
+            report.failures.len(),
+            report.cases_run
+        );
+    }
+}

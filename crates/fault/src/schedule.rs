@@ -140,8 +140,10 @@ impl FaultSchedule {
     ///
     /// # Errors
     ///
-    /// Returns [`CmsError::InvalidParams`] naming the offending line for
-    /// any malformed event.
+    /// Returns [`CmsError::InvalidParams`] naming the line number *and*
+    /// the offending token for any malformed event — shrunk conformance
+    /// repros are hand-edited, so the diagnostics must point at the exact
+    /// word that broke.
     pub fn parse(text: &str) -> Result<Self, CmsError> {
         let mut events = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
@@ -149,41 +151,53 @@ impl FaultSchedule {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let bad = |what: &str| {
+            // Every diagnostic carries the 1-based line number, what was
+            // expected, and the token that failed to parse (or `end of
+            // line` when the token is missing outright).
+            let bad = |what: &str, token: Option<&str>| {
+                let got = match token {
+                    Some(t) => format!("`{t}`"),
+                    None => "end of line".to_owned(),
+                };
                 CmsError::invalid_params(format!(
-                    "fault schedule line {}: {what}: {line:?}",
+                    "fault schedule line {}: {what}, got {got} in {line:?}",
                     lineno + 1
                 ))
             };
             let mut words = line.split_whitespace();
-            let round = words
-                .next()
+            let first = words.next();
+            let round = first
                 .and_then(|w| w.strip_prefix('@'))
                 .and_then(|w| w.parse::<u64>().ok())
-                .ok_or_else(|| bad("expected `@<round>`"))?;
-            let verb = words.next().ok_or_else(|| bad("missing event verb"))?;
-            let disk = words
-                .next()
+                .ok_or_else(|| bad("expected `@<round>`", first))?;
+            let verb = words.next().ok_or_else(|| bad("expected an event verb", None))?;
+            let disk_word = words.next();
+            let disk = disk_word
                 .and_then(|w| w.parse::<u32>().ok())
                 .map(DiskId)
-                .ok_or_else(|| bad("expected a disk id"))?;
+                .ok_or_else(|| bad("expected a disk id", disk_word))?;
             let mut keys: BTreeMap<&str, u64> = BTreeMap::new();
             for kv in words {
-                let (k, v) = kv.split_once('=').ok_or_else(|| bad("expected key=value"))?;
-                let v = v.parse::<u64>().map_err(|_| bad("value must be an integer"))?;
+                let (k, v) =
+                    kv.split_once('=').ok_or_else(|| bad("expected `key=value`", Some(kv)))?;
+                let v = v
+                    .parse::<u64>()
+                    .map_err(|_| bad(&format!("key `{k}` needs an integer value"), Some(kv)))?;
                 keys.insert(k, v);
             }
-            let key = |k: &str| keys.get(k).copied().ok_or_else(|| bad("missing key"));
+            let key = |k: &str| {
+                keys.get(k).copied().ok_or_else(|| bad(&format!("missing key `{k}`"), Some(verb)))
+            };
             let event = match verb {
                 "fail" => FaultEvent::Fail(disk),
                 "repair" => FaultEvent::Repair(disk),
                 "transient" => FaultEvent::Transient { disk, rounds: key("rounds")? },
                 "slow" => {
                     let factor = u32::try_from(key("factor")?)
-                        .map_err(|_| bad("factor out of range"))?;
+                        .map_err(|_| bad("key `factor` out of range", Some(verb)))?;
                     FaultEvent::SlowDisk { disk, factor, rounds: key("rounds")? }
                 }
-                _ => return Err(bad("unknown event verb")),
+                _ => return Err(bad("unknown event verb", Some(verb))),
             };
             events.push(ScheduledEvent { round, event });
         }
@@ -346,6 +360,33 @@ mod tests {
         ] {
             assert!(FaultSchedule::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    /// Parse diagnostics must name the 1-based line number and the exact
+    /// offending token — shrunk conformance repros get hand-edited, and a
+    /// whole-line error makes that miserable.
+    #[test]
+    fn parse_errors_name_line_and_token() {
+        let expect = |input: &str, fragments: &[&str]| {
+            let msg = FaultSchedule::parse(input).unwrap_err().to_string();
+            for frag in fragments {
+                assert!(msg.contains(frag), "{input:?}: message {msg:?} must contain {frag:?}");
+            }
+        };
+        // Line numbers count raw lines, comments and blanks included.
+        expect("# header\n\n@40 explode 2", &["line 3", "unknown event verb", "`explode`"]);
+        expect("40 fail 2", &["line 1", "expected `@<round>`", "`40`"]);
+        expect("@x fail 2", &["line 1", "`@x`"]);
+        expect("@40 fail", &["line 1", "expected a disk id", "end of line"]);
+        expect("@40 fail two", &["line 1", "expected a disk id", "`two`"]);
+        expect("@40 transient 2", &["line 1", "missing key `rounds`"]);
+        expect("@40 slow 2 rounds=3", &["line 1", "missing key `factor`"]);
+        expect(
+            "@40 slow 2 factor=abc rounds=3",
+            &["line 1", "key `factor` needs an integer value", "`factor=abc`"],
+        );
+        expect("@40 fail 2 extra", &["line 1", "expected `key=value`", "`extra`"]);
+        expect("@10 fail 1\n@40 repair 1 rounds", &["line 2", "`rounds`"]);
     }
 
     #[test]

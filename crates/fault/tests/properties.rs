@@ -1,0 +1,69 @@
+//! Display→parse round-trips for the fault-schedule *generators*.
+//!
+//! The conformance harness serializes shrunk repro cases through
+//! `FaultSchedule`'s `Display` and commits the text (see
+//! `cms-conformance`), so the printed form of every generator family
+//! must reparse to the identical schedule — including with the
+//! `#`-comment headers a repro file prepends.
+
+use cms_fault::{correlated_shelf, fail_during_rebuild, independent, FaultSchedule};
+use proptest::prelude::*;
+
+const D: u32 = 12;
+
+fn reparse(s: &FaultSchedule) -> FaultSchedule {
+    let text = s.to_string();
+    FaultSchedule::parse(&text)
+        .unwrap_or_else(|e| panic!("generator output must reparse: {e}\n{text}"))
+}
+
+proptest! {
+    #[test]
+    fn independent_output_round_trips(
+        horizon in 10u64..400,
+        p in 0.0f64..1.0,
+        repair in 1u64..60,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = independent(D, horizon, p, repair, seed);
+        prop_assert_eq!(reparse(&s), s);
+    }
+
+    #[test]
+    fn correlated_shelf_output_round_trips(
+        width in 1u32..D + 1,
+        start in 0u64..200,
+        spread in 0u64..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = correlated_shelf(D, width, start, spread, seed);
+        prop_assert_eq!(reparse(&s), s);
+    }
+
+    #[test]
+    fn fail_during_rebuild_output_round_trips(
+        first in 1u64..200,
+        gap in 0u64..60,
+        seed in 0u64..1_000_000,
+    ) {
+        let s = fail_during_rebuild(D, first, gap, seed);
+        prop_assert_eq!(reparse(&s), s);
+    }
+
+    #[test]
+    fn comment_headers_do_not_change_the_parse(
+        horizon in 10u64..200,
+        p in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // Repro files are fault specs with `#`-comment header lines;
+        // the headers must be invisible to the parser.
+        let s = independent(D, horizon, p, 20, seed);
+        let text = format!(
+            "# cms-conformance repro v1\n# detail: anything at all\n{s}"
+        );
+        let parsed = FaultSchedule::parse(&text)
+            .unwrap_or_else(|e| panic!("headers broke the parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, s);
+    }
+}

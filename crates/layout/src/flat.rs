@@ -53,8 +53,16 @@ pub fn build(d: u32, p: u32, num_data_blocks: u64) -> Result<MaterializedLayout,
         let end = ((g + 1) * group_span).min(num_data_blocks);
         let data: Vec<StreamAddr> = (start..end).map(|i| StreamAddr::new(0, i)).collect();
         // Figure 3 rule: last member's disk and its per-disk data row pick
-        // the parity disk.
-        let last_idx = end - 1;
+        // the parity disk. A terminal partial group (stream length not a
+        // multiple of p−1) uses its *nominal* last index — where the group
+        // would end if the stripe continued — so the parity-disk rotation
+        // stays on the §6.2 period d−(p−1) and admission's closed-form
+        // geometry agrees with the layout for every group, including the
+        // clipped one. (Keying it to the actual last member instead would
+        // silently shift the tail group's parity class; admission would
+        // then under-count shared-parity pairs and a disk could exceed q
+        // after a failure.)
+        let last_idx = start + group_span - 1;
         let last_disk = (last_idx % span) as u32;
         let j = last_idx / span; // row of the last member on its disk
         let offset = (j % u64::from(d - (p - 1))) as u32;
@@ -233,6 +241,30 @@ mod tests {
         assert!(
             max - min <= 3,
             "parity blocks should spread evenly, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn terminal_partial_group_keeps_nominal_parity_rotation() {
+        // 736 blocks, span 3: the last group holds only block 735 (disk 3).
+        // Its parity disk must come from the nominal window [735, 738) —
+        // last index 737 on disk 5, row 122, offset 122 mod 3 = 2 → disk 2
+        // — not from the actual last member (disk 3, row 122 → disk 0).
+        // The closed-form admission geometry assumes the former; keying the
+        // clipped group to its real last member shifts its parity class and
+        // lets shared-parity pairs exceed the contingency reserve.
+        let layout = build(6, 4, 736).unwrap();
+        let gid = layout.group_id_of(StreamAddr::new(0, 735));
+        let g = layout.group(gid);
+        assert_eq!(g.data.len(), 1, "terminal group holds the single leftover block");
+        assert_eq!(g.parity.disk.raw(), 2, "parity keyed to the nominal window");
+        // And the §6.2 period still holds against the full group one
+        // parity-sharing period earlier: nominal last 737 vs 737 − 6·3.
+        let earlier = layout.group_id_of(StreamAddr::new(0, 735 - 6 * 3));
+        assert_eq!(
+            layout.group(earlier).parity.disk,
+            g.parity.disk,
+            "clipped group stays in its d−(p−1) parity class"
         );
     }
 

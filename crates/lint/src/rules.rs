@@ -31,7 +31,7 @@ use crate::workspace::{FileClass, SourceFile};
 /// to their library code. `cms-trace` is included because exported event
 /// streams carry the same byte-identical promise as the metrics
 /// (DESIGN.md §6).
-pub const DETERMINISTIC_CRATES: [&str; 7] = [
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "cms-sim",
     "cms-disk",
     "cms-admission",
@@ -39,6 +39,7 @@ pub const DETERMINISTIC_CRATES: [&str; 7] = [
     "cms-server",
     "cms-trace",
     "cms-fault",
+    "cms-conformance",
 ];
 
 /// The only crate allowed to read wall clocks or OS entropy (it measures

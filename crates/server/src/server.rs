@@ -63,6 +63,15 @@ impl CmServer {
         &self.point
     }
 
+    /// The admission controller's fault-free capacity ceiling — the
+    /// engine-side counterpart of [`CmServer::capacity`]'s
+    /// `total_clips`, exposed so conformance checks can compare the two
+    /// without reaching into the simulator.
+    #[must_use]
+    pub fn nominal_capacity(&self) -> u64 {
+        self.sim.nominal_capacity()
+    }
+
     /// Queues a playback request for `clip`. Admission happens on
     /// subsequent [`CmServer::tick`]s, FIFO with bounded bypass.
     ///

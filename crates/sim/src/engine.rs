@@ -549,6 +549,11 @@ impl Simulator {
         let round = self.t;
         self.metrics.rounds += 1;
         self.apply_faults();
+        // Snapshot the outage state *after* this round's fault events so
+        // the report reflects what admission saw (`admit_from_head` runs
+        // before anything else can change the down-set).
+        let down_disks = (self.failed.len() + self.transient_until.len()) as u64;
+        let degraded_cap = self.degraded_cap();
         self.generate_arrivals();
         self.admit_from_head();
         self.schedule_fetches();
@@ -572,6 +577,8 @@ impl Simulator {
             degraded_refusals: self.metrics.degraded_refusals - before.10,
             active: self.clients.len() as u64,
             pending: self.pending.len() as u64,
+            down_disks,
+            degraded_cap,
         }
     }
 
@@ -579,6 +586,28 @@ impl Simulator {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The resolved configuration this simulator runs (after
+    /// construction-time padding adjustments).
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The admission controller's fault-free capacity ceiling — the
+    /// engine-side number the conformance harness cross-checks against
+    /// the analytical model's clip count.
+    #[must_use]
+    pub fn nominal_capacity(&self) -> u64 {
+        self.admission.nominal_capacity()
+    }
+
+    /// Blocks the materialized layout placed on `disk` (data and parity)
+    /// — the amount a rebuild of that disk must reconstruct.
+    #[must_use]
+    pub fn layout_blocks_used(&self, disk: DiskId) -> u64 {
+        self.layout.blocks_used(disk)
     }
 
     /// The current round.
@@ -2415,5 +2444,75 @@ mod tests {
         let mut cfg = small_cfg(Scheme::StreamingRaid);
         cfg.p = 3; // 3 ∤ 8
         assert!(Simulator::new(cfg).is_err());
+    }
+
+    #[test]
+    fn degraded_cap_scales_nominal_capacity_by_surviving_disks() {
+        let mut cfg = small_cfg(Scheme::PrefetchParityDisks).with_failure(20, DiskId(2));
+        cfg.degraded_admission = true;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let nominal = sim.nominal_capacity();
+        let mut saw_down = false;
+        for _ in 0..60 {
+            let r = sim.step_report();
+            if r.down_disks == 1 {
+                saw_down = true;
+                assert_eq!(r.degraded_cap, Some(nominal * 7 / 8));
+            } else {
+                assert_eq!(r.down_disks, 0);
+                assert_eq!(r.degraded_cap, None, "healthy rounds carry no cap");
+            }
+        }
+        assert!(saw_down, "the injected failure never took effect");
+    }
+
+    #[test]
+    fn non_clustered_outage_caps_admission_at_zero() {
+        let mut cfg = small_cfg(Scheme::NonClustered).with_failure(20, DiskId(1));
+        cfg.degraded_admission = true;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let mut down_rounds = 0u64;
+        for _ in 0..60 {
+            let r = sim.step_report();
+            if r.down_disks > 0 {
+                down_rounds += 1;
+                assert_eq!(
+                    r.degraded_cap,
+                    Some(0),
+                    "no redundancy ⇒ nothing is admissible while down"
+                );
+                assert_eq!(r.admissions, 0, "round {}: admitted under a zero cap", r.round);
+            }
+        }
+        assert!(down_rounds > 0, "the injected failure never took effect");
+    }
+
+    #[test]
+    fn second_concurrent_outage_caps_admission_at_zero() {
+        // Disks 2 and 6 sit in different clusters, so each failure alone
+        // is inside the designed tolerance — only their overlap trips the
+        // beyond-tolerance zero cap.
+        let faults = cms_fault::FaultSchedule::parse("@20 fail 2\n@24 fail 6\n").unwrap();
+        let mut cfg = small_cfg(Scheme::PrefetchParityDisks).with_faults(faults);
+        cfg.degraded_admission = true;
+        let mut sim = Simulator::new(cfg).unwrap();
+        let nominal = sim.nominal_capacity();
+        let (mut single, mut double) = (0u64, 0u64);
+        for _ in 0..60 {
+            let r = sim.step_report();
+            match r.down_disks {
+                0 => assert_eq!(r.degraded_cap, None),
+                1 => {
+                    single += 1;
+                    assert_eq!(r.degraded_cap, Some(nominal * 7 / 8));
+                }
+                _ => {
+                    double += 1;
+                    assert_eq!(r.degraded_cap, Some(0), "double outage must refuse all");
+                    assert_eq!(r.admissions, 0, "round {}: admitted under a zero cap", r.round);
+                }
+            }
+        }
+        assert!(single > 0 && double > 0, "fault schedule never reached both states");
     }
 }

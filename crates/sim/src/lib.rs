@@ -58,10 +58,12 @@ pub mod engine;
 #[cfg(feature = "bench-alloc")]
 pub mod hotgauge;
 pub mod metrics;
+pub mod oneshot;
 
 pub use config::{FailureScenario, SimConfig};
 pub use engine::Simulator;
 pub use metrics::{Metrics, RoundReport};
+pub use oneshot::{run_case, CaseRun};
 // Re-exported so simulator users can script multi-event fault
 // campaigns without depending on cms-fault directly.
 pub use cms_fault::{FaultEvent, FaultSchedule, ScheduledEvent};

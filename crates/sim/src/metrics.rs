@@ -38,6 +38,16 @@ pub struct RoundReport {
     pub active: u64,
     /// Requests still queued at end of round.
     pub pending: u64,
+    /// Disks unavailable for service this round (hard-failed plus inside
+    /// a transient window), counted after the round's fault events
+    /// applied — i.e. the outage state admission actually saw.
+    pub down_disks: u64,
+    /// The degraded-mode admission cap in force this round: `None` when
+    /// enforcement is off or the array is healthy, `Some(0)` in the
+    /// refuse-everything regime (NonClustered through any outage, or a
+    /// second concurrent outage). The conformance harness checks
+    /// admissions against exactly this value.
+    pub degraded_cap: Option<u64>,
 }
 
 /// Everything a run reports. The Figure 6 metric is

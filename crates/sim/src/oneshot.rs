@@ -1,0 +1,82 @@
+//! Seeded one-shot runs: build a simulator, step every configured round,
+//! and hand back the complete per-round report stream alongside the
+//! final metrics and the static facts (capacity ceiling, per-disk layout
+//! occupancy) an external checker needs.
+//!
+//! This is the conformance harness's entry point into the engine: one
+//! call, fully deterministic under the config's seed and thread count,
+//! with nothing about the run hidden behind accessors.
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::metrics::{Metrics, RoundReport};
+use cms_core::{CmsError, DiskId};
+
+/// Everything one deterministic run produced.
+#[derive(Debug, Clone)]
+pub struct CaseRun {
+    /// Final accumulated metrics (with `still_pending` resolved, exactly
+    /// as [`Simulator::run`] reports it).
+    pub metrics: Metrics,
+    /// One report per simulated round, in order.
+    pub reports: Vec<RoundReport>,
+    /// The admission controller's fault-free capacity ceiling.
+    pub nominal_capacity: u64,
+    /// Blocks the layout placed on each disk, indexed by disk id — what
+    /// a rebuild of that disk must reconstruct.
+    pub disk_blocks_used: Vec<u64>,
+}
+
+/// Runs `cfg` to completion, collecting every round's report.
+///
+/// # Errors
+///
+/// Propagates construction errors from [`Simulator::new`] (invalid or
+/// infeasible configurations).
+pub fn run_case(cfg: SimConfig) -> Result<CaseRun, CmsError> {
+    let mut sim = Simulator::new(cfg)?;
+    let d = sim.config().d;
+    let rounds = sim.config().rounds;
+    let nominal_capacity = sim.nominal_capacity();
+    let disk_blocks_used: Vec<u64> =
+        (0..d).map(|i| sim.layout_blocks_used(DiskId(i))).collect();
+    let mut reports = Vec::with_capacity(usize::try_from(rounds).unwrap_or(0));
+    for _ in 0..rounds {
+        reports.push(sim.step_report());
+    }
+    let mut metrics = sim.metrics().clone();
+    metrics.still_pending = sim.pending_requests() as u64;
+    Ok(CaseRun { metrics, reports, nominal_capacity, disk_blocks_used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cms_core::Scheme;
+    use cms_model::{tuned_point, ModelInput};
+
+    fn small_cfg() -> SimConfig {
+        let mut inp = ModelInput::sigmod96(64 << 20).with_storage_blocks(2_000);
+        inp.d = 8;
+        let point = tuned_point(Scheme::DeclusteredParity, &inp, 4, 1).unwrap();
+        let mut cfg = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, 8);
+        cfg.catalog_clips = 30;
+        cfg.clip_len = 20;
+        cfg.arrival_rate = 2.0;
+        cfg.rounds = 60;
+        cfg
+    }
+
+    #[test]
+    fn one_shot_matches_plain_run() {
+        let run = run_case(small_cfg()).unwrap();
+        let direct = Simulator::new(small_cfg()).unwrap().run();
+        assert_eq!(run.metrics, direct);
+        assert_eq!(run.reports.len(), 60);
+        assert_eq!(run.disk_blocks_used.len(), 8);
+        assert!(run.nominal_capacity > 0);
+        // Per-round deltas must sum to the final totals.
+        let admitted: u64 = run.reports.iter().map(|r| r.admissions).sum();
+        assert_eq!(admitted, run.metrics.admitted);
+    }
+}
