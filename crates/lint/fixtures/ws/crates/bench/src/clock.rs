@@ -1,0 +1,11 @@
+//! Timing-crate fixture: the wall clock is legal here (D002 exempts
+//! cms-bench), but a deterministic-crate chain into it is D004 fodder.
+
+pub fn stamp_now() -> u32 {
+    let _t = Instant::now();
+    7
+}
+
+pub fn wrap_stamp() -> u32 {
+    stamp_now()
+}

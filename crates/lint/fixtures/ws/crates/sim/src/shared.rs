@@ -1,0 +1,15 @@
+//! D005 fixtures: shared state in deterministic lib code, plus the
+//! reasoned allow that suppresses it.
+
+pub fn tally(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn racy(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+// lint: allow(D005) fixture: vetted SeqCst read outside the round loop
+pub fn vetted(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}

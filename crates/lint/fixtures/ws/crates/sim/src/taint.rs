@@ -1,0 +1,16 @@
+//! Interprocedural fixtures: a D004 chain two calls deep ending at a
+//! cross-crate wall-clock sink, and a P003 hot -> helper -> Vec::new.
+
+pub fn tainted_entry() -> u32 {
+    cms_bench::wrap_stamp()
+}
+
+// lint: hot
+pub fn hot_entry(out: &mut Vec<u64>) {
+    helper_fill(out);
+}
+
+pub fn helper_fill(out: &mut Vec<u64>) {
+    let tmp: Vec<u64> = Vec::new();
+    out.extend(tmp);
+}

@@ -1,0 +1,840 @@
+//! Whole-workspace call graph: item extraction and best-effort call
+//! resolution on top of the token stream.
+//!
+//! The extractor brace-matches item boundaries to find every `fn`
+//! definition (crate, file-derived module, enclosing `impl`/`trait`
+//! type, `// lint: hot` marker, direct D002/P002 sinks in the body) and
+//! every call site inside it. Resolution is name-based with crate-path
+//! disambiguation, bounded by the caller's transitive intra-workspace
+//! dependency closure:
+//!
+//! * `path::to::f(…)` — if a path segment names a workspace crate
+//!   (`cms_sim` → `cms-sim`), resolve inside that crate; if the last
+//!   qualifier names a workspace `impl`/`trait` type in scope, resolve
+//!   to that type's methods; if it names a sibling module, to that
+//!   module's free functions. A qualifier that matches nothing in the
+//!   workspace is external (`Vec::new`) — no edge.
+//! * `f(…)` — free functions named `f`, same crate first, then the
+//!   dependency closure.
+//! * `x.m(…)` — the receiver type is unknown, so **conservatively** all
+//!   workspace methods named `m` within the dependency closure get an
+//!   edge (over-approximation is the safe direction for taint).
+//! * `Self::f(…)` — methods `f` of the enclosing impl type.
+//!
+//! Ambiguity (several candidates surviving disambiguation) keeps every
+//! candidate edge. Test regions (`#[cfg(test)]`, `tests/` files) are
+//! excluded; the graph covers lib **and** bin code so chains through
+//! binaries still render in the DOT export, while rule scoping happens
+//! downstream in `taint`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::test_region_mask;
+use crate::tokenizer::{Lexed, Tok, TokKind};
+use crate::workspace::{FileClass, SourceFile};
+
+/// Keywords that look like `ident (` but never name a callable.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "let", "else", "in",
+    "as", "where", "use",
+];
+
+/// A direct sink occurrence inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkHit {
+    /// What was called, e.g. `Instant::now` or `Vec::new`.
+    pub what: String,
+    /// 1-based source line of the occurrence.
+    pub line: u32,
+}
+
+/// One extracted function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Cargo package the file belongs to.
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// File-derived module name (`engine` for `crates/sim/src/engine.rs`).
+    pub module: String,
+    /// Enclosing `impl`/`trait` type, when the fn is a method.
+    pub impl_type: Option<String>,
+    /// Bare function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared hot via `// lint: hot`.
+    pub is_hot: bool,
+    /// Library code (as opposed to a bin target)?
+    pub is_lib: bool,
+    /// Direct wall-clock/entropy sinks in the body (D002 set).
+    pub clock_sinks: Vec<SinkHit>,
+    /// Direct allocation sinks in the body (P002 set).
+    pub alloc_sinks: Vec<SinkHit>,
+}
+
+impl FnDef {
+    /// `crate::module::[Type::]name` — the display form used in chains
+    /// and the DOT export.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}::{}::{}", self.crate_name, self.module, t, self.name),
+            None => format!("{}::{}::{}", self.crate_name, self.module, self.name),
+        }
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone)]
+enum CallKind {
+    /// `name(…)` or `path::name(…)`; the path excludes the name itself
+    /// (leading `crate`/`self`/`super` stripped).
+    Free { path: Vec<String> },
+    /// `.name(…)`.
+    Method,
+}
+
+/// One call site, pre-resolution.
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    kind: CallKind,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every extracted function, in (file, line) order.
+    pub fns: Vec<FnDef>,
+    /// `edges[caller]` = sorted unique callee indices.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// A function span inside one file's token stream.
+struct FnSpan {
+    /// Index of the body's opening `{`.
+    body_open: usize,
+    /// Index of the body's closing `}` (inclusive).
+    body_close: usize,
+    /// Graph node this span produced.
+    fn_id: usize,
+}
+
+/// A region (impl/trait block) claiming a type name for the `fn`s inside.
+struct TypeRegion {
+    open: usize,
+    close: usize,
+    type_name: String,
+}
+
+/// Builds the call graph over `files`, where each entry pairs the
+/// discovered file with its lexed token stream. `deps` is the transitive
+/// intra-workspace dependency closure from [`crate::workspace::crate_deps`].
+#[must_use]
+pub fn build(
+    files: &[(&SourceFile, &Lexed)],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> CallGraph {
+    let mut graph = CallGraph::default();
+    let mut calls: Vec<Vec<CallSite>> = Vec::new();
+
+    // Pass 1: extract definitions, sinks and raw call sites per file.
+    for (file, lexed) in files {
+        if matches!(file.class, FileClass::Test | FileClass::Bench | FileClass::Example) {
+            continue;
+        }
+        extract_file(file, lexed, &mut graph, &mut calls);
+    }
+
+    // Pass 2: resolve call sites to edges.
+    let index = NameIndex::new(&graph.fns);
+    graph.edges = calls
+        .iter()
+        .enumerate()
+        .map(|(caller, sites)| {
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for site in sites {
+                index.resolve(&graph.fns, deps, caller, site, &mut out);
+            }
+            out.remove(&caller); // self-recursion adds nothing to taint
+            out.into_iter().collect()
+        })
+        .collect();
+    graph
+}
+
+/// Name-based candidate index over the extracted functions.
+struct NameIndex {
+    methods: BTreeMap<String, Vec<usize>>,
+    free: BTreeMap<String, Vec<usize>>,
+    impl_types: BTreeSet<String>,
+    modules: BTreeSet<String>,
+    crates: BTreeSet<String>,
+}
+
+impl NameIndex {
+    fn new(fns: &[FnDef]) -> NameIndex {
+        let mut methods: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut impl_types = BTreeSet::new();
+        let mut modules = BTreeSet::new();
+        let mut crates = BTreeSet::new();
+        for (id, f) in fns.iter().enumerate() {
+            if let Some(t) = &f.impl_type {
+                methods.entry(f.name.clone()).or_default().push(id);
+                impl_types.insert(t.clone());
+            } else {
+                free.entry(f.name.clone()).or_default().push(id);
+            }
+            modules.insert(f.module.clone());
+            crates.insert(f.crate_name.clone());
+        }
+        NameIndex { methods, free, impl_types, modules, crates }
+    }
+
+    /// Is `fn_id` visible from `caller` (same crate or in its transitive
+    /// dependency closure)?
+    fn in_scope(
+        fns: &[FnDef],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+        caller: usize,
+        fn_id: usize,
+    ) -> bool {
+        let c = &fns[caller].crate_name;
+        let t = &fns[fn_id].crate_name;
+        c == t || deps.get(c).is_some_and(|d| d.contains(t))
+    }
+
+    /// Resolves one call site into `out` (possibly several candidates —
+    /// ambiguity keeps all of them).
+    fn resolve(
+        &self,
+        fns: &[FnDef],
+        deps: &BTreeMap<String, BTreeSet<String>>,
+        caller: usize,
+        site: &CallSite,
+        out: &mut BTreeSet<usize>,
+    ) {
+        match &site.kind {
+            CallKind::Method => {
+                if let Some(cands) = self.methods.get(&site.name) {
+                    out.extend(
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&id| Self::in_scope(fns, deps, caller, id)),
+                    );
+                }
+            }
+            CallKind::Free { path } if path.is_empty() => {
+                let Some(cands) = self.free.get(&site.name) else { return };
+                let same_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].crate_name == fns[caller].crate_name)
+                    .collect();
+                if same_crate.is_empty() {
+                    out.extend(
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&id| Self::in_scope(fns, deps, caller, id)),
+                    );
+                } else {
+                    out.extend(same_crate);
+                }
+            }
+            CallKind::Free { path } => {
+                // `Self::f` — methods of the enclosing impl type.
+                if path.first().is_some_and(|s| s == "Self") {
+                    let Some(own_type) = fns[caller].impl_type.clone() else { return };
+                    if let Some(cands) = self.methods.get(&site.name) {
+                        out.extend(cands.iter().copied().filter(|&id| {
+                            fns[id].impl_type.as_deref() == Some(own_type.as_str())
+                                && fns[id].crate_name == fns[caller].crate_name
+                        }));
+                    }
+                    return;
+                }
+                // A segment naming a workspace crate pins the crate.
+                let crate_hint = path.iter().find_map(|seg| {
+                    let dashed = seg.replace('_', "-");
+                    if self.crates.contains(&dashed) {
+                        Some(dashed)
+                    } else if self.crates.contains(seg) {
+                        Some(seg.clone())
+                    } else {
+                        None
+                    }
+                });
+                // The segment directly qualifying the name (`b` in
+                // `a::b::f(…)`) — the path is stored innermost-first.
+                let qualifier = path.first().cloned().unwrap_or_default();
+                let type_qualified = self.impl_types.contains(&qualifier);
+                let module_qualified = self.modules.contains(&qualifier);
+                let cands = if type_qualified {
+                    self.methods.get(&site.name)
+                } else {
+                    self.free.get(&site.name)
+                };
+                let Some(cands) = cands else {
+                    // Type-qualified call with no matching method, or
+                    // free call with no matching fn: maybe the qualifier
+                    // is a type but the target is a free fn, or vice
+                    // versa. Try the other table before giving up.
+                    let other = if type_qualified {
+                        self.free.get(&site.name)
+                    } else {
+                        self.methods.get(&site.name)
+                    };
+                    if let (Some(other), Some(hint)) = (other, &crate_hint) {
+                        out.extend(other.iter().copied().filter(|&id| {
+                            fns[id].crate_name == *hint
+                        }));
+                    }
+                    return;
+                };
+                let scoped = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| Self::in_scope(fns, deps, caller, id));
+                if let Some(hint) = crate_hint {
+                    out.extend(scoped.filter(|&id| fns[id].crate_name == hint));
+                } else if type_qualified {
+                    out.extend(
+                        scoped.filter(|&id| fns[id].impl_type.as_deref() == Some(qualifier.as_str())),
+                    );
+                } else if module_qualified {
+                    let narrowed: Vec<usize> =
+                        scoped.filter(|&id| fns[id].module == qualifier).collect();
+                    out.extend(narrowed);
+                } else {
+                    // Qualifier matches nothing in the workspace:
+                    // external (std or vendored) — no edge.
+                }
+            }
+        }
+    }
+}
+
+/// Extracts definitions and call sites from one file.
+fn extract_file(
+    file: &SourceFile,
+    lexed: &Lexed,
+    graph: &mut CallGraph,
+    calls: &mut Vec<Vec<CallSite>>,
+) {
+    let toks = &lexed.tokens;
+    let tests = test_region_mask(toks);
+    let type_regions = find_type_regions(toks);
+    let module = module_of(&file.rel_path);
+    let is_lib = file.class == FileClass::Lib;
+
+    // Find fn spans.
+    let mut spans: Vec<FnSpan> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if tests[i] || !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let Some((body_open, body_close)) = fn_body_span(toks, i) else {
+            // Signature-only (trait method declaration): no node.
+            i += 1;
+            continue;
+        };
+        let impl_type = type_regions
+            .iter()
+            .filter(|r| r.open < i && i < r.close)
+            .max_by_key(|r| r.open)
+            .map(|r| r.type_name.clone());
+        let is_hot = lexed
+            .hots
+            .iter()
+            .any(|&m| name_tok.line == m || name_tok.line == m + 1);
+        let fn_id = graph.fns.len();
+        graph.fns.push(FnDef {
+            crate_name: file.crate_name.clone(),
+            file: file.rel_path.clone(),
+            module: module.clone(),
+            impl_type,
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            is_hot,
+            is_lib,
+            clock_sinks: Vec::new(),
+            alloc_sinks: Vec::new(),
+        });
+        calls.push(Vec::new());
+        spans.push(FnSpan { body_open, body_close, fn_id });
+        i += 2;
+    }
+
+    // Attribute call sites and sinks to the innermost enclosing fn.
+    let innermost = |idx: usize| -> Option<usize> {
+        spans
+            .iter()
+            .filter(|s| s.body_open < idx && idx < s.body_close)
+            .max_by_key(|s| s.body_open)
+            .map(|s| s.fn_id)
+    };
+    for (j, t) in toks.iter().enumerate() {
+        if tests[j] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(owner) = innermost(j) else { continue };
+        let next = toks.get(j + 1);
+
+        // Direct sinks (mirrors the D002 / P002 token patterns).
+        let path2 = next.is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'));
+        if (t.text == "Instant" && path2 && toks.get(j + 3).is_some_and(|t| t.is_ident("now")))
+            || t.text == "SystemTime"
+            || t.text == "thread_rng"
+        {
+            let what = if t.text == "Instant" { "Instant::now" } else { t.text.as_str() };
+            graph.fns[owner]
+                .clock_sinks
+                .push(SinkHit { what: what.to_string(), line: t.line });
+        }
+        let vec_new =
+            t.text == "Vec" && path2 && toks.get(j + 3).is_some_and(|t| t.is_ident("new"));
+        let vec_macro = t.text == "vec" && next.is_some_and(|t| t.is_punct('!'));
+        let collect = t.text == "collect"
+            && j > 0
+            && toks[j - 1].is_punct('.')
+            && (next.is_some_and(|t| t.is_punct('(')) || path2);
+        if vec_new || vec_macro || collect {
+            let what = if vec_new {
+                "Vec::new"
+            } else if vec_macro {
+                "vec!"
+            } else {
+                ".collect()"
+            };
+            graph.fns[owner]
+                .alloc_sinks
+                .push(SinkHit { what: what.to_string(), line: t.line });
+        }
+
+        // Call sites: `ident (`.
+        if !next.is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `fn name(` is a definition, not a call.
+        if j > 0 && toks[j - 1].is_ident("fn") {
+            continue;
+        }
+        if j > 0 && toks[j - 1].is_punct('.') {
+            calls[owner].push(CallSite { name: t.text.clone(), kind: CallKind::Method });
+            continue;
+        }
+        // Walk the `::`-path backwards: `a::b::name(`.
+        let mut path: Vec<String> = Vec::new();
+        let mut k = j;
+        while k >= 3
+            && toks[k - 1].is_punct(':')
+            && toks[k - 2].is_punct(':')
+            && toks[k - 3].kind == TokKind::Ident
+        {
+            path.push(toks[k - 3].text.clone());
+            k -= 3;
+        }
+        // `path` is innermost-qualifier-first; drop crate-relative
+        // anchors which carry no name information.
+        path.retain(|s| s != "crate" && s != "self" && s != "super");
+        calls[owner].push(CallSite { name: t.text.clone(), kind: CallKind::Free { path } });
+    }
+}
+
+/// The body span (`{` index, matching `}` index) of the `fn` whose
+/// keyword sits at `start`, or `None` for signature-only declarations.
+fn fn_body_span(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
+    let mut brace = 0i32;
+    let mut open = None;
+    for (k, t) in toks.iter().enumerate().skip(start) {
+        if t.is_punct('{') {
+            brace += 1;
+            if open.is_none() {
+                open = Some(k);
+            }
+        } else if t.is_punct('}') {
+            brace -= 1;
+            if brace == 0 {
+                if let Some(o) = open {
+                    return Some((o, k));
+                }
+            }
+        } else if t.is_punct(';') && open.is_none() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Every `impl`/`trait` block region with the type name it claims.
+fn find_type_regions(toks: &[Tok]) -> Vec<TypeRegion> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("impl") || t.is_ident("trait")) {
+            i += 1;
+            continue;
+        }
+        let is_trait = t.is_ident("trait");
+        // Scan the header to the opening `{`, tracking angle-bracket
+        // depth so generic parameters don't pollute the name choice.
+        let mut angle = 0i32;
+        let mut idents_at_top: Vec<&str> = Vec::new();
+        let mut after_for: Option<&str> = None;
+        let mut saw_for = false;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct('<') {
+                angle += 1;
+            } else if u.is_punct('>') {
+                angle -= 1;
+            } else if u.is_punct('{') && angle <= 0 {
+                open = Some(j);
+                break;
+            } else if u.is_punct(';') && angle <= 0 {
+                break; // `impl Trait for Type;` style marker — no body
+            } else if u.kind == TokKind::Ident && angle <= 0 {
+                if u.text == "for" {
+                    saw_for = true;
+                } else if u.text == "where" {
+                    // Nothing after `where` names the implementing type.
+                    while j < toks.len() && !toks[j].is_punct('{') {
+                        j += 1;
+                    }
+                    continue;
+                } else if saw_for {
+                    // For a path `a::b::Type`, the name is the final
+                    // segment: a segment followed by `::` is a qualifier.
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                        after_for = None;
+                    } else if after_for.is_none() {
+                        after_for = Some(&u.text);
+                    }
+                } else if u.text != "dyn" && u.text != "unsafe" {
+                    idents_at_top.push(&u.text);
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let type_name = if is_trait {
+            idents_at_top.first().copied()
+        } else if saw_for {
+            after_for.or_else(|| idents_at_top.last().copied())
+        } else {
+            idents_at_top.first().copied()
+        };
+        // Find the matching close brace.
+        let mut brace = 0i32;
+        let mut close = toks.len().saturating_sub(1);
+        for (k, u) in toks.iter().enumerate().skip(open) {
+            if u.is_punct('{') {
+                brace += 1;
+            } else if u.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    close = k;
+                    break;
+                }
+            }
+        }
+        if let Some(name) = type_name {
+            regions.push(TypeRegion { open, close, type_name: name.to_string() });
+        }
+        i = open + 1;
+    }
+    regions
+}
+
+/// File-derived module name: the stem for normal files, the parent
+/// directory for `mod.rs`, and the crate name for roots.
+fn module_of(rel_path: &str) -> String {
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(rel_path);
+    match stem {
+        "lib" | "main" => "crate".to_string(),
+        "mod" => {
+            let parts: Vec<&str> = rel_path.split('/').collect();
+            parts
+                .len()
+                .checked_sub(2)
+                .and_then(|i| parts.get(i))
+                .map_or_else(|| "crate".to_string(), |s| (*s).to_string())
+        }
+        s => s.to_string(),
+    }
+}
+
+/// Node taint classification for the DOT export, computed by `taint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeColor {
+    /// Unremarkable function.
+    #[default]
+    Plain,
+    /// Contains a direct wall-clock/entropy sink.
+    ClockSink,
+    /// Deterministic-crate function transitively reaching a clock sink.
+    ClockTainted,
+    /// Declared `// lint: hot`.
+    Hot,
+    /// Reachable from a hot function and allocates.
+    HotAlloc,
+    /// Reachable from a hot function (no direct allocation).
+    HotReach,
+}
+
+impl NodeColor {
+    fn fill(self) -> &'static str {
+        match self {
+            NodeColor::Plain => "#e8e8e8",
+            NodeColor::ClockSink => "#e05555",
+            NodeColor::ClockTainted => "#f2a654",
+            NodeColor::Hot => "#5b8def",
+            NodeColor::HotAlloc => "#b065d8",
+            NodeColor::HotReach => "#a8c6f5",
+        }
+    }
+}
+
+/// Renders the graph as Graphviz DOT, one cluster per crate, nodes
+/// filled by taint color. `colors` is indexed by fn id (defaulting to
+/// [`NodeColor::Plain`] when shorter).
+#[must_use]
+pub fn to_dot(graph: &CallGraph, colors: &[NodeColor]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "digraph cms_callgraph {\n  rankdir=LR;\n  node [shape=box, style=filled, fontsize=10];\n",
+    );
+    let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        by_crate.entry(f.crate_name.as_str()).or_default().push(id);
+    }
+    for (krate, ids) in &by_crate {
+        let cluster = krate.replace(['-', '.'], "_");
+        let _ = writeln!(s, "  subgraph cluster_{cluster} {{");
+        let _ = writeln!(s, "    label=\"{krate}\";");
+        for &id in ids {
+            let f = &graph.fns[id];
+            let color = colors.get(id).copied().unwrap_or_default();
+            let label = match &f.impl_type {
+                Some(t) => format!("{}::{}::{}", f.module, t, f.name),
+                None => format!("{}::{}", f.module, f.name),
+            };
+            let _ = writeln!(
+                s,
+                "    n{id} [label=\"{}\", fillcolor=\"{}\"];",
+                crate::json_escape(&label),
+                color.fill()
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        for &callee in callees {
+            let _ = writeln!(s, "  n{caller} -> n{callee};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, class: FileClass, krate: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            abs_path: PathBuf::from(rel),
+            class,
+            crate_name: krate.to_string(),
+        }
+    }
+
+    fn deps_of(pairs: &[(&str, &[&str])]) -> BTreeMap<String, BTreeSet<String>> {
+        pairs
+            .iter()
+            .map(|(c, ds)| {
+                let mut set: BTreeSet<String> = ds.iter().map(|s| (*s).to_string()).collect();
+                set.insert((*c).to_string());
+                ((*c).to_string(), set)
+            })
+            .collect()
+    }
+
+    fn build_one(src: &str) -> CallGraph {
+        let f = file("crates/sim/src/engine.rs", FileClass::Lib, "cms-sim");
+        let lexed = tokenize(src);
+        build(&[(&f, &lexed)], &deps_of(&[("cms-sim", &[])]))
+    }
+
+    fn edge_names(g: &CallGraph, caller: &str) -> Vec<String> {
+        let Some(id) = g.fns.iter().position(|f| f.name == caller) else {
+            return Vec::new();
+        };
+        g.edges[id].iter().map(|&c| g.fns[c].name.clone()).collect()
+    }
+
+    #[test]
+    fn extracts_free_fns_methods_and_hot_markers() {
+        let g = build_one(
+            "pub fn free_one() {}\nstruct S;\nimpl S {\n    // lint: hot\n    fn m(&self) { free_one(); }\n}\ntrait T {\n    fn sig_only(&self);\n    fn defaulted(&self) { free_one(); }\n}\n",
+        );
+        let names: Vec<&str> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free_one", "m", "defaulted"]);
+        let m = g.fns.iter().find(|f| f.name == "m").expect("m");
+        assert_eq!(m.impl_type.as_deref(), Some("S"));
+        assert!(m.is_hot);
+        let d = g.fns.iter().find(|f| f.name == "defaulted").expect("defaulted");
+        assert_eq!(d.impl_type.as_deref(), Some("T"));
+        assert_eq!(edge_names(&g, "m"), vec!["free_one"]);
+        assert_eq!(edge_names(&g, "defaulted"), vec!["free_one"]);
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_methods_to_the_type() {
+        let g = build_one(
+            "struct Foo;\ntrait Run { fn run(&self) {} }\nimpl Run for Foo {\n    fn run(&self) { helper(); }\n}\nfn helper() {}\n",
+        );
+        let foo_run = g
+            .fns
+            .iter()
+            .find(|f| f.name == "run" && f.impl_type.as_deref() == Some("Foo"))
+            .expect("Foo::run extracted");
+        assert_eq!(foo_run.impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn sinks_are_attributed_to_the_innermost_fn() {
+        let g = build_one(
+            "fn outer() {\n    fn inner() { let v = Vec::new(); }\n    let t = Instant::now();\n}\n",
+        );
+        let outer = g.fns.iter().find(|f| f.name == "outer").expect("outer");
+        assert_eq!(outer.clock_sinks.len(), 1);
+        assert_eq!(outer.clock_sinks[0].what, "Instant::now");
+        assert!(outer.alloc_sinks.is_empty());
+        let inner = g.fns.iter().find(|f| f.name == "inner").expect("inner");
+        assert_eq!(inner.alloc_sinks.len(), 1);
+        assert_eq!(inner.alloc_sinks[0].what, "Vec::new");
+    }
+
+    #[test]
+    fn unqualified_calls_prefer_the_callers_crate() {
+        let a = file("crates/sim/src/engine.rs", FileClass::Lib, "cms-sim");
+        let b = file("crates/disk/src/lib.rs", FileClass::Lib, "cms-disk");
+        let la = tokenize("pub fn compute() {}\npub fn entry() { compute(); }\n");
+        let lb = tokenize("#![forbid(unsafe_code)]\npub fn compute() {}\n");
+        let g = build(
+            &[(&a, &la), (&b, &lb)],
+            &deps_of(&[("cms-sim", &["cms-disk"]), ("cms-disk", &[])]),
+        );
+        let entry = g.fns.iter().position(|f| f.name == "entry").expect("entry");
+        let callees: Vec<&FnDef> = g.edges[entry].iter().map(|&c| &g.fns[c]).collect();
+        assert_eq!(callees.len(), 1);
+        assert_eq!(callees[0].crate_name, "cms-sim");
+    }
+
+    #[test]
+    fn crate_qualified_calls_cross_crates() {
+        let a = file("crates/sim/src/engine.rs", FileClass::Lib, "cms-sim");
+        let b = file("crates/disk/src/cscan.rs", FileClass::Lib, "cms-disk");
+        let la = tokenize("pub fn entry() { cms_disk::sweep(); }\n");
+        let lb = tokenize("pub fn sweep() {}\n");
+        let g = build(
+            &[(&a, &la), (&b, &lb)],
+            &deps_of(&[("cms-sim", &["cms-disk"]), ("cms-disk", &[])]),
+        );
+        assert_eq!(edge_names(&g, "entry"), vec!["sweep"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_within_the_dependency_closure_only() {
+        let a = file("crates/sim/src/engine.rs", FileClass::Lib, "cms-sim");
+        let b = file("crates/disk/src/lib.rs", FileClass::Lib, "cms-disk");
+        let c = file("crates/bench/src/figures.rs", FileClass::Lib, "cms-bench");
+        let la = tokenize("pub fn entry(d: D) { d.service(); }\n");
+        let lb = tokenize("#![forbid(unsafe_code)]\nstruct D;\nimpl D { pub fn service(&self) {} }\n");
+        // Same method name in a crate cms-sim does NOT depend on.
+        let lc = tokenize("struct E;\nimpl E { pub fn service(&self) {} }\n");
+        let g = build(
+            &[(&a, &la), (&b, &lb), (&c, &lc)],
+            &deps_of(&[("cms-sim", &["cms-disk"]), ("cms-disk", &[]), ("cms-bench", &[])]),
+        );
+        let entry = g.fns.iter().position(|f| f.name == "entry").expect("entry");
+        let callees: Vec<&FnDef> = g.edges[entry].iter().map(|&c| &g.fns[c]).collect();
+        assert_eq!(callees.len(), 1, "{callees:?}");
+        assert_eq!(callees[0].crate_name, "cms-disk");
+    }
+
+    #[test]
+    fn external_qualifiers_produce_no_edges() {
+        let g = build_one(
+            "pub fn new() {}\npub fn entry() { let v: Vec<u32> = Vec::new(); let b = Box::new(1); }\n",
+        );
+        // `Vec::new` / `Box::new` must not resolve to the workspace `new`.
+        assert!(edge_names(&g, "entry").is_empty());
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_enclosing_impl() {
+        let g = build_one(
+            "struct S;\nimpl S {\n    fn a(&self) { Self::b(); }\n    fn b() {}\n}\nstruct R;\nimpl R { fn b() {} }\n",
+        );
+        let a = g.fns.iter().position(|f| f.name == "a").expect("a");
+        let callees: Vec<&FnDef> = g.edges[a].iter().map(|&c| &g.fns[c]).collect();
+        assert_eq!(callees.len(), 1);
+        assert_eq!(callees[0].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn test_regions_produce_no_nodes_or_edges() {
+        let g = build_one(
+            "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { real(); }\n}\n",
+        );
+        let names: Vec<&str> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn dot_export_renders_clusters_nodes_and_edges() {
+        let g = build_one("pub fn a() { b(); }\npub fn b() {}\n");
+        let dot = to_dot(&g, &[NodeColor::Hot, NodeColor::Plain]);
+        assert!(dot.contains("subgraph cluster_cms_sim"), "{dot}");
+        assert!(dot.contains("n0 -> n1;"), "{dot}");
+        assert!(dot.contains(NodeColor::Hot.fill()), "{dot}");
+    }
+
+    #[test]
+    fn module_names_derive_from_paths() {
+        assert_eq!(module_of("crates/sim/src/engine.rs"), "engine");
+        assert_eq!(module_of("crates/sim/src/lib.rs"), "crate");
+        assert_eq!(module_of("src/main.rs"), "crate");
+        assert_eq!(module_of("crates/layout/src/flat/mod.rs"), "flat");
+    }
+}

@@ -18,14 +18,18 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod graph;
 pub mod rules;
+pub mod taint;
 pub mod tokenizer;
 pub mod workspace;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::Path;
 
 use rules::Diagnostic;
+use tokenizer::{AllowDirective, Lexed};
 use workspace::SourceFile;
 
 /// Result of analyzing a whole workspace.
@@ -51,29 +55,84 @@ impl Report {
     }
 }
 
+/// Full analysis: token-level report, the workspace call graph, and
+/// per-node taint colors for the DOT export.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Token-level **and** interprocedural diagnostics, merged + sorted.
+    pub report: Report,
+    /// The resolved call graph.
+    pub graph: graph::CallGraph,
+    /// Taint color per graph node (same indexing as `graph.fns`).
+    pub colors: Vec<graph::NodeColor>,
+}
+
 /// Runs every rule over every source file of the workspace at `root`.
 #[must_use]
 pub fn analyze_workspace(root: &Path) -> Report {
-    analyze_files(&workspace::discover(root))
+    analyze_workspace_full(root).report
+}
+
+/// Runs the full pipeline — token rules, call-graph construction, and
+/// the D004/P003 reachability rules — over the workspace at `root`.
+#[must_use]
+pub fn analyze_workspace_full(root: &Path) -> Analysis {
+    analyze_files_full(&workspace::discover(root), &workspace::crate_deps(root))
 }
 
 /// Runs every rule over an explicit file list (used by fixture tests).
+/// Interprocedural rules see only the listed files; `deps` bounds
+/// cross-crate call resolution.
 #[must_use]
-pub fn analyze_files(files: &[SourceFile]) -> Report {
-    let mut report = Report::default();
+pub fn analyze_files_full(
+    files: &[SourceFile],
+    deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Analysis {
+    let mut analysis = Analysis::default();
+    let report = &mut analysis.report;
+
+    // Read + lex each file exactly once; the token rules and the graph
+    // builder share the stream.
+    let mut lexed_files: Vec<(&SourceFile, Lexed)> = Vec::new();
     for file in files {
         match fs::read_to_string(&file.abs_path) {
             Ok(src) => {
                 report.files_scanned += 1;
-                report.diagnostics.extend(rules::analyze_source(file, &src));
+                lexed_files.push((file, tokenizer::tokenize(&src)));
             }
             Err(e) => report.unreadable.push((file.rel_path.clone(), e.to_string())),
         }
     }
+    for (file, lexed) in &lexed_files {
+        report.diagnostics.extend(rules::analyze_lexed(file, lexed));
+    }
+
+    let pairs: Vec<(&SourceFile, &Lexed)> =
+        lexed_files.iter().map(|(f, l)| (*f, l)).collect();
+    analysis.graph = graph::build(&pairs, deps);
+    let allows: BTreeMap<String, Vec<AllowDirective>> = lexed_files
+        .iter()
+        .map(|(f, l)| (f.rel_path.clone(), l.allows.clone()))
+        .collect();
+    let taint = taint::analyze(&analysis.graph, &allows);
+    report.diagnostics.extend(taint.diagnostics);
+    analysis.colors = taint.colors;
+
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-    report
+    analysis
+}
+
+/// Runs every rule over an explicit file list (used by fixture tests).
+/// `deps` for the interprocedural rules is each crate seeing every other
+/// listed crate — fixture trees don't always carry manifests.
+#[must_use]
+pub fn analyze_files(files: &[SourceFile]) -> Report {
+    let crates: BTreeSet<String> = files.iter().map(|f| f.crate_name.clone()).collect();
+    let deps: BTreeMap<String, BTreeSet<String>> =
+        crates.iter().map(|c| (c.clone(), crates.clone())).collect();
+    analyze_files_full(files, &deps).report
 }
 
 /// Escapes a string for inclusion in a JSON document. The output is

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p cms-lint                    # lint the workspace, text output
 //! cargo run -p cms-lint -- --json          # machine-readable report
-//! cargo run -p cms-lint -- --update-baseline   # rewrite the P001 ratchet
+//! cargo run -p cms-lint -- --update-baseline   # rewrite the ratchet
+//! cargo run -p cms-lint -- --graph dot     # taint-colored call graph (DOT)
 //! cargo run -p cms-lint -- --root <dir> --baseline <file>
 //! ```
 //!
@@ -20,19 +21,20 @@ use std::process::ExitCode;
 
 use cms_lint::baseline::{self, Verdict};
 use cms_lint::rules::RULES;
-use cms_lint::{analyze_workspace, json_escape, Report};
+use cms_lint::{analyze_workspace_full, graph, json_escape, Report};
 
 struct Options {
     root: PathBuf,
     baseline_path: PathBuf,
     json: bool,
     update_baseline: bool,
+    graph_dot: bool,
 }
 
 fn usage() -> String {
     let mut s = String::from(
         "cms-lint: workspace determinism & hygiene analyzer\n\n\
-         USAGE: cms-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]\n\n\
+         USAGE: cms-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline] [--graph dot]\n\n\
          Rules:\n",
     );
     for r in RULES {
@@ -52,11 +54,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut baseline_path: Option<PathBuf> = None;
     let mut json = false;
     let mut update_baseline = false;
+    let mut graph_dot = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--update-baseline" => update_baseline = true,
+            "--graph" => {
+                let fmt = it.next().ok_or("--graph requires a format argument (dot)")?;
+                if fmt != "dot" {
+                    return Err(format!("unsupported --graph format `{fmt}` (only `dot`)"));
+                }
+                graph_dot = true;
+            }
             "--root" => {
                 root = Some(PathBuf::from(
                     it.next().ok_or("--root requires a directory argument")?,
@@ -78,7 +88,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         None => workspace_root_guess(),
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
-    Ok(Options { root, baseline_path, json, update_baseline })
+    Ok(Options { root, baseline_path, json, update_baseline, graph_dot })
 }
 
 /// `CARGO_MANIFEST_DIR/../..` if it looks like the workspace (has a
@@ -96,12 +106,25 @@ fn render_json(report: &Report, verdict: &Verdict, ok: bool) -> String {
     for (i, d) in report.diagnostics.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"",
             json_escape(&d.file),
             d.line,
             json_escape(&d.rule),
             json_escape(&d.message)
         );
+        // Interprocedural rules carry their call-chain provenance: the
+        // qualified functions from taint source to sink, in order.
+        if !d.chain.is_empty() {
+            s.push_str(", \"chain\": [");
+            for (j, link) in d.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\"", json_escape(link));
+            }
+            s.push(']');
+        }
+        s.push('}');
         s.push_str(if i + 1 < report.diagnostics.len() { ",\n" } else { "\n" });
     }
     let _ = write!(
@@ -124,7 +147,12 @@ fn run() -> Result<ExitCode, String> {
         return Err(format!("no Cargo.toml under --root {}", opts.root.display()));
     }
 
-    let report = analyze_workspace(&opts.root);
+    let analysis = analyze_workspace_full(&opts.root);
+    if opts.graph_dot {
+        print!("{}", graph::to_dot(&analysis.graph, &analysis.colors));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = analysis.report;
     for (path, err) in &report.unreadable {
         eprintln!("cms-lint: warning: could not read {path}: {err}");
     }

@@ -13,18 +13,26 @@
 //! | P002 | heap allocation (`Vec::new`, `vec![…]`, `.collect()`) inside a function marked `// lint: hot` | lib code of the deterministic crates | yes — baseline |
 //! | H001 | crate root missing `#![forbid(unsafe_code)]`                   | every crate root                   | no — hard fail |
 //! | L000 | `lint: allow(…)` directive without a reason                    | anywhere a directive appears       | no — hard fail |
+//! | D004 | deterministic-crate function *transitively* reaching a D002 sink through the workspace call graph | lib code of the deterministic crates | no — hard fail |
+//! | P003 | heap allocation in a function *transitively reachable* from a `// lint: hot` function | lib code, closure rooted in deterministic-crate hot functions | yes — baseline |
+//! | D005 | `Mutex`/`RwLock`/`Atomic*` shared state, or a non-SeqCst atomic ordering | lib code of the deterministic crates | no — hard fail |
+//!
+//! D004 and P003 are interprocedural: they run on the workspace call
+//! graph (`graph`/`taint` modules) and carry the source→sink call chain
+//! in [`Diagnostic::chain`]. D005 is lexical, like D001.
 //!
 //! Escape hatch: `// lint: allow(RULE) reason` on the offending line or
-//! the line directly above suppresses that rule there; the reason is
-//! mandatory (a bare directive suppresses nothing and trips L000).
-//! `#[cfg(test)]` items and `tests/`, `benches/`, `examples/` sources are
-//! outside the contract and skipped.
+//! the line directly above suppresses that rule there;
+//! `// lint: allow-file(RULE) reason` suppresses it for the whole file.
+//! The reason is mandatory either way (a bare directive suppresses
+//! nothing and trips L000). `#[cfg(test)]` items and `tests/`,
+//! `benches/`, `examples/` sources are outside the contract and skipped.
 //!
 //! Opt-in marker: a bare `// lint: hot` comment directly above (or on the
 //! first line of) a function declares it steady-state hot; P002 then holds
 //! that function's body to the zero-allocation contract of DESIGN.md §7.
 
-use crate::tokenizer::{tokenize, AllowDirective, Tok, TokKind};
+use crate::tokenizer::{tokenize, AllowDirective, Lexed, Tok, TokKind};
 use crate::workspace::{FileClass, SourceFile};
 
 /// Crates bound by the bit-identical replay contract: rule D001 applies
@@ -59,7 +67,7 @@ pub struct RuleInfo {
 }
 
 /// The full catalogue, in report order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 10] = [
     RuleInfo {
         id: "D001",
         summary: "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort before iterating",
@@ -95,6 +103,21 @@ pub const RULES: [RuleInfo; 7] = [
         summary: "lint: allow(...) directive without a mandatory reason",
         ratchetable: false,
     },
+    RuleInfo {
+        id: "D004",
+        summary: "deterministic-crate function transitively reaches a wall-clock/entropy sink through the workspace call graph",
+        ratchetable: false,
+    },
+    RuleInfo {
+        id: "P003",
+        summary: "heap allocation in a function transitively reachable from a `// lint: hot` function (interprocedural closure of P002)",
+        ratchetable: true,
+    },
+    RuleInfo {
+        id: "D005",
+        summary: "Mutex/RwLock/Atomic* shared state (or non-SeqCst ordering) in deterministic-crate lib code risks interleaving-dependent replay",
+        ratchetable: false,
+    },
 ];
 
 /// Looks up a rule by id.
@@ -114,19 +137,48 @@ pub struct Diagnostic {
     pub rule: String,
     /// Human-readable description of this occurrence.
     pub message: String,
+    /// Call-chain provenance for interprocedural rules (D004/P003):
+    /// qualified function names from the taint source to the sink.
+    /// Empty for token-level rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// `file:line:rule message` — the grep-able text form.
+    /// A token-level diagnostic (no call-chain provenance).
+    #[must_use]
+    pub fn new(file: &str, line: u32, rule: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+            chain: Vec::new(),
+        }
+    }
+
+    /// `file:line:rule message` — the grep-able text form. Interprocedural
+    /// findings append their call chain as ` [via a -> b -> c]`.
     #[must_use]
     pub fn render(&self) -> String {
-        format!("{}:{}:{} {}", self.file, self.line, self.rule, self.message)
+        if self.chain.is_empty() {
+            format!("{}:{}:{} {}", self.file, self.line, self.rule, self.message)
+        } else {
+            format!(
+                "{}:{}:{} {} [via {}]",
+                self.file,
+                self.line,
+                self.rule,
+                self.message,
+                self.chain.join(" -> ")
+            )
+        }
     }
 }
 
 /// Token indices covered by `#[cfg(test)]` items (the attribute plus the
-/// item it decorates, through its closing brace or semicolon).
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+/// item it decorates, through its closing brace or semicolon). Shared
+/// with the call-graph extractor, which must not index test functions.
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -230,17 +282,26 @@ fn hot_region_mask(toks: &[Tok], hots: &[u32]) -> Vec<bool> {
 }
 
 /// Is a diagnostic of `rule_id` on `line` suppressed by a well-formed
-/// allow directive (same line or the line above)?
-fn allowed(allows: &[AllowDirective], rule_id: &str, line: u32) -> bool {
+/// allow directive (same line or the line above, or a file-scoped
+/// `allow-file` anywhere in the file)? Shared with the taint pass.
+pub(crate) fn allowed(allows: &[AllowDirective], rule_id: &str, line: u32) -> bool {
     allows.iter().any(|a| {
-        a.rule == rule_id && a.has_reason && (a.line == line || a.line + 1 == line)
+        a.rule == rule_id
+            && a.has_reason
+            && (a.file_scope || a.line == line || a.line + 1 == line)
     })
 }
 
 /// Analyzes one file's source text against the catalogue.
 #[must_use]
 pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
-    let lexed = tokenize(src);
+    analyze_lexed(file, &tokenize(src))
+}
+
+/// Analyzes an already-lexed file (the full-workspace pass lexes each
+/// file exactly once and shares the stream with the call-graph builder).
+#[must_use]
+pub fn analyze_lexed(file: &SourceFile, lexed: &Lexed) -> Vec<Diagnostic> {
     let toks = &lexed.tokens;
     let mask = test_region_mask(toks);
     let hot = hot_region_mask(toks, &lexed.hots);
@@ -248,12 +309,7 @@ pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
 
     let mut push = |rule_id: &str, line: u32, message: String| {
         if !allowed(&lexed.allows, rule_id, line) {
-            out.push(Diagnostic {
-                file: file.rel_path.clone(),
-                line,
-                rule: rule_id.to_string(),
-                message,
-            });
+            out.push(Diagnostic::new(&file.rel_path, line, rule_id, message));
         }
     };
 
@@ -299,6 +355,39 @@ pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Diagnostic> {
                     if t.text == "HashMap" { "Map" } else { "Set" }
                 ),
             );
+        }
+
+        // D005 — replay-hazard shared state: locks, atomics, or a
+        // non-SeqCst ordering make an outcome a function of thread
+        // interleaving, which the §5 contract forbids in deterministic
+        // lib code. The scoped-worker merge never needs them (phase two
+        // is single-threaded by construction); vetted measurement
+        // plumbing documents itself via `lint: allow-file(D005) reason`.
+        if deterministic {
+            let is_lock = t.text == "Mutex" || t.text == "RwLock";
+            let is_atomic = t.text.len() > "Atomic".len() && t.text.starts_with("Atomic");
+            let weak_ordering = matches!(
+                t.text.as_str(),
+                "Relaxed" | "Acquire" | "Release" | "AcqRel"
+            ) && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("Ordering");
+            if is_lock || is_atomic || weak_ordering {
+                let what = if weak_ordering {
+                    format!("Ordering::{}", t.text)
+                } else {
+                    t.text.clone()
+                };
+                push(
+                    "D005",
+                    t.line,
+                    format!(
+                        "`{what}` in deterministic crate {}: shared mutable state keyed to thread interleaving breaks bit-identical replay",
+                        file.crate_name
+                    ),
+                );
+            }
         }
 
         // D002 — wall clock / entropy.
@@ -541,6 +630,38 @@ mod tests {
         // on the same nesting path.
         let src = "// lint: hot\nfn serve(out: &mut Vec<u32>) {\n    out.clear();\n    if x { out.push(1); }\n}\nfn other() {\n    let v: Vec<u32> = ys.collect();\n}\n";
         assert!(analyze_source(&sim_lib(), src).is_empty());
+    }
+
+    #[test]
+    fn d005_flags_shared_state_in_deterministic_lib_code() {
+        let src = "use std::sync::Mutex;\nstatic N: AtomicU64 = AtomicU64::new(0);\nfn f() { N.fetch_add(1, Ordering::Relaxed); }\nfn g() { N.store(0, Ordering::SeqCst); }\n";
+        let d = analyze_source(&sim_lib(), src);
+        assert_eq!(
+            rules_of(&d),
+            vec![
+                ("D005".into(), 1),
+                ("D005".into(), 2),
+                ("D005".into(), 2),
+                ("D005".into(), 3)
+            ]
+        );
+        // SeqCst orderings and cmp::Ordering are not findings.
+        assert!(d.iter().all(|d| !d.message.contains("SeqCst")));
+        let cmp = "fn f(a: u32, b: u32) -> Ordering { a.cmp(&b) }\nfn g() -> Ordering { Ordering::Less }\n";
+        assert!(analyze_source(&sim_lib(), cmp).is_empty());
+        // Outside the deterministic crates: clean.
+        let model = file("crates/model/src/queueing.rs", FileClass::Lib, "cms-model");
+        assert!(analyze_source(&model, src).is_empty());
+    }
+
+    #[test]
+    fn d005_file_scoped_allow_suppresses_the_whole_file() {
+        let src = "// lint: allow-file(D005) gauge counters are only read after workers join\nuse std::sync::Mutex;\nstatic B: AtomicBool = AtomicBool::new(false);\nfn f() { B.load(Ordering::Relaxed); }\n";
+        assert!(analyze_source(&sim_lib(), src).is_empty());
+        // Without a reason: suppresses nothing and trips L000.
+        let bare = "// lint: allow-file(D005)\nuse std::sync::Mutex;\n";
+        let d = analyze_source(&sim_lib(), bare);
+        assert_eq!(rules_of(&d), vec![("L000".into(), 1), ("D005".into(), 2)]);
     }
 
     #[test]

@@ -61,8 +61,11 @@ impl Tok {
 /// `// lint: allow(P001) the reason goes here`.
 ///
 /// A directive suppresses diagnostics of `rule` on its own line and on
-/// the line immediately following it. The reason is **mandatory**; a
-/// directive without one does not suppress anything and is itself
+/// the line immediately following it. The file-scoped variant
+/// `// lint: allow-file(D005) reason` suppresses the rule in the whole
+/// file — for sources whose entire purpose is the exempted construct
+/// (e.g. the allocation gauge's atomics). The reason is **mandatory**;
+/// a directive without one does not suppress anything and is itself
 /// reported (rule `L000`).
 #[derive(Debug, Clone)]
 pub struct AllowDirective {
@@ -72,6 +75,9 @@ pub struct AllowDirective {
     pub rule: String,
     /// Whether any non-whitespace reason text followed the `allow(...)`.
     pub has_reason: bool,
+    /// `true` for the `allow-file(...)` variant: suppresses everywhere
+    /// in the file, not just on the adjacent line.
+    pub file_scope: bool,
 }
 
 /// The result of lexing one source file.
@@ -148,6 +154,13 @@ pub fn tokenize(src: &str) -> Lexed {
                     bump_lines!(&b[i..end]);
                     i = end;
                 }
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                // Byte-character literal b'x' / b'\'' — a Char, not a Str.
+                let end = char_literal_end(b, i + 2);
+                out.tokens.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                bump_lines!(&b[i..end]);
+                i = end;
             }
             b'r' | b'b' if raw_or_byte_string_len(b, i).is_some() => {
                 // Unwrap-free by construction: the guard just computed it.
@@ -300,9 +313,6 @@ fn raw_or_byte_string_len(b: &[u8], i: usize) -> Option<usize> {
         (Some(b'r'), Some(b'"' | b'#')) => (i + 1, true),
         (Some(b'b'), Some(b'"')) => (i + 1, false),
         (Some(b'b'), Some(b'r')) if matches!(b.get(i + 2), Some(b'"' | b'#')) => (i + 2, true),
-        (Some(b'b'), Some(b'\'')) => {
-            return Some(char_literal_end(b, i + 2));
-        }
         _ => return None,
     };
     if raw {
@@ -329,17 +339,23 @@ fn raw_or_byte_string_len(b: &[u8], i: usize) -> Option<usize> {
     }
 }
 
-/// Extracts `lint: allow(RULE) reason` from one line comment.
+/// Extracts `lint: allow(RULE) reason` or `lint: allow-file(RULE) reason`
+/// from one line comment.
 fn scan_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
-    let Some(pos) = comment.find("lint: allow(") else { return };
-    let rest = &comment[pos + "lint: allow(".len()..];
+    let (rest, file_scope) = if let Some(pos) = comment.find("lint: allow-file(") {
+        (&comment[pos + "lint: allow-file(".len()..], true)
+    } else if let Some(pos) = comment.find("lint: allow(") {
+        (&comment[pos + "lint: allow(".len()..], false)
+    } else {
+        return;
+    };
     let Some(close) = rest.find(')') else { return };
     let rule = rest[..close].trim().to_string();
     if rule.is_empty() {
         return;
     }
     let reason = rest[close + 1..].trim();
-    out.push(AllowDirective { line, rule, has_reason: !reason.is_empty() });
+    out.push(AllowDirective { line, rule, has_reason: !reason.is_empty(), file_scope });
 }
 
 /// Detects a `lint: hot` marker in one line comment. The marker must be
@@ -427,6 +443,110 @@ let real = HashMap::new();
     #[test]
     fn raw_identifiers_lex_as_plain_idents() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_hide_decoy_terminators() {
+        // The `"#` inside the body must not close an `r##` string, and
+        // the identifier after the real terminator must still be lexed.
+        let src = r####"let s = r##"decoy "# HashMap "##; after"####;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+        // Empty raw string, then an identifier.
+        assert_eq!(idents(r###"let e = r#""#; tail"###), vec!["let", "e", "tail"]);
+        // A `"` followed by too few hashes does not terminate.
+        let src = r####"let s = r###"a"## b"###; done"####;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_as_strings() {
+        let src = r###"let a = b"esc \" HashMap"; let c = br#"raw " HashMap"#; real"###;
+        assert_eq!(idents(src), vec!["let", "a", "let", "c", "real"]);
+        let strs = tokenize(src).tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_the_rest_without_panicking() {
+        for src in [
+            "let s = r#\"never closed",
+            "let s = \"never closed",
+            "let a = 1; /* never /* closed",
+            "let c = 'x",
+        ] {
+            let lexed = tokenize(src);
+            // Whatever tokens came before the construct are intact.
+            assert!(lexed.tokens.iter().any(|t| t.is_ident("let")), "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_require_balanced_closers() {
+        // One `*/` closes only the inner comment; HashMap is still hidden.
+        let src = "/* outer /* inner */ HashMap */ real";
+        assert_eq!(idents(src), vec!["real"]);
+        // Self-overlapping open `/*/` does not close the comment.
+        assert_eq!(idents("/*/ still a comment */ tail"), vec!["tail"]);
+        // Minimal comment.
+        assert_eq!(idents("/**/x"), vec!["x"]);
+    }
+
+    #[test]
+    fn lifetime_tick_corner_cases() {
+        // '_' the char vs '_ the elided lifetime.
+        let lexed = tokenize("let c = '_'; fn f(x: &'_ str) {}");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        let lt: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lt, vec!["_"]);
+        // Loop labels are lifetimes; char ranges stay chars.
+        let lexed = tokenize("'outer: for c in 'a'..='z' { break 'outer; }");
+        let lt: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lt, vec!["outer", "outer"]);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        // Escaped-quote and byte chars.
+        let lexed = tokenize(r"let q = '\''; let b = b'\''; let n = b'x';");
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_identifier_method_calls_are_idents_not_raw_strings() {
+        assert_eq!(idents("x.r#try()"), vec!["x", "try"]);
+    }
+
+    #[test]
+    fn line_counting_through_raw_strings_and_crlf() {
+        let src = "let a = r#\"two\nlines\"#;\r\nlast";
+        let lexed = tokenize(src);
+        let last = lexed.tokens.last().expect("tokens");
+        assert!(last.is_ident("last"));
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn file_scoped_allow_directives_are_recognized() {
+        let src = "// lint: allow-file(D005) the gauge is read only after workers join\nfn f() {}\n// lint: allow-file(D005)\n";
+        let lexed = tokenize(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert!(lexed.allows[0].file_scope);
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!(lexed.allows[0].rule, "D005");
+        assert!(lexed.allows[1].file_scope);
+        assert!(!lexed.allows[1].has_reason);
+        // The line-scoped form is unchanged.
+        let lexed = tokenize("// lint: allow(P001) reason\n");
+        assert!(!lexed.allows[0].file_scope);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (`target/`) and lint fixtures (`fixtures/`) are never linted. Results
 //! are sorted by path, making every report deterministic.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -110,6 +111,96 @@ fn crate_of(root: &Path, rel_path: &str) -> String {
         }
     }
     package_name(&root.join("Cargo.toml")).unwrap_or_else(|| "root".to_string())
+}
+
+/// Dependency keys of one manifest's `[dependencies]` section (the key
+/// is the package name for both `foo.workspace = true` and
+/// `foo = { ... }` forms). Dev-dependencies are ignored: test code is
+/// outside the lint contract.
+fn manifest_deps(manifest: &Path) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    let Ok(text) = fs::read_to_string(manifest) else { return deps };
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name.workspace = true` or `name = ...`: the key runs to the
+        // first `.` or `=` (or whitespace before either).
+        let key: String = line
+            .chars()
+            .take_while(|c| !matches!(c, '.' | '=' | ' ' | '\t'))
+            .collect();
+        if !key.is_empty() {
+            deps.insert(key.trim_matches('"').to_string());
+        }
+    }
+    deps
+}
+
+/// The transitive intra-workspace dependency closure of every workspace
+/// package, **including the package itself**: the name-resolution scope
+/// for cross-crate call edges (a call in crate C can only land in a
+/// crate C can actually see). Keyed and valued by package name.
+#[must_use]
+pub fn crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    // Direct dependency edges, restricted to workspace members.
+    let mut manifests: Vec<(String, PathBuf)> = Vec::new();
+    if let Some(name) = package_name(&root.join("Cargo.toml")) {
+        manifests.push((name, root.join("Cargo.toml")));
+    }
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members.into_iter().filter(|p| p.is_dir()) {
+            let manifest = member.join("Cargo.toml");
+            if let Some(name) = package_name(&manifest) {
+                manifests.push((name, manifest));
+            }
+        }
+    }
+    let member_names: BTreeSet<String> = manifests.iter().map(|(n, _)| n.clone()).collect();
+    let direct: BTreeMap<String, BTreeSet<String>> = manifests
+        .iter()
+        .map(|(name, path)| {
+            let deps: BTreeSet<String> = manifest_deps(path)
+                .into_iter()
+                .filter(|d| member_names.contains(d))
+                .collect();
+            (name.clone(), deps)
+        })
+        .collect();
+
+    // Transitive closure by fixpoint iteration (the graph is tiny).
+    let mut closure = direct.clone();
+    loop {
+        let mut grew = false;
+        for name in &member_names {
+            let reach: BTreeSet<String> = closure.get(name).cloned().unwrap_or_default();
+            let mut next = reach.clone();
+            for dep in &reach {
+                if let Some(dd) = closure.get(dep) {
+                    next.extend(dd.iter().cloned());
+                }
+            }
+            if next.len() > reach.len() {
+                closure.insert(name.clone(), next);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for name in &member_names {
+        closure.entry(name.clone()).or_default().insert(name.clone());
+    }
+    closure
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping `vendor`,
@@ -216,6 +307,22 @@ mod tests {
         assert!(f("crates/bench/src/bin/fig6.rs", FileClass::Bin).is_crate_root());
         assert!(!f("crates/sim/src/engine.rs", FileClass::Lib).is_crate_root());
         assert!(!f("tests/determinism.rs", FileClass::Test).is_crate_root());
+    }
+
+    #[test]
+    fn crate_deps_closure_on_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let deps = crate_deps(&root);
+        let sim = deps.get("cms-sim").expect("cms-sim present");
+        // Direct dependency.
+        assert!(sim.contains("cms-disk"), "{sim:?}");
+        // Transitive: cms-sim -> cms-layout -> cms-bibd (or similar).
+        assert!(sim.contains("cms-core"), "{sim:?}");
+        // A crate always sees itself.
+        assert!(sim.contains("cms-sim"));
+        // No reverse edge: cms-core does not depend on the simulator.
+        let core = deps.get("cms-core").expect("cms-core present");
+        assert!(!core.contains("cms-sim"), "{core:?}");
     }
 
     #[test]

@@ -112,6 +112,63 @@ fn ratchet_lifecycle_add_fails_remove_shrinks() {
 }
 
 #[test]
+fn update_baseline_prunes_entries_for_deleted_files() {
+    let ws = Scratch::new("prune");
+    // Two files carrying P001 debt, both baselined.
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub mod extra;\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .expect("write lib violation");
+    let extra = ws.root.join("crates/sim/src/extra.rs");
+    fs::write(&extra, "pub fn also_bad(v: Option<u32>) -> u32 { v.unwrap() }\n")
+        .expect("write extra violation");
+    let out = run(&ws.root, &["--update-baseline"]);
+    assert!(out.status.success());
+    let baseline = fs::read_to_string(ws.root.join("lint-baseline.txt")).expect("baseline");
+    assert!(baseline.contains("P001 crates/sim/src/extra.rs 1"), "{baseline}");
+    assert!(baseline.contains("P001 crates/sim/src/lib.rs 1"), "{baseline}");
+
+    // Delete one file (and its mod decl). Its baseline entry is now
+    // stale, which fails the run rather than rotting silently …
+    fs::remove_file(&extra).expect("delete extra.rs");
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub fn bad(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    )
+    .expect("drop mod decl");
+    let out = run(&ws.root, &[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stale baseline"));
+
+    // … and regenerating prunes the dead entry while keeping the live one.
+    let out = run(&ws.root, &["--update-baseline"]);
+    assert!(out.status.success());
+    let baseline = fs::read_to_string(ws.root.join("lint-baseline.txt")).expect("baseline");
+    assert!(!baseline.contains("extra.rs"), "stale entry survived: {baseline}");
+    assert!(baseline.contains("P001 crates/sim/src/lib.rs 1"), "{baseline}");
+    let out = run(&ws.root, &[]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn graph_dot_export_renders_the_scratch_workspace() {
+    let ws = Scratch::new("dot");
+    fs::write(
+        ws.lib_rs(),
+        "#![forbid(unsafe_code)]\npub fn leaf() -> u32 { 1 }\npub fn root() -> u32 { leaf() }\n",
+    )
+    .expect("write lib");
+    let out = run(&ws.root, &["--graph", "dot"]);
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.starts_with("digraph cms_callgraph"), "{dot}");
+    assert!(dot.contains("cluster_cms_sim"), "{dot}");
+    assert!(dot.contains("crate::leaf"), "{dot}");
+    assert!(dot.contains("->"), "edge missing: {dot}");
+}
+
+#[test]
 fn hard_rules_cannot_be_baselined() {
     let ws = Scratch::new("hard");
     // A D001 violation in the deterministic crate.
@@ -155,4 +212,8 @@ fn workspace_self_check_passes_with_committed_baseline() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "workspace lint failed:\n{text}");
     assert!(text.contains("PASS"), "{text}");
+    // The interprocedural contract holds workspace-wide: no unannotated
+    // determinism taint and no unvetted shared state anywhere.
+    assert!(text.contains("D004=0"), "{text}");
+    assert!(text.contains("D005=0"), "{text}");
 }

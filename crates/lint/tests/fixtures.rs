@@ -28,10 +28,54 @@ fn fixture_workspace_produces_exactly_the_expected_diagnostics() {
     assert!(report.diagnostics.iter().all(|d| !d.file.contains("tests/")));
     // Every rule of the catalogue except D002-in-bench appears at least
     // once, so the fixtures exercise the whole catalogue.
-    for rule in ["D001", "D002", "D003", "P001", "P002", "H001", "L000"] {
+    for rule in ["D001", "D002", "D003", "P001", "P002", "P003", "H001", "L000", "D004", "D005"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "no fixture covers {rule}"
         );
     }
+
+    // The interprocedural findings must carry full source-to-sink
+    // provenance. D004: the fixture chain crosses from the deterministic
+    // crate into the timing crate, two calls deep.
+    let d004 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "D004")
+        .expect("D004 fixture finding");
+    assert_eq!(
+        d004.chain,
+        vec![
+            "cms-sim::taint::tainted_entry",
+            "cms-bench::clock::wrap_stamp",
+            "cms-bench::clock::stamp_now",
+        ],
+        "D004 chain: {:?}",
+        d004.chain
+    );
+    assert!(d004.message.contains("Instant::now"), "{}", d004.message);
+    assert!(
+        d004.message.contains("crates/bench/src/clock.rs:5"),
+        "sink location in message: {}",
+        d004.message
+    );
+    // P003: hot root -> allocating helper.
+    let p003 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "P003")
+        .expect("P003 fixture finding");
+    assert_eq!(
+        p003.chain,
+        vec!["cms-sim::taint::hot_entry", "cms-sim::taint::helper_fill"],
+        "P003 chain: {:?}",
+        p003.chain
+    );
+    assert!(p003.message.contains("Vec::new"), "{}", p003.message);
+    // Rendered form carries the chain for grep-ability.
+    assert!(
+        d004.render().contains("[via cms-sim::taint::tainted_entry -> "),
+        "{}",
+        d004.render()
+    );
 }

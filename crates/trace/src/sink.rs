@@ -10,6 +10,10 @@
 //! Sinks never panic on I/O trouble: write errors are counted and
 //! swallowed so a full disk degrades the trace, not the run.
 
+// lint: allow-file(D005) the ring/shared-buffer mutexes only guard
+// observer-side reads of trace output; the engine records events from the
+// single-threaded phase-two merge, so lock order never shapes the trace.
+
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
