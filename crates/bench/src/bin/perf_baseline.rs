@@ -9,7 +9,10 @@
 //! * `failure_drill` — the same cell running degraded after a disk
 //!   failure, with reconstruction verification on;
 //! * `rebuild` — background rebuild onto a spare under client load (the
-//!   A3 experiment's configuration).
+//!   A3 experiment's configuration);
+//! * `cluster-small` — the campaign's 8-node steady-state cluster behind
+//!   the gateway (one serve phase per node per round, so `serve_rounds`
+//!   is `rounds * 8` for this scenario).
 //!
 //! Each scenario steps `--warmup` rounds (default 64) to grow the scratch
 //! arenas to steady-state size, then times `--rounds` further rounds
@@ -24,7 +27,8 @@
 
 use std::time::Instant;
 
-use cms_bench::{sim_point, BenchArgs, PAPER_D};
+use cms_bench::{cluster_campaign_config, sim_point, BenchArgs, CLUSTER_SCENARIOS, PAPER_D};
+use cms_cluster::ClusterSim;
 use cms_core::units::mib;
 use cms_core::{DiskId, Scheme};
 use cms_model::ModelInput;
@@ -92,14 +96,40 @@ struct Report {
 }
 
 fn run_scenario(name: &'static str, mut sim: Simulator, warmup: u64, rounds: u64) -> Scenario {
-    for _ in 0..warmup {
+    time_scenario(name, warmup, rounds, || {
         sim.step();
+    })
+}
+
+/// Times a cluster scenario. Every node steps inside one cluster round,
+/// so the serve-phase gauge observes `nodes` phases per timed round —
+/// `serve_rounds` comes back as `rounds * nodes`, with the same
+/// zero-allocations-per-phase contract as the single-node scenarios.
+fn run_cluster_scenario(
+    name: &'static str,
+    mut sim: ClusterSim,
+    warmup: u64,
+    rounds: u64,
+) -> Scenario {
+    time_scenario(name, warmup, rounds, || {
+        sim.step();
+    })
+}
+
+fn time_scenario(
+    name: &'static str,
+    warmup: u64,
+    rounds: u64,
+    mut step: impl FnMut(),
+) -> Scenario {
+    for _ in 0..warmup {
+        step();
     }
     #[cfg(feature = "bench-alloc")]
     cms_sim::hotgauge::reset();
     let start = Instant::now();
     for _ in 0..rounds {
-        sim.step();
+        step();
     }
     let elapsed_secs = start.elapsed().as_secs_f64();
 
@@ -176,6 +206,19 @@ fn rebuild_sim(total: u64, warmup: u64, seed: u64, threads: usize) -> Simulator 
     Simulator::new(cfg).expect("rebuild sim constructs")
 }
 
+/// The cluster-tier scenario: the campaign's 8-node steady-state cluster
+/// (DeclusteredParity, d = 8 per node, replicated catalog, gateway
+/// arrivals) stepped single-threaded so allocation attribution stays
+/// valid.
+fn cluster_sim(total: u64, seed: u64, threads: usize) -> ClusterSim {
+    let steady = CLUSTER_SCENARIOS
+        .iter()
+        .find(|s| s.name == "steady")
+        .expect("steady scenario exists");
+    let cfg = cluster_campaign_config(steady, total, seed, threads);
+    ClusterSim::new(cfg).expect("cluster sim constructs")
+}
+
 /// Peak resident set size (`VmHWM`) in KiB from `/proc/self/status`.
 fn peak_rss_kib() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -201,6 +244,12 @@ fn main() {
         run_scenario("fig6_steady", fig6_sim(total, seed, threads), warmup, rounds),
         run_scenario("failure_drill", drill_sim(total, warmup, seed, threads), warmup, rounds),
         run_scenario("rebuild", rebuild_sim(total, warmup, seed, threads), warmup, rounds),
+        run_cluster_scenario(
+            "cluster-small",
+            cluster_sim(total, seed, threads),
+            warmup,
+            rounds,
+        ),
     ];
 
     let report = Report {

@@ -6,205 +6,18 @@
 //! Each output line is one round (or a bucket of rounds for long traces):
 //! a bar of blocks served, the arrival/admission/recovery counts, and
 //! markers for the failure milestones (`FAIL`, `REPAIR`, `REBUILT`,
-//! hiccups). The footer reports the [`cms_sim::TraceSummary`] roll-up
+//! hiccups). Cluster traces get a node lane above each round's disk lane
+//! (`NFAIL`/`NREPAIR`/`NREBUILT`, migrations, cross-node rebuild
+//! traffic). The footer reports the [`cms_sim::TraceSummary`] roll-up
 //! including the failure→first-recovery-read and failure→rebuild-complete
-//! round gaps.
+//! round gaps. The rendering itself lives in [`cms_bench::timeline`] and
+//! is pinned by the golden snapshot test.
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use cms_bench::BenchArgs;
-use cms_sim::TraceSummary;
-use cms_trace::{EventKind, TraceEvent};
-
-/// Everything the renderer needs about one round of the trace.
-#[derive(Debug, Default, Clone)]
-struct RoundAgg {
-    arrivals: u64,
-    admissions: u64,
-    rejections: u64,
-    completions: u64,
-    blocks: u64,
-    recovery_reads: u64,
-    hiccups: u64,
-    late_serves: u64,
-    service_errors: u64,
-    lost_streams: u64,
-    degraded_refusals: u64,
-    rebuild: Option<(u64, u64)>,
-    failed: Vec<u64>,
-    repaired: Vec<u64>,
-    rebuilt: Vec<u64>,
-    transient: Vec<u64>,
-    slowed: Vec<u64>,
-}
-
-impl RoundAgg {
-    fn absorb(&mut self, kind: &EventKind) {
-        match *kind {
-            EventKind::Arrival { .. } => self.arrivals += 1,
-            EventKind::Admission { .. } => self.admissions += 1,
-            EventKind::Rejection { .. } => self.rejections += 1,
-            EventKind::Completion { .. } => self.completions += 1,
-            EventKind::DiskServe { blocks, .. } => self.blocks += u64::from(blocks),
-            EventKind::RecoveryRead { .. } => self.recovery_reads += 1,
-            EventKind::Reconstruction { .. } => {}
-            EventKind::Hiccup { .. } => self.hiccups += 1,
-            EventKind::LateServe { .. } => self.late_serves += 1,
-            EventKind::ServiceError { dropped, .. } => self.service_errors += u64::from(dropped),
-            EventKind::RebuildProgress { rebuilt, total } => self.rebuild = Some((rebuilt, total)),
-            EventKind::DiskFailure { disk } => self.failed.push(u64::from(disk)),
-            EventKind::DiskRepair { disk } => self.repaired.push(u64::from(disk)),
-            EventKind::RebuildComplete { disk } => self.rebuilt.push(u64::from(disk)),
-            EventKind::DiskTransient { disk, .. } => self.transient.push(u64::from(disk)),
-            EventKind::DiskSlow { disk, .. } => self.slowed.push(u64::from(disk)),
-            EventKind::DiskTransientEnd { .. } | EventKind::DiskSlowEnd { .. } => {}
-            EventKind::StreamLost { .. } => self.lost_streams += 1,
-            EventKind::DegradedRefusal { .. } => self.degraded_refusals += 1,
-        }
-    }
-
-    fn merge(&mut self, other: &RoundAgg) {
-        self.arrivals += other.arrivals;
-        self.admissions += other.admissions;
-        self.rejections += other.rejections;
-        self.completions += other.completions;
-        self.blocks += other.blocks;
-        self.recovery_reads += other.recovery_reads;
-        self.hiccups += other.hiccups;
-        self.late_serves += other.late_serves;
-        self.service_errors += other.service_errors;
-        self.lost_streams += other.lost_streams;
-        self.degraded_refusals += other.degraded_refusals;
-        if other.rebuild.is_some() {
-            self.rebuild = other.rebuild;
-        }
-        self.failed.extend_from_slice(&other.failed);
-        self.repaired.extend_from_slice(&other.repaired);
-        self.rebuilt.extend_from_slice(&other.rebuilt);
-        self.transient.extend_from_slice(&other.transient);
-        self.slowed.extend_from_slice(&other.slowed);
-    }
-
-    fn markers(&self) -> String {
-        let mut out = String::new();
-        for d in &self.failed {
-            out.push_str(&format!("  FAIL(d{d})"));
-        }
-        for d in &self.repaired {
-            out.push_str(&format!("  REPAIR(d{d})"));
-        }
-        for d in &self.rebuilt {
-            out.push_str(&format!("  REBUILT(d{d})"));
-        }
-        for d in &self.transient {
-            out.push_str(&format!("  BLIP(d{d})"));
-        }
-        for d in &self.slowed {
-            out.push_str(&format!("  SLOW(d{d})"));
-        }
-        if self.hiccups > 0 {
-            out.push_str(&format!("  !hiccups={}", self.hiccups));
-        }
-        if self.service_errors > 0 {
-            out.push_str(&format!("  !errors={}", self.service_errors));
-        }
-        if self.lost_streams > 0 {
-            out.push_str(&format!("  !lost={}", self.lost_streams));
-        }
-        if self.degraded_refusals > 0 {
-            out.push_str(&format!("  refused={}", self.degraded_refusals));
-        }
-        out
-    }
-}
-
-fn render(rounds: &BTreeMap<u64, RoundAgg>, summary: &TraceSummary, width: usize, max_lines: u64) {
-    // Long traces are bucketed so the timeline stays readable.
-    let (first, last) = match (rounds.keys().next(), rounds.keys().next_back()) {
-        (Some(&a), Some(&b)) => (a, b),
-        _ => return,
-    };
-    let span = last - first + 1;
-    let bucket = span.div_ceil(max_lines).max(1);
-    let mut buckets: BTreeMap<u64, RoundAgg> = BTreeMap::new();
-    for (round, agg) in rounds {
-        buckets.entry((round - first) / bucket).or_default().merge(agg);
-    }
-    let peak_blocks = buckets.values().map(|a| a.blocks).max().unwrap_or(0).max(1);
-    if bucket > 1 {
-        println!("(bucketing {bucket} rounds per line)");
-    }
-    println!(
-        "{:>10} {:>7} {:>5} {:>5} {:>6}  activity",
-        "round", "blocks", "adm", "rej", "recov"
-    );
-    for (b, agg) in &buckets {
-        let lo = first + b * bucket;
-        let label = if bucket == 1 {
-            format!("{lo}")
-        } else {
-            format!("{lo}-{}", (lo + bucket - 1).min(last))
-        };
-        let filled = (agg.blocks * width as u64 / peak_blocks) as usize;
-        let rec = if agg.blocks > 0 {
-            (agg.recovery_reads * width as u64 / peak_blocks) as usize
-        } else {
-            0
-        };
-        // The recovery share of the bar renders as '+', the rest as '#'.
-        let mut bar: String = "#".repeat(filled.saturating_sub(rec));
-        bar.push_str(&"+".repeat(rec.min(filled)));
-        let rebuild = agg
-            .rebuild
-            .map(|(done, total)| format!("  rebuild {done}/{total}"))
-            .unwrap_or_default();
-        println!(
-            "{label:>10} {:>7} {:>5} {:>5} {:>6}  |{bar:<width$}|{rebuild}{}",
-            agg.blocks,
-            agg.admissions,
-            agg.rejections,
-            agg.recovery_reads,
-            agg.markers(),
-        );
-    }
-    println!();
-    println!(
-        "summary: {} events over rounds {first}..={last}; {} arrivals, {} admissions, \
-         {} rejections, {} completions",
-        summary.events, summary.arrivals, summary.admissions, summary.rejections,
-        summary.completions
-    );
-    println!(
-        "         {} blocks served, {} recovery reads, {} reconstructions, {} hiccups, \
-         {} late serves, {} service errors, {} lost streams, {} degraded refusals",
-        summary.blocks_served,
-        summary.recovery_reads,
-        summary.reconstructions,
-        summary.hiccups,
-        summary.late_serves,
-        summary.service_errors,
-        summary.lost_streams,
-        summary.degraded_refusals
-    );
-    match summary.failure_round {
-        None => println!("         no disk failure in this trace"),
-        Some(f) => {
-            let first_rec = summary
-                .failure_to_first_recovery()
-                .map_or("never".to_string(), |g| format!("+{g} rounds"));
-            let rebuilt = summary
-                .failure_to_rebuild_complete()
-                .map_or("never".to_string(), |g| format!("+{g} rounds"));
-            println!(
-                "         disk failed at round {f}; first recovery read {first_rec}; \
-                 rebuild complete {rebuilt}"
-            );
-        }
-    }
-}
+use cms_bench::{render_timeline, BenchArgs};
 
 fn main() -> ExitCode {
     let args = BenchArgs::parse();
@@ -239,26 +52,18 @@ fn main() -> ExitCode {
         }
     };
     let width = args.u64_value("--width").unwrap_or(40).clamp(10, 200) as usize;
-    let mut rounds: BTreeMap<u64, RoundAgg> = BTreeMap::new();
-    let mut summary = TraceSummary::default();
-    let mut skipped = 0u64;
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        match TraceEvent::parse_jsonl(line) {
-            Some(ev) => {
-                summary.observe(&ev);
-                rounds.entry(ev.round).or_default().absorb(&ev.kind);
+    match render_timeline(&text, width, 60) {
+        Ok((rendered, skipped)) => {
+            if skipped > 0 {
+                eprintln!("timeline: skipped {skipped} unparseable lines");
             }
-            None => skipped += 1,
+            println!("== trace timeline: {path} ==");
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("timeline: {e} in {path}");
+            ExitCode::FAILURE
         }
     }
-    if skipped > 0 {
-        eprintln!("timeline: skipped {skipped} unparseable lines");
-    }
-    if rounds.is_empty() {
-        eprintln!("timeline: no events in {path}");
-        return ExitCode::FAILURE;
-    }
-    println!("== trace timeline: {path} ==");
-    render(&rounds, &summary, width, 60);
-    ExitCode::SUCCESS
 }

@@ -13,10 +13,17 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod cluster_campaign;
 pub mod figures;
+pub mod timeline;
 
 pub use campaign::{campaign_rows, CampaignRow, Scenario, CAMPAIGN_SCHEMES, SCENARIOS};
+pub use cluster_campaign::{
+    cluster_campaign_config, cluster_campaign_rows, cluster_to_jsonl, ClusterCampaignRow,
+    ClusterScenario, CLUSTER_SCENARIOS,
+};
 pub use cli::BenchArgs;
+pub use timeline::render_timeline;
 pub use figures::{
     failure_drill, failure_drill_threaded, failure_drill_traced, fig5_rows, fig6_rows,
     fig6_rows_threaded, fig6_rows_traced, optimal_rows, q_table_rows, sim_point, DrillRow,

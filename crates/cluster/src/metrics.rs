@@ -1,0 +1,151 @@
+//! Cluster-level observability: the per-round report the gateway merges
+//! in node-ID order, and the whole-run roll-up.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened in one cluster round. Gateway counters (arrivals,
+/// routing, migration, rebuild traffic) are recorded where they happen —
+/// on the sequential gateway thread — and the per-node counters are the
+/// node-ID-order sum of each stepped node's
+/// [`cms_sim::RoundReport`], so the record is bit-identical at any
+/// worker-thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterRoundReport {
+    /// The cluster round that just executed (0-based).
+    pub round: u64,
+    /// Requests that arrived at the gateway this round.
+    pub arrivals: u64,
+    /// Arrivals routed to a replica node this round.
+    pub routed: u64,
+    /// Arrivals shed by the cluster-level cap this round (terminal:
+    /// unlike node-level refusals, the gateway does not queue).
+    pub cluster_refusals: u64,
+    /// Arrivals with no routable replica this round (all `r` replicas
+    /// dark or rebuilding).
+    pub unroutable: u64,
+    /// Streams migrated off a failing node this round.
+    pub migrations: u64,
+    /// Streams lost this round (node failed and no surviving replica).
+    pub lost_streams: u64,
+    /// Cross-node rebuild blocks shipped this round.
+    pub rebuild_blocks: u64,
+    /// Admissions across all nodes this round.
+    pub admissions: u64,
+    /// Completions across all nodes this round.
+    pub completions: u64,
+    /// Blocks served across all node arrays this round.
+    pub blocks_served: u64,
+    /// Playback glitches across all nodes this round.
+    pub hiccups: u64,
+    /// Active playback sessions across all nodes at end of round.
+    pub active: u64,
+    /// Requests queued inside nodes at end of round.
+    pub pending: u64,
+    /// Nodes dark this round (failed, not yet repaired).
+    pub down_nodes: u64,
+    /// Nodes rebuilding this round (returned but not yet routable).
+    pub rebuilding_nodes: u64,
+    /// The cluster admission cap in force this round: the sum of
+    /// routable nodes' nominal capacities minus the bandwidth lent to
+    /// cross-node rebuilds.
+    pub cluster_cap: u64,
+}
+
+/// Whole-run cluster metrics. The per-node engine metrics are reported
+/// alongside (see [`crate::ClusterRun::node_metrics`]); the aggregate
+/// fields here are accumulated from the merged per-round reports, which
+/// is exactly what the conformance conservation invariant cross-checks
+/// against the per-node totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Cluster rounds simulated.
+    pub rounds: u64,
+    /// Requests that arrived at the gateway.
+    pub arrivals: u64,
+    /// Arrivals routed to a node.
+    pub routed: u64,
+    /// Arrivals shed by the cluster-level cap.
+    pub cluster_refusals: u64,
+    /// Arrivals with no routable replica.
+    pub unroutable: u64,
+    /// Streams migrated off failing nodes.
+    pub migrations: u64,
+    /// Streams lost to node failure (no surviving replica).
+    pub lost_streams: u64,
+    /// `fail-node` events applied.
+    pub node_failures: u64,
+    /// `repair-node` events applied.
+    pub node_repairs: u64,
+    /// Cross-node rebuilds completed.
+    pub node_rebuilds_completed: u64,
+    /// Total cross-node rebuild blocks shipped.
+    pub cross_node_rebuild_blocks: u64,
+    /// Admissions across all nodes.
+    pub admissions: u64,
+    /// Completions across all nodes.
+    pub completions: u64,
+    /// Blocks served across all node arrays.
+    pub blocks_served: u64,
+    /// Playback glitches across all nodes (0 for guarantee schemes under
+    /// node failure too: migrated streams resume at a group boundary).
+    pub hiccups: u64,
+    /// Streams declared lost *inside* nodes (second disk failure); kept
+    /// separate from `lost_streams`, which counts node-level losses.
+    pub node_lost_streams: u64,
+    /// Highest concurrently active stream count across the cluster.
+    pub peak_active: u64,
+}
+
+impl ClusterMetrics {
+    /// Folds one merged round report into the totals.
+    pub fn absorb(&mut self, r: &ClusterRoundReport) {
+        self.rounds += 1;
+        self.arrivals += r.arrivals;
+        self.routed += r.routed;
+        self.cluster_refusals += r.cluster_refusals;
+        self.unroutable += r.unroutable;
+        self.migrations += r.migrations;
+        self.lost_streams += r.lost_streams;
+        self.cross_node_rebuild_blocks += r.rebuild_blocks;
+        self.admissions += r.admissions;
+        self.completions += r.completions;
+        self.blocks_served += r.blocks_served;
+        self.hiccups += r.hiccups;
+        self.peak_active = self.peak_active.max(r.active);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_and_tracks_peak() {
+        let mut m = ClusterMetrics::default();
+        m.absorb(&ClusterRoundReport {
+            round: 0,
+            arrivals: 5,
+            routed: 4,
+            cluster_refusals: 1,
+            admissions: 3,
+            active: 3,
+            ..ClusterRoundReport::default()
+        });
+        m.absorb(&ClusterRoundReport {
+            round: 1,
+            arrivals: 2,
+            routed: 2,
+            admissions: 2,
+            active: 5,
+            completions: 1,
+            ..ClusterRoundReport::default()
+        });
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.arrivals, 7);
+        assert_eq!(m.routed, 6);
+        assert_eq!(m.cluster_refusals, 1);
+        assert_eq!(m.admissions, 5);
+        assert_eq!(m.completions, 1);
+        assert_eq!(m.peak_active, 5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Cluster-tier conformance: random small clusters (2–4 nodes) held to
+//! the **cluster conservation contract** — per-node engine metrics must
+//! sum exactly to the gateway's cluster-level accounting, under healthy
+//! runs, node failures, migrations and cross-node rebuilds alike.
+//!
+//! The single-node families (DESIGN.md §11) hold one engine to the
+//! analytical model; this module holds the *composition* to itself:
+//!
+//! * every gateway arrival is routed, shed by the cluster cap, or
+//!   unroutable — nothing vanishes;
+//! * every routed arrival (plus every migration) lands on exactly one
+//!   node, so `Σ node.arrivals == routed + migrations`;
+//! * node-level admissions, completions, hiccups, stream losses and
+//!   served blocks roll up exactly to the cluster metrics;
+//! * the per-round report stream sums to the final metrics; and
+//! * the whole run is invariant under the node-stepping worker count.
+
+use crate::invariants::{InvariantId, Violation};
+use cms_cluster::{ClusterConfig, ClusterRun, ClusterSim};
+use cms_core::{CmsError, Scheme};
+use cms_core::NodeId;
+use cms_fault::{FaultEvent, FaultSchedule, ScheduledEvent};
+use cms_sim::SimConfig;
+use proptest::{Strategy, TestRng};
+
+/// One generated cluster conformance case: a 2–4 node cluster of the
+/// standard small engine geometry behind the gateway, with an optional
+/// node-scoped fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterCase {
+    /// Nodes in the cluster (2–4: the smallest clusters where routing,
+    /// replication and migration are all non-trivial).
+    pub nodes: u32,
+    /// Replication degree (1..=nodes).
+    pub replication: u32,
+    /// Cluster catalog size in clips.
+    pub clips: u64,
+    /// Clip length in blocks.
+    pub clip_len: u64,
+    /// Gateway Poisson rate in milli-arrivals per round.
+    pub arrival_milli: u64,
+    /// Cluster rounds to simulate.
+    pub rounds: u64,
+    /// Placement / workload / node seed.
+    pub seed: u64,
+    /// Blocks per round shipped to a rebuilding node.
+    pub rebuild_rate: u32,
+    /// Node-stepping worker threads.
+    pub workers: usize,
+    /// Node-scoped fault schedule (`fail-node` / `repair-node` only).
+    pub faults: FaultSchedule,
+}
+
+impl ClusterCase {
+    /// Builds the ready-to-run cluster configuration.
+    #[must_use]
+    pub fn to_config(&self) -> ClusterConfig {
+        let node = SimConfig {
+            scheme: Scheme::DeclusteredParity,
+            d: 8,
+            p: 4,
+            q: 8,
+            f: 2,
+            block_bytes: 1 << 20,
+            catalog_clips: 1, // overridden per node by the placement map
+            clip_len: self.clip_len,
+            clip_len_spread: 0,
+            arrival_rate: 0.0, // the gateway generates all arrivals
+            zipf_theta: 0.0,
+            rounds: self.rounds,
+            failure: None,
+            faults: None,
+            degraded_admission: false,
+            verify_parity: false,
+            content_bytes: 256,
+            seed: self.seed,
+            admission_scan: 64,
+            aging_limit: 200,
+            auto_rebuild: false,
+            threads: 1,
+            trace: cms_sim::TraceSpec::off(),
+        };
+        ClusterConfig {
+            nodes: self.nodes,
+            replication: self.replication,
+            catalog_clips: self.clips,
+            node,
+            arrival_rate: self.arrival_milli as f64 / 1000.0,
+            zipf_theta: 0.0,
+            rounds: self.rounds,
+            rebuild_rate: self.rebuild_rate,
+            rebuild_fanout: 2,
+            faults: (!self.faults.is_empty()).then(|| self.faults.clone()),
+            seed: self.seed,
+            threads: self.workers,
+            trace: cms_sim::TraceSpec::off(),
+        }
+    }
+
+    /// The same case with a different worker count — the determinism
+    /// replays.
+    #[must_use]
+    pub fn with_workers(&self, workers: usize) -> Self {
+        ClusterCase { workers, ..self.clone() }
+    }
+}
+
+/// A [`Strategy`] producing [`ClusterCase`]s: 2–4 nodes, replication up
+/// to the node count (biased toward `r >= 2` so migration is usually
+/// possible), and a fail/repair pair on a random node in most cases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterCaseStrategy;
+
+impl Strategy for ClusterCaseStrategy {
+    type Value = ClusterCase;
+
+    fn sample(&self, rng: &mut TestRng) -> ClusterCase {
+        let nodes = 2 + u32::try_from(rng.below(3)).unwrap_or(0); // 2..=4
+        // 3:1 bias toward a replicated catalog; r = 1 keeps the
+        // stream-loss accounting honest.
+        let replication = if rng.below(4) == 0 { 1 } else { 2 + u32::try_from(rng.below(u64::from(nodes - 1))).unwrap_or(0) };
+        let rounds = 60 + rng.below(60);
+        let mut events = Vec::new();
+        if rng.below(100) < 80 {
+            let victim = NodeId(u32::try_from(rng.below(u64::from(nodes))).unwrap_or(0));
+            let fail = rounds / 3 + rng.below(10);
+            events.push(ScheduledEvent { round: fail, event: FaultEvent::FailNode(victim) });
+            if rng.below(100) < 60 {
+                events.push(ScheduledEvent {
+                    round: fail + 5 + rng.below(rounds / 3),
+                    event: FaultEvent::RepairNode(victim),
+                });
+            }
+        }
+        ClusterCase {
+            nodes,
+            replication,
+            // `clips >= nodes * r / r = nodes` keeps every node non-empty;
+            // the validator requires `clips * r >= nodes`.
+            clips: u64::from(nodes) * (2 + rng.below(6)),
+            clip_len: 8 + rng.below(8),
+            arrival_milli: 1_000 + rng.below(12_000),
+            rounds,
+            seed: rng.next_u64() >> 1,
+            rebuild_rate: 16 + u32::try_from(rng.below(64)).unwrap_or(0),
+            workers: 1,
+            faults: FaultSchedule::new(events),
+        }
+    }
+}
+
+fn conservation(msg: String) -> Violation {
+    Violation { invariant: InvariantId::Conservation, detail: msg }
+}
+
+/// Runs one cluster case and checks the cluster conservation contract.
+/// Returns the violations found (empty = conformant).
+///
+/// # Errors
+///
+/// Returns construction/validation errors for an inconsistent case —
+/// distinct from a contract violation in a run that constructed.
+pub fn check_cluster_case(case: &ClusterCase) -> Result<Vec<Violation>, CmsError> {
+    let run = ClusterSim::new(case.to_config())?.run();
+    let mut violations = Vec::new();
+    let m = &run.metrics;
+
+    // Gateway accounting: every arrival has exactly one fate.
+    if m.arrivals != m.routed + m.cluster_refusals + m.unroutable {
+        violations.push(conservation(format!(
+            "gateway leak: {} arrivals != {} routed + {} refused + {} unroutable",
+            m.arrivals, m.routed, m.cluster_refusals, m.unroutable
+        )));
+    }
+
+    // Node roll-ups: the per-node engines must account for exactly what
+    // the gateway handed them.
+    let sum = |f: fn(&cms_sim::Metrics) -> u64| run.node_metrics.iter().map(f).sum::<u64>();
+    let checks: [(&str, u64, u64); 5] = [
+        ("arrivals", sum(|n| n.arrivals), m.routed + m.migrations),
+        ("admissions", sum(|n| n.admitted), m.admissions),
+        ("completions", sum(|n| n.completed), m.completions),
+        ("hiccups", sum(|n| n.hiccups), m.hiccups),
+        ("blocks", sum(|n| n.blocks_fetched), m.blocks_served),
+    ];
+    for (what, node_sum, cluster) in checks {
+        if node_sum != cluster {
+            violations.push(conservation(format!(
+                "node {what} don't roll up: sum over nodes {node_sum} != cluster {cluster}"
+            )));
+        }
+    }
+
+    // The round-report stream must sum to the final metrics.
+    let report_sum = |f: fn(&cms_cluster::ClusterRoundReport) -> u64| {
+        run.reports.iter().map(f).sum::<u64>()
+    };
+    let deltas: [(&str, u64, u64); 4] = [
+        ("arrivals", report_sum(|r| r.arrivals), m.arrivals),
+        ("routed", report_sum(|r| r.routed), m.routed),
+        ("migrations", report_sum(|r| r.migrations), m.migrations),
+        ("rebuild blocks", report_sum(|r| r.rebuild_blocks), m.cross_node_rebuild_blocks),
+    ];
+    for (what, reports, metrics) in deltas {
+        if reports != metrics {
+            violations.push(conservation(format!(
+                "report deltas for {what} sum to {reports}, final metrics say {metrics}"
+            )));
+        }
+    }
+
+    // Replication promise: with r >= 2 a single node failure migrates
+    // rather than loses (double failures may legally lose streams).
+    let node_failures =
+        case.faults.events().iter().filter(|e| matches!(e.event, FaultEvent::FailNode(_))).count();
+    if case.replication >= 2 && node_failures <= 1 && m.lost_streams > 0 {
+        violations.push(conservation(format!(
+            "r = {} must mask a single node failure, yet {} streams were lost",
+            case.replication, m.lost_streams
+        )));
+    }
+
+    Ok(violations)
+}
+
+/// Replays a case at several worker counts and verifies the runs are
+/// identical — the cluster determinism contract at conformance scale.
+///
+/// # Errors
+///
+/// Propagates construction errors from any replay.
+pub fn replay_at_worker_counts(
+    case: &ClusterCase,
+    workers: &[usize],
+) -> Result<Vec<Violation>, CmsError> {
+    let mut baseline: Option<ClusterRun> = None;
+    let mut violations = Vec::new();
+    for &w in workers {
+        let run = ClusterSim::new(case.with_workers(w).to_config())?.run();
+        match &baseline {
+            None => baseline = Some(run),
+            Some(base) => {
+                if base.metrics != run.metrics || base.reports != run.reports {
+                    violations.push(conservation(format!(
+                        "run diverges at workers={w}: cluster results must be \
+                         worker-count-invariant"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> ClusterCase {
+        ClusterCaseStrategy.sample(&mut TestRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        for seed in 0..24u64 {
+            let a = sample(seed);
+            assert_eq!(a, sample(seed), "seed {seed}: sampling must be deterministic");
+            assert!((2..=4).contains(&a.nodes));
+            assert!(a.replication >= 1 && a.replication <= a.nodes);
+            a.to_config().validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_clusters_conserve() {
+        for seed in 0..12u64 {
+            let case = sample(seed);
+            let violations = check_cluster_case(&case).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_a_fuzzed_run() {
+        let case = sample(3);
+        let violations = replay_at_worker_counts(&case, &[1, 2, 4]).expect("replays construct");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn a_cooked_leak_is_reported() {
+        // An unreplicated cluster losing streams is legal; the same
+        // losses under r = 2 with one failure would be a violation. Cook
+        // the discriminating case directly.
+        let mut case = sample(1);
+        case.replication = 1;
+        case.faults = FaultSchedule::new(vec![ScheduledEvent {
+            round: 20,
+            event: FaultEvent::FailNode(NodeId(0)),
+        }]);
+        case.arrival_milli = 8_000;
+        let ok = check_cluster_case(&case).expect("constructs");
+        assert!(ok.is_empty(), "r = 1 losses are legal: {ok:?}");
+    }
+}

@@ -160,6 +160,9 @@ impl ScheduleFacts {
                     transient.insert(disk, e.round.saturating_add(rounds));
                 }
                 FaultEvent::SlowDisk { .. } => facts.has_slow = true,
+                // Node-scoped events only occur in cluster schedules,
+                // which have their own conservation check (`cluster.rs`).
+                FaultEvent::FailNode(_) | FaultEvent::RepairNode(_) => {}
             }
             let down = (failed.len() + transient.len()) as u64;
             facts.max_concurrent_down = facts.max_concurrent_down.max(down);

@@ -42,6 +42,7 @@
 #![warn(clippy::all)]
 
 pub mod case;
+pub mod cluster;
 pub mod gen;
 pub mod harness;
 pub mod invariants;
@@ -49,6 +50,9 @@ pub mod repro;
 pub mod shrink;
 
 pub use case::{scheme_from_token, scheme_token, ConformanceCase};
+pub use cluster::{
+    check_cluster_case, replay_at_worker_counts, ClusterCase, ClusterCaseStrategy,
+};
 pub use gen::{CaseStrategy, TEMPLATES};
 pub use harness::{env_budget, env_seed, run_harness, Failure, HarnessConfig, HarnessReport};
 pub use invariants::{

@@ -54,6 +54,14 @@ id_type!(
 );
 
 id_type!(
+    /// Index of a server node in a cluster (one complete d-disk array
+    /// behind the gateway tier; see `cms-cluster`).
+    NodeId,
+    u32,
+    "node"
+);
+
+id_type!(
     /// Identifier of a stored CM clip.
     ClipId,
     u64,
@@ -118,6 +126,7 @@ mod tests {
     #[test]
     fn display_is_prefixed() {
         assert_eq!(DiskId(3).to_string(), "disk3");
+        assert_eq!(NodeId(7).to_string(), "node7");
         assert_eq!(ClipId(12).to_string(), "clip12");
         assert_eq!(Round(0).to_string(), "round0");
     }

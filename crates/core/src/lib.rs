@@ -47,6 +47,6 @@ pub mod units;
 pub use continuity::{max_block_size_for_q, max_clips_per_round, round_duration, ContinuityBudget};
 pub use error::CmsError;
 pub use gss::GssBudget;
-pub use ids::{BlockIndex, ClipId, DiskId, RequestId, Round};
+pub use ids::{BlockIndex, ClipId, DiskId, NodeId, RequestId, Round};
 pub use params::{DiskParams, ServerParams};
 pub use scheme::Scheme;

@@ -113,7 +113,8 @@ mod tests {
         let s = correlated_shelf(16, 4, 50, 5, 3);
         assert_eq!(s.len(), 4);
         s.check_consistency(16).unwrap();
-        let mut disks: Vec<u32> = s.events().iter().map(|e| e.event.disk().raw()).collect();
+        let mut disks: Vec<u32> =
+            s.events().iter().filter_map(|e| e.event.disk()).map(DiskId::raw).collect();
         disks.sort_unstable();
         let first = disks[0];
         assert_eq!(disks, (first..first + 4).collect::<Vec<_>>());
@@ -130,8 +131,8 @@ mod tests {
             let s = fail_during_rebuild(8, 40, 15, seed);
             assert_eq!(s.len(), 2);
             s.check_consistency(8).unwrap();
-            let a = s.events()[0].event.disk();
-            let b = s.events()[1].event.disk();
+            let a = s.events()[0].event.disk().unwrap();
+            let b = s.events()[1].event.disk().unwrap();
             assert_ne!(a, b, "seed {seed} picked the same disk twice");
             assert_eq!(s.events()[0].round, 40);
             assert_eq!(s.events()[1].round, 55);

@@ -1,7 +1,7 @@
 //! The schedule model: round-stamped fault events, the text spec parser,
 //! and the consistency checker the generators and proptests rely on.
 
-use cms_core::{CmsError, DiskId};
+use cms_core::{CmsError, DiskId, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -35,15 +35,34 @@ pub enum FaultEvent {
         /// Length of the slow window, in rounds (≥ 1).
         rounds: u64,
     },
+    /// A whole server node — one complete d-disk array — goes dark: every
+    /// stream it was serving must migrate to a surviving replica. Only
+    /// meaningful in cluster schedules (`cms-cluster`); single-server
+    /// schedules reject it.
+    FailNode(NodeId),
+    /// The failed node returns with its disks blank and starts a
+    /// cross-node rebuild from its replica peers before it becomes
+    /// routable again.
+    RepairNode(NodeId),
 }
 
 impl FaultEvent {
-    /// The disk this event targets.
+    /// The disk this event targets, or `None` for node-scoped events.
     #[must_use]
-    pub fn disk(&self) -> DiskId {
+    pub fn disk(&self) -> Option<DiskId> {
         match *self {
-            FaultEvent::Fail(d) | FaultEvent::Repair(d) => d,
-            FaultEvent::Transient { disk, .. } | FaultEvent::SlowDisk { disk, .. } => disk,
+            FaultEvent::Fail(d) | FaultEvent::Repair(d) => Some(d),
+            FaultEvent::Transient { disk, .. } | FaultEvent::SlowDisk { disk, .. } => Some(disk),
+            FaultEvent::FailNode(_) | FaultEvent::RepairNode(_) => None,
+        }
+    }
+
+    /// The node this event targets, or `None` for disk-scoped events.
+    #[must_use]
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            FaultEvent::FailNode(n) | FaultEvent::RepairNode(n) => Some(n),
+            _ => None,
         }
     }
 }
@@ -74,6 +93,8 @@ impl fmt::Display for ScheduledEvent {
                     disk.raw()
                 )
             }
+            FaultEvent::FailNode(n) => write!(f, "@{} fail-node {}", self.round, n.raw()),
+            FaultEvent::RepairNode(n) => write!(f, "@{} repair-node {}", self.round, n.raw()),
         }
     }
 }
@@ -132,7 +153,14 @@ impl FaultSchedule {
     /// @90 repair 5
     /// @30 transient 2 rounds=5
     /// @60 slow 3 factor=4 rounds=10
+    /// @45 fail-node 2
+    /// @95 repair-node 2
     /// ```
+    ///
+    /// The node-scoped verbs address whole server nodes behind the
+    /// cluster gateway; [`FaultSchedule::validate`] (single server) and
+    /// [`FaultSchedule::validate_cluster`] (cluster) police which scope a
+    /// schedule may use.
     ///
     /// `Display` renders exactly this format back, and
     /// `parse(format(s)) == s` for any schedule (the round-trip property
@@ -171,11 +199,12 @@ impl FaultSchedule {
                 .and_then(|w| w.parse::<u64>().ok())
                 .ok_or_else(|| bad("expected `@<round>`", first))?;
             let verb = words.next().ok_or_else(|| bad("expected an event verb", None))?;
-            let disk_word = words.next();
-            let disk = disk_word
-                .and_then(|w| w.parse::<u32>().ok())
-                .map(DiskId)
-                .ok_or_else(|| bad("expected a disk id", disk_word))?;
+            let node_scoped = matches!(verb, "fail-node" | "repair-node");
+            let id_word = words.next();
+            let id = id_word.and_then(|w| w.parse::<u32>().ok()).ok_or_else(|| {
+                bad(if node_scoped { "expected a node id" } else { "expected a disk id" }, id_word)
+            })?;
+            let disk = DiskId(id);
             let mut keys: BTreeMap<&str, u64> = BTreeMap::new();
             for kv in words {
                 let (k, v) =
@@ -197,6 +226,8 @@ impl FaultSchedule {
                         .map_err(|_| bad("key `factor` out of range", Some(verb)))?;
                     FaultEvent::SlowDisk { disk, factor, rounds: key("rounds")? }
                 }
+                "fail-node" => FaultEvent::FailNode(NodeId(id)),
+                "repair-node" => FaultEvent::RepairNode(NodeId(id)),
                 _ => return Err(bad("unknown event verb", Some(verb))),
             };
             events.push(ScheduledEvent { round, event });
@@ -204,15 +235,32 @@ impl FaultSchedule {
         Ok(FaultSchedule::new(events))
     }
 
-    /// Structural validation against an array of `d` disks: every disk id
-    /// in range, every window length ≥ 1, every slow factor ≥ 2.
+    /// Does the schedule contain any node-scoped (`fail-node` /
+    /// `repair-node`) events? Such schedules belong to a cluster run;
+    /// [`FaultSchedule::validate`] rejects them for a single server.
+    #[must_use]
+    pub fn has_node_events(&self) -> bool {
+        self.events.iter().any(|e| e.event.node().is_some())
+    }
+
+    /// Structural validation against a single server's array of `d`
+    /// disks: every disk id in range, every window length ≥ 1, every slow
+    /// factor ≥ 2, and **no node-scoped events** — those only make sense
+    /// behind the cluster gateway (see
+    /// [`FaultSchedule::validate_cluster`]).
     ///
     /// # Errors
     ///
     /// Returns [`CmsError::InvalidParams`] naming the offending event.
     pub fn validate(&self, d: u32) -> Result<(), CmsError> {
         for e in &self.events {
-            if e.event.disk().raw() >= d {
+            if e.event.node().is_some() {
+                return Err(CmsError::invalid_params(format!(
+                    "fault schedule event `{e}` is node-scoped; a single-server schedule \
+                     cannot fail whole nodes (use a cluster schedule)"
+                )));
+            }
+            if e.event.disk().is_some_and(|disk| disk.raw() >= d) {
                 return Err(CmsError::invalid_params(format!(
                     "fault schedule event `{e}` targets a disk outside the {d}-disk array"
                 )));
@@ -227,6 +275,69 @@ impl FaultSchedule {
                     return Err(CmsError::invalid_params(format!(
                         "fault schedule event `{e}`: slow window needs factor >= 2 and rounds >= 1"
                     )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural validation against a cluster of `n` nodes: every event
+    /// node-scoped (the gateway does not forward disk-level faults — a
+    /// node *is* the failure unit at this tier) and every node id in
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] naming the offending event.
+    pub fn validate_cluster(&self, n: u32) -> Result<(), CmsError> {
+        for e in &self.events {
+            let Some(node) = e.event.node() else {
+                return Err(CmsError::invalid_params(format!(
+                    "fault schedule event `{e}` is disk-scoped; cluster schedules take \
+                     fail-node/repair-node events only"
+                )));
+            };
+            if node.raw() >= n {
+                return Err(CmsError::invalid_params(format!(
+                    "fault schedule event `{e}` targets a node outside the {n}-node cluster"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full consistency check for a cluster schedule:
+    /// [`FaultSchedule::validate_cluster`] plus the node state machine —
+    /// a node fails only while up and is repaired only while failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::InvalidParams`] naming the first inconsistent
+    /// event.
+    pub fn check_consistency_cluster(&self, n: u32) -> Result<(), CmsError> {
+        self.validate_cluster(n)?;
+        let mut failed: Vec<bool> = vec![false; n as usize];
+        for e in &self.events {
+            let bad = |what: &str| {
+                Err(CmsError::invalid_params(format!("fault schedule event `{e}`: {what}")))
+            };
+            match e.event {
+                FaultEvent::FailNode(node) => {
+                    if failed.get(node.idx()).copied().unwrap_or(false) {
+                        return bad("fails a node that is already down");
+                    }
+                    if let Some(slot) = failed.get_mut(node.idx()) {
+                        *slot = true;
+                    }
+                }
+                FaultEvent::RepairNode(node) => {
+                    if !failed.get(node.idx()).copied().unwrap_or(false) {
+                        return bad("repairs a node that is not failed");
+                    }
+                    if let Some(slot) = failed.get_mut(node.idx()) {
+                        *slot = false;
+                    }
                 }
                 _ => {}
             }
@@ -256,7 +367,8 @@ impl FaultSchedule {
             Err(CmsError::invalid_params(format!("fault schedule event `{e}`: {what}")))
         };
         for e in &self.events {
-            let disk = e.event.disk();
+            // validate() already rejected node-scoped events.
+            let Some(disk) = e.event.disk() else { continue };
             transient_until.retain(|_, end| *end > e.round);
             slow_until.retain(|_, end| *end > e.round);
             let is_failed = failed.get(disk.idx()).copied().unwrap_or(false);
@@ -290,6 +402,8 @@ impl FaultSchedule {
                     }
                     slow_until.insert(disk, e.round.saturating_add(rounds));
                 }
+                // Skipped above: validate() bans node events here.
+                FaultEvent::FailNode(_) | FaultEvent::RepairNode(_) => {}
             }
         }
         Ok(())
@@ -423,6 +537,61 @@ mod tests {
         // that is the whole point of the multi-event model.
         let double = FaultSchedule::parse("@10 fail 1\n@15 fail 2\n").unwrap();
         assert!(double.check_consistency(8).is_ok());
+    }
+
+    fn node_sample() -> FaultSchedule {
+        FaultSchedule::parse("@45 fail-node 2\n@95 repair-node 2\n@50 fail-node 0\n").unwrap()
+    }
+
+    #[test]
+    fn node_verbs_round_trip_and_sort() {
+        let s = node_sample();
+        let rounds: Vec<u64> = s.events().iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![45, 50, 95]);
+        assert_eq!(s.events()[0].event, FaultEvent::FailNode(NodeId(2)));
+        assert_eq!(s.events()[0].event.node(), Some(NodeId(2)));
+        assert_eq!(s.events()[0].event.disk(), None);
+        assert_eq!(FaultSchedule::parse(&s.to_string()).unwrap(), s);
+        assert!(s.has_node_events());
+        assert!(!sample().has_node_events());
+    }
+
+    #[test]
+    fn node_events_are_rejected_by_single_server_validate() {
+        let s = node_sample();
+        let msg = s.validate(8).unwrap_err().to_string();
+        assert!(msg.contains("node-scoped"), "{msg}");
+        // And the mirror: disk events are rejected by the cluster scope.
+        let msg = sample().validate_cluster(8).unwrap_err().to_string();
+        assert!(msg.contains("disk-scoped"), "{msg}");
+    }
+
+    #[test]
+    fn validate_cluster_checks_node_range() {
+        let s = node_sample();
+        assert!(s.validate_cluster(4).is_ok());
+        let msg = s.validate_cluster(2).unwrap_err().to_string();
+        assert!(msg.contains("outside the 2-node cluster"), "{msg}");
+    }
+
+    #[test]
+    fn cluster_consistency_tracks_node_state() {
+        assert!(node_sample().check_consistency_cluster(4).is_ok());
+        let double = FaultSchedule::parse("@10 fail-node 1\n@20 fail-node 1\n").unwrap();
+        assert!(double.check_consistency_cluster(4).is_err());
+        let stray = FaultSchedule::parse("@10 repair-node 1\n").unwrap();
+        assert!(stray.check_consistency_cluster(4).is_err());
+        let cycle =
+            FaultSchedule::parse("@10 fail-node 1\n@30 repair-node 1\n@31 fail-node 1\n").unwrap();
+        assert!(cycle.check_consistency_cluster(4).is_ok());
+    }
+
+    #[test]
+    fn node_verb_parse_errors_name_the_token() {
+        let msg = FaultSchedule::parse("@40 fail-node").unwrap_err().to_string();
+        assert!(msg.contains("expected a node id") && msg.contains("end of line"), "{msg}");
+        let msg = FaultSchedule::parse("@40 fail-node two").unwrap_err().to_string();
+        assert!(msg.contains("expected a node id") && msg.contains("`two`"), "{msg}");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! must reparse to the identical schedule — including with the
 //! `#`-comment headers a repro file prepends.
 
-use cms_fault::{correlated_shelf, fail_during_rebuild, independent, FaultSchedule};
+use cms_core::NodeId;
+use cms_fault::{
+    correlated_shelf, fail_during_rebuild, independent, FaultEvent, FaultSchedule, ScheduledEvent,
+};
 use proptest::prelude::*;
 
 const D: u32 = 12;
@@ -65,5 +68,90 @@ proptest! {
         let parsed = FaultSchedule::parse(&text)
             .unwrap_or_else(|e| panic!("headers broke the parse: {e}\n{text}"));
         prop_assert_eq!(parsed, s);
+    }
+
+    /// Node-scoped verbs round-trip through Display→parse like the disk
+    /// verbs do: cluster campaign specs are committed as text goldens, so
+    /// `parse(format(s)) == s` must hold for arbitrary fail-node /
+    /// repair-node interleavings.
+    #[test]
+    fn node_verbs_round_trip(
+        events in prop::collection::vec((0u64..500, 0u32..64, any::<bool>()), 0..24),
+    ) {
+        let s = FaultSchedule::new(
+            events
+                .iter()
+                .map(|&(round, node, fail)| ScheduledEvent {
+                    round,
+                    event: if fail {
+                        FaultEvent::FailNode(NodeId(node))
+                    } else {
+                        FaultEvent::RepairNode(NodeId(node))
+                    },
+                })
+                .collect(),
+        );
+        prop_assert_eq!(reparse(&s), s);
+    }
+
+    /// Alternating fail-node/repair-node on one node is always a
+    /// consistent cluster schedule, and its text form survives comment
+    /// headers.
+    #[test]
+    fn alternating_node_cycle_is_consistent(
+        node in 0u32..64,
+        start in 0u64..100,
+        gaps in prop::collection::vec(1u64..40, 1..8),
+    ) {
+        let mut round = start;
+        let mut events = Vec::new();
+        for (i, gap) in gaps.iter().enumerate() {
+            let event = if i % 2 == 0 {
+                FaultEvent::FailNode(NodeId(node))
+            } else {
+                FaultEvent::RepairNode(NodeId(node))
+            };
+            events.push(ScheduledEvent { round, event });
+            round += gap;
+        }
+        let s = FaultSchedule::new(events);
+        prop_assert!(s.check_consistency_cluster(64).is_ok());
+        prop_assert!(s.has_node_events());
+        // Single-server validation must refuse the whole schedule.
+        prop_assert!(s.validate(64).is_err());
+        let text = format!("# cluster campaign repro\n{s}");
+        prop_assert_eq!(FaultSchedule::parse(&text).unwrap_or_else(|e| panic!("{e}")), s);
+    }
+
+    /// Malformed node-verb lines fail with a diagnostic naming the
+    /// 1-based line number and the offending token — the same contract
+    /// the disk verbs honor.
+    #[test]
+    fn node_verb_errors_name_line_and_token(
+        headers in 0usize..4,
+        round in 0u64..1000,
+        word in 0usize..6,
+    ) {
+        // Non-numeric tokens that can land where the node id belongs.
+        const WORDS: [&str; 6] = ["two", "nodeX", "x7", "-1", "grid", "zz"];
+        let bad_id = WORDS[word];
+        let mut text = String::new();
+        for i in 0..headers {
+            text.push_str(&format!("# header {i}\n"));
+        }
+        text.push_str(&format!("@{round} fail-node {bad_id}\n"));
+        let msg = FaultSchedule::parse(&text).expect_err("non-numeric node id").to_string();
+        prop_assert!(
+            msg.contains(&format!("line {}", headers + 1)),
+            "missing line number in {msg:?}"
+        );
+        prop_assert!(msg.contains("expected a node id"), "wrong what-clause in {msg:?}");
+        prop_assert!(msg.contains(&format!("`{bad_id}`")), "missing token in {msg:?}");
+
+        // Missing id entirely: the token clause degrades to `end of line`.
+        let msg = FaultSchedule::parse(&format!("@{round} repair-node"))
+            .expect_err("missing node id")
+            .to_string();
+        prop_assert!(msg.contains("line 1") && msg.contains("end of line"), "{msg:?}");
     }
 }

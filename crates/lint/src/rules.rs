@@ -39,7 +39,7 @@ use crate::workspace::{FileClass, SourceFile};
 /// to their library code. `cms-trace` is included because exported event
 /// streams carry the same byte-identical promise as the metrics
 /// (DESIGN.md §6).
-pub const DETERMINISTIC_CRATES: [&str; 8] = [
+pub const DETERMINISTIC_CRATES: [&str; 9] = [
     "cms-sim",
     "cms-disk",
     "cms-admission",
@@ -48,6 +48,7 @@ pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "cms-trace",
     "cms-fault",
     "cms-conformance",
+    "cms-cluster",
 ];
 
 /// The only crate allowed to read wall clocks or OS entropy (it measures

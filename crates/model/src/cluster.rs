@@ -1,0 +1,128 @@
+//! Cluster-tier capacity bounds, after the Scalable Distributed VoD
+//! analysis (Viennot et al., INRIA RR-6496): a catalog of `K` videos
+//! replicated over `N` servers, each with a stream (upload) capacity and
+//! a storage capacity, can satisfy a demand only within three coupled
+//! ceilings —
+//!
+//! * a **bandwidth bound**: total concurrent streams never exceed the
+//!   sum of the servers' stream capacities ([`cluster_capacity_bound`],
+//!   and [`degraded_cluster_capacity_bound`] once nodes go dark);
+//! * a **placement bound**: concurrent streams of *one* video never
+//!   exceed its replica count times the per-server capacity
+//!   ([`clip_concurrency_bound`]) — replication, not raw bandwidth, caps
+//!   how hot a single title may run;
+//! * a **storage bound**: `K · r` replica copies must fit in the
+//!   servers' aggregate storage ([`max_catalog_clips`]).
+//!
+//! `cms-cluster`'s gateway enforces the first two operationally; the
+//! conformance harness and the paper-claims tests hold the simulated
+//! cluster to all three. The per-node stream capacity fed into these
+//! functions is the single-server model's number — the admission
+//! controller's `nominal_capacity()`, itself bounded by
+//! [`crate::capacity_bound`] — so the cluster bounds compose the §7
+//! analysis instead of replacing it.
+
+/// Bandwidth bound: the whole cluster can carry at most
+/// `nodes × node_capacity` concurrent streams (every stream occupies a
+/// slot on exactly one node).
+#[must_use]
+pub fn cluster_capacity_bound(node_capacity: u64, nodes: u32) -> u64 {
+    node_capacity.saturating_mul(u64::from(nodes))
+}
+
+/// Bandwidth bound with `down_nodes` dark (failed or still rebuilding):
+/// their capacity is simply gone, so the surviving bound is
+/// `(nodes − down) × node_capacity`. The gateway's rolled-up admission
+/// cap must sit at or below this line whenever nodes are out.
+#[must_use]
+pub fn degraded_cluster_capacity_bound(node_capacity: u64, nodes: u32, down_nodes: u32) -> u64 {
+    cluster_capacity_bound(node_capacity, nodes.saturating_sub(down_nodes))
+}
+
+/// Placement bound: one clip replicated on `replication` nodes can be
+/// streamed at most `replication × node_capacity` times concurrently —
+/// only its replica holders can serve it, whatever the rest of the
+/// cluster is doing. This is the VoD paper's core observation: catalog
+/// placement, not aggregate bandwidth, limits single-title demand.
+#[must_use]
+pub fn clip_concurrency_bound(node_capacity: u64, replication: u32) -> u64 {
+    node_capacity.saturating_mul(u64::from(replication))
+}
+
+/// Storage bound: the largest catalog `K` such that `K · replication`
+/// clip copies of `clip_blocks` blocks each fit into `nodes` servers
+/// with `node_storage_blocks` blocks of storage apiece.
+///
+/// Returns 0 when a single copy does not fit (degenerate geometry).
+#[must_use]
+pub fn max_catalog_clips(
+    nodes: u32,
+    replication: u32,
+    clip_blocks: u64,
+    node_storage_blocks: u64,
+) -> u64 {
+    let copy_cost = clip_blocks.saturating_mul(u64::from(replication.max(1)));
+    if copy_cost == 0 {
+        return 0;
+    }
+    node_storage_blocks.saturating_mul(u64::from(nodes)) / copy_cost
+}
+
+/// Exact duration, in rounds, of a cross-node rebuild that must re-source
+/// `debt_blocks` blocks at `rebuild_rate` blocks per round (the
+/// cluster-tier analogue of [`crate::rebuild_window_rounds`]; exact
+/// rather than a window because the cluster rebuild is rate-limited by
+/// construction, provided at least one source node stays up throughout).
+#[must_use]
+pub fn cluster_rebuild_rounds(debt_blocks: u64, rebuild_rate: u32) -> u64 {
+    debt_blocks.div_ceil(u64::from(rebuild_rate.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_bound_scales_with_nodes_and_degrades_linearly() {
+        assert_eq!(cluster_capacity_bound(24, 64), 1536);
+        assert_eq!(degraded_cluster_capacity_bound(24, 64, 0), 1536);
+        assert_eq!(degraded_cluster_capacity_bound(24, 64, 2), 1488);
+        assert_eq!(degraded_cluster_capacity_bound(24, 4, 4), 0);
+        assert_eq!(degraded_cluster_capacity_bound(24, 4, 9), 0, "saturates, no underflow");
+    }
+
+    #[test]
+    fn placement_bound_interpolates_between_one_node_and_the_cluster() {
+        let node_cap = 24;
+        let nodes = 16;
+        for r in 1..=nodes {
+            let clip = clip_concurrency_bound(node_cap, r);
+            assert!(clip <= cluster_capacity_bound(node_cap, nodes));
+            assert_eq!(clip, u64::from(r) * node_cap);
+        }
+        // Full replication is the only way a single title can use the
+        // whole cluster.
+        assert_eq!(
+            clip_concurrency_bound(node_cap, nodes),
+            cluster_capacity_bound(node_cap, nodes)
+        );
+    }
+
+    #[test]
+    fn storage_bound_trades_catalog_against_replication() {
+        // 8 nodes × 1200 blocks, clips of 60 blocks.
+        assert_eq!(max_catalog_clips(8, 1, 60, 1200), 160);
+        assert_eq!(max_catalog_clips(8, 2, 60, 1200), 80);
+        assert_eq!(max_catalog_clips(8, 4, 60, 1200), 40);
+        assert_eq!(max_catalog_clips(8, 2, 0, 1200), 0, "zero-length clips degenerate");
+    }
+
+    #[test]
+    fn rebuild_rounds_are_exact_ceiling_division() {
+        assert_eq!(cluster_rebuild_rounds(0, 64), 0);
+        assert_eq!(cluster_rebuild_rounds(1, 64), 1);
+        assert_eq!(cluster_rebuild_rounds(64, 64), 1);
+        assert_eq!(cluster_rebuild_rounds(65, 64), 2);
+        assert_eq!(cluster_rebuild_rounds(100, 0), 100, "rate clamps to 1");
+    }
+}

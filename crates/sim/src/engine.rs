@@ -192,6 +192,22 @@ struct PausedClient {
     consumed: u64,
 }
 
+/// One live session as exported by [`Simulator::export_sessions`] — the
+/// unit the cluster gateway migrates when a whole node fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionExport {
+    /// The node-local request id.
+    pub request: RequestId,
+    /// The clip being played (or queued).
+    pub clip: ClipId,
+    /// Blocks already consumed (active sessions) or the offset the
+    /// request was queued at (pending sessions).
+    pub offset: u64,
+    /// Was the session actively playing, as opposed to still waiting in
+    /// the pending queue?
+    pub was_active: bool,
+}
+
 /// Background rebuild of a failed disk onto a hot spare: blocks of the
 /// failed disk are reconstructed in order from their surviving group
 /// members, using only bandwidth left over after client traffic
@@ -248,7 +264,7 @@ pub struct Simulator {
     cfg: SimConfig,
     layout: MaterializedLayout,
     catalog: Catalog,
-    admission: Box<dyn Admission>,
+    admission: Box<dyn Admission + Send>,
     pending: PendingList<PendingPlay>,
     paused: BTreeMap<RequestId, PausedClient>,
     arrivals: PoissonArrivals,
@@ -387,7 +403,7 @@ impl Simulator {
                 (catalog, layout)
             }
         };
-        let admission: Box<dyn Admission> = match cfg.scheme {
+        let admission: Box<dyn Admission + Send> = match cfg.scheme {
             Scheme::DeclusteredParity => {
                 let pgt = layout.pgt().ok_or_else(|| CmsError::InfeasibleConfig {
                     reason: "declustered layout produced no parity group table".into(),
@@ -722,6 +738,85 @@ impl Simulator {
     #[must_use]
     pub fn paused_sessions(&self) -> usize {
         self.paused.len()
+    }
+
+    /// Submits a playback request starting at block `offset` of `clip` —
+    /// the migration entry point: a stream re-homed from a failed node
+    /// resumes where it left off. The offset is aligned down to the
+    /// scheme's group boundary exactly like [`Simulator::resume`], so a
+    /// migrated viewer may re-watch up to `p−2` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmsError::OutOfBounds`] for an unknown clip id.
+    pub fn submit_at(&mut self, clip: ClipId, offset: u64) -> Result<RequestId, CmsError> {
+        if clip.raw() >= self.cfg.catalog_clips {
+            return Err(CmsError::out_of_bounds(format!(
+                "{clip} outside catalog of {} clips",
+                self.cfg.catalog_clips
+            )));
+        }
+        let span = u64::from(self.cfg.p - 1).max(1);
+        let offset =
+            if self.cfg.scheme.prefetches_groups() { (offset / span) * span } else { offset };
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.pending.push(id, Round(self.t), PendingPlay { clip, offset });
+        self.metrics.arrivals += 1;
+        emit(&mut self.tracer, self.t, EventKind::Arrival { request: id.raw(), clip: clip.raw() });
+        Ok(id)
+    }
+
+    /// Snapshot of every live session for the cluster gateway: active
+    /// playbacks and requests still waiting in the pending queue, in
+    /// deterministic order (active in request-id order, then pending in
+    /// queue order). Cold path — only called when this node's whole array
+    /// goes dark and its streams must be re-homed.
+    #[must_use]
+    pub fn export_sessions(&self) -> Vec<SessionExport> {
+        let mut out = Vec::with_capacity(self.clients.len() + self.pending.len());
+        for (&id, client) in &self.clients {
+            out.push(SessionExport {
+                request: id,
+                clip: client.placement.id,
+                offset: client.consumed,
+                was_active: true,
+            });
+        }
+        for i in 0..self.pending.len() {
+            if let Some(p) = self.pending.get(i) {
+                out.push(SessionExport {
+                    request: p.id,
+                    clip: p.payload.clip,
+                    offset: p.payload.offset,
+                    was_active: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Clears every live session — active, pending and paused — and all
+    /// in-flight disk work: the node went dark, so nothing it was doing
+    /// survives. Admission slots are released so a later repair starts
+    /// from an empty server. Returns the number of active + pending
+    /// sessions dropped (the streams the gateway must re-home or declare
+    /// lost).
+    pub fn evacuate(&mut self) -> usize {
+        let dropped = self.clients.len() + self.pending.len();
+        let ids: Vec<RequestId> = self.clients.keys().copied().collect();
+        for id in ids {
+            self.admission.remove(id);
+        }
+        self.clients.clear();
+        while self.pending.pop().is_some() {}
+        self.paused.clear();
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.rebuild = None;
+        self.rebuild_pending.clear();
+        dropped
     }
 
     /// Fails `disk` immediately (single-failure model: a second failure
@@ -1064,6 +1159,10 @@ impl Simulator {
                     );
                 }
             }
+            // Node-scoped events never reach a single-server engine:
+            // SimConfig::validate rejects them up front, and the cluster
+            // gateway consumes them itself. Deterministic no-op either way.
+            FaultEvent::FailNode(_) | FaultEvent::RepairNode(_) => {}
         }
     }
 

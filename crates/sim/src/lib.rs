@@ -61,7 +61,7 @@ pub mod metrics;
 pub mod oneshot;
 
 pub use config::{FailureScenario, SimConfig};
-pub use engine::Simulator;
+pub use engine::{SessionExport, Simulator};
 pub use metrics::{Metrics, RoundReport};
 pub use oneshot::{run_case, CaseRun};
 // Re-exported so simulator users can script multi-event fault

@@ -162,6 +162,44 @@ pub enum EventKind {
         /// Late clip-block index.
         block: u64,
     },
+    /// A whole server node went dark (cluster tier): every stream it was
+    /// carrying must migrate to a surviving replica or be lost.
+    NodeFailure {
+        /// Failed node.
+        node: u32,
+    },
+    /// A failed node returned (disks blank) and entered cross-node
+    /// rebuild; it is not routable until the rebuild completes.
+    NodeRepair {
+        /// Returning node.
+        node: u32,
+    },
+    /// A stream was moved from a failed node to a surviving replica of
+    /// its clip, resuming at the group-aligned offset it had reached.
+    StreamMigrated {
+        /// Migrated stream (cluster-level request id).
+        request: u64,
+        /// Node the stream was running on.
+        from: u32,
+        /// Surviving replica now carrying it.
+        to: u32,
+    },
+    /// One round of cross-node rebuild traffic: a source replica supplied
+    /// blocks to a rebuilding node, charged against the source's
+    /// streaming bandwidth.
+    CrossNodeRebuildRead {
+        /// Node being rebuilt.
+        node: u32,
+        /// Source replica supplying the blocks.
+        source: u32,
+        /// Blocks shipped this round.
+        blocks: u32,
+    },
+    /// A node's cross-node rebuild finished; it is routable again.
+    NodeRebuildComplete {
+        /// Rebuilt node.
+        node: u32,
+    },
 }
 
 impl EventKind {
@@ -189,6 +227,11 @@ impl EventKind {
             EventKind::RebuildComplete { .. } => "rebuild_complete",
             EventKind::Hiccup { .. } => "hiccup",
             EventKind::LateServe { .. } => "late_serve",
+            EventKind::NodeFailure { .. } => "node_failure",
+            EventKind::NodeRepair { .. } => "node_repair",
+            EventKind::StreamMigrated { .. } => "stream_migrated",
+            EventKind::CrossNodeRebuildRead { .. } => "cross_node_rebuild_read",
+            EventKind::NodeRebuildComplete { .. } => "node_rebuild_complete",
         }
     }
 
@@ -263,6 +306,23 @@ impl EventKind {
             EventKind::LateServe { request, block } => {
                 ([("request", request), ("block", block), NIL, NIL], 2)
             }
+            EventKind::NodeFailure { node } => ([("node", u64::from(node)), NIL, NIL, NIL], 1),
+            EventKind::NodeRepair { node } => ([("node", u64::from(node)), NIL, NIL, NIL], 1),
+            EventKind::StreamMigrated { request, from, to } => {
+                ([("request", request), ("from", u64::from(from)), ("to", u64::from(to)), NIL], 3)
+            }
+            EventKind::CrossNodeRebuildRead { node, source, blocks } => (
+                [
+                    ("node", u64::from(node)),
+                    ("source", u64::from(source)),
+                    ("blocks", u64::from(blocks)),
+                    NIL,
+                ],
+                3,
+            ),
+            EventKind::NodeRebuildComplete { node } => {
+                ([("node", u64::from(node)), NIL, NIL, NIL], 1)
+            }
         }
     }
 }
@@ -278,9 +338,9 @@ pub struct TraceEvent {
 
 /// The CSV column set, sparse: a column is empty when the event kind has
 /// no such field.
-pub const CSV_COLUMNS: [&str; 12] = [
+pub const CSV_COLUMNS: [&str; 16] = [
     "round", "event", "request", "clip", "disk", "block", "wait", "blocks", "busy_us",
-    "queue", "dropped", "rebuilt",
+    "queue", "dropped", "rebuilt", "node", "from", "to", "source",
 ];
 
 impl TraceEvent {
@@ -390,6 +450,19 @@ impl TraceEvent {
             "rebuild_complete" => EventKind::RebuildComplete { disk: d("disk")? },
             "hiccup" => EventKind::Hiccup { request: u("request")?, block: u("block")? },
             "late_serve" => EventKind::LateServe { request: u("request")?, block: u("block")? },
+            "node_failure" => EventKind::NodeFailure { node: d("node")? },
+            "node_repair" => EventKind::NodeRepair { node: d("node")? },
+            "stream_migrated" => EventKind::StreamMigrated {
+                request: u("request")?,
+                from: d("from")?,
+                to: d("to")?,
+            },
+            "cross_node_rebuild_read" => EventKind::CrossNodeRebuildRead {
+                node: d("node")?,
+                source: d("source")?,
+                blocks: d("blocks")?,
+            },
+            "node_rebuild_complete" => EventKind::NodeRebuildComplete { node: d("node")? },
             _ => return None,
         };
         Some(TraceEvent { round, kind })
@@ -455,6 +528,17 @@ mod tests {
             TraceEvent { round: 10, kind: EventKind::Hiccup { request: 5, block: 2 } },
             TraceEvent { round: 10, kind: EventKind::LateServe { request: 5, block: 3 } },
             TraceEvent { round: 11, kind: EventKind::Completion { request: 1 } },
+            TraceEvent { round: 12, kind: EventKind::NodeFailure { node: 3 } },
+            TraceEvent {
+                round: 12,
+                kind: EventKind::StreamMigrated { request: 6, from: 3, to: 5 },
+            },
+            TraceEvent { round: 13, kind: EventKind::NodeRepair { node: 3 } },
+            TraceEvent {
+                round: 14,
+                kind: EventKind::CrossNodeRebuildRead { node: 3, source: 5, blocks: 4 },
+            },
+            TraceEvent { round: 15, kind: EventKind::NodeRebuildComplete { node: 3 } },
         ]
     }
 

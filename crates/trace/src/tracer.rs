@@ -57,6 +57,18 @@ pub struct TraceSummary {
     /// Recovery-read fan-out: surviving disks touched per reconstructed
     /// block (recorded explicitly by the engine at issue time).
     pub recovery_fanout: Histogram,
+    /// `NodeFailure` events (whole server nodes going dark).
+    pub node_failures: u64,
+    /// `NodeRepair` events (nodes returning, blank, to start rebuild).
+    pub node_repairs: u64,
+    /// `StreamMigrated` events (streams moved to surviving replicas).
+    pub stream_migrations: u64,
+    /// Blocks shipped across all `CrossNodeRebuildRead` events.
+    pub cross_node_rebuild_blocks: u64,
+    /// Round of the first `NodeFailure`, if any.
+    pub node_failure_round: Option<u64>,
+    /// Round of the first `NodeRebuildComplete`, if any.
+    pub node_rebuild_completed_round: Option<u64>,
 }
 
 impl TraceSummary {
@@ -99,7 +111,29 @@ impl TraceSummary {
             EventKind::DiskTransient { .. } => self.transient_outages += 1,
             EventKind::DiskSlow { .. } => self.slow_windows += 1,
             EventKind::DiskTransientEnd { .. } | EventKind::DiskSlowEnd { .. } => {}
+            EventKind::NodeFailure { .. } => {
+                self.node_failures += 1;
+                first(&mut self.node_failure_round, event.round);
+            }
+            EventKind::NodeRepair { .. } => self.node_repairs += 1,
+            EventKind::StreamMigrated { .. } => self.stream_migrations += 1,
+            EventKind::CrossNodeRebuildRead { blocks, .. } => {
+                self.cross_node_rebuild_blocks += u64::from(blocks);
+            }
+            EventKind::NodeRebuildComplete { .. } => {
+                first(&mut self.node_rebuild_completed_round, event.round);
+            }
         }
+    }
+
+    /// Rounds from the first node failure to the first cross-node
+    /// rebuild completion — the cluster-tier analogue of
+    /// [`TraceSummary::failure_to_rebuild_complete`]. `None` until both
+    /// milestones exist.
+    #[must_use]
+    pub fn node_failure_to_rebuild_complete(&self) -> Option<u64> {
+        let fail = self.node_failure_round?;
+        Some(self.node_rebuild_completed_round?.saturating_sub(fail))
     }
 
     /// Rounds from the first disk failure to the first recovery read —
@@ -198,6 +232,25 @@ mod tests {
         assert_eq!(s.queue_depth.total(), 2);
         assert_eq!(s.recovery_fanout.total(), 1);
         assert_eq!(s.events, 2, "explicit fanout is not an event");
+    }
+
+    #[test]
+    fn summary_rolls_up_node_events() {
+        let mut t = Tracer::new(Box::new(NullSink));
+        t.emit(10, EventKind::NodeFailure { node: 2 });
+        t.emit(10, EventKind::StreamMigrated { request: 7, from: 2, to: 5 });
+        t.emit(10, EventKind::StreamMigrated { request: 9, from: 2, to: 1 });
+        t.emit(30, EventKind::NodeRepair { node: 2 });
+        t.emit(31, EventKind::CrossNodeRebuildRead { node: 2, source: 5, blocks: 4 });
+        t.emit(32, EventKind::CrossNodeRebuildRead { node: 2, source: 1, blocks: 2 });
+        t.emit(33, EventKind::NodeRebuildComplete { node: 2 });
+        let s = t.summary();
+        assert_eq!(s.node_failures, 1);
+        assert_eq!(s.node_repairs, 1);
+        assert_eq!(s.stream_migrations, 2);
+        assert_eq!(s.cross_node_rebuild_blocks, 6);
+        assert_eq!(s.node_failure_round, Some(10));
+        assert_eq!(s.node_failure_to_rebuild_complete(), Some(23));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Cluster-tier determinism replay: a 64-node campaign with node
+//! failures, stream migration and cross-node rebuild must produce
+//! bit-identical cluster metrics, per-node metrics, round reports AND
+//! JSONL trace bytes at every worker-thread count.
+//!
+//! The cluster applies the same determinism contract one tier up from
+//! the engine: the node is the unit of parallelism, scoped workers step
+//! disjoint node slices, and all merging (metrics roll-up, trace
+//! emission) happens sequentially in node-ID order. Thread count is a
+//! wall-clock knob only.
+
+use cms_cluster::{ClusterConfig, ClusterRun, ClusterSim};
+use cms_core::Scheme;
+use cms_fault::FaultSchedule;
+use cms_model::CapacityPoint;
+use cms_sim::SimConfig;
+use cms_trace::{JsonlSink, SharedBuffer, TraceSpec};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// 64 nodes × ~10k gateway streams with two node-failure/repair cycles.
+fn campaign_cfg() -> ClusterConfig {
+    let point = CapacityPoint {
+        scheme: Scheme::DeclusteredParity,
+        p: 4,
+        block_bytes: 1 << 20,
+        q: 8,
+        f: 2,
+        r: 1,
+        total_clips: 64,
+    };
+    let mut node = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, 4);
+    node.arrival_rate = 0.0; // the gateway generates all arrivals
+    node.clip_len = 12;
+    node.clip_len_spread = 0;
+    let faults = FaultSchedule::parse(
+        "@40 fail-node 7\n@50 fail-node 23\n@70 repair-node 7\n@80 repair-node 23\n",
+    )
+    .expect("schedule parses");
+    ClusterConfig {
+        nodes: 64,
+        replication: 2,
+        catalog_clips: 512,
+        node,
+        arrival_rate: 110.0,
+        zipf_theta: 0.7,
+        rounds: 100,
+        rebuild_rate: 64,
+        rebuild_fanout: 4,
+        faults: Some(faults),
+        seed: 0x0C10_57E2,
+        threads: 1,
+        trace: TraceSpec::off(),
+    }
+}
+
+/// Runs the campaign at `threads` workers, capturing the JSONL trace.
+fn run(threads: usize) -> (ClusterRun, Vec<u8>) {
+    let mut sim = ClusterSim::new(campaign_cfg().with_threads(threads)).expect("constructs");
+    let buf = SharedBuffer::new();
+    sim.set_trace_sink(Box::new(JsonlSink::new(buf.clone())));
+    let run = sim.run();
+    (run, buf.contents())
+}
+
+#[test]
+fn cluster_campaign_replays_bit_identical_at_any_thread_count() {
+    let (base, base_trace) = run(1);
+
+    // The campaign must be substantial: ~10k streams over 64 nodes with
+    // real migration and rebuild traffic, not a degenerate no-op.
+    let m = &base.metrics;
+    assert!(m.arrivals >= 10_000, "need ~10k streams, got {}", m.arrivals);
+    assert_eq!(m.arrivals, m.routed + m.cluster_refusals + m.unroutable);
+    assert_eq!(m.node_failures, 2, "two fail-node events applied");
+    assert_eq!(m.node_repairs, 2);
+    assert!(m.migrations > 0, "failing nodes carried streams to migrate");
+    assert_eq!(m.lost_streams, 0, "r=2 survives single concurrent-per-clip failures");
+    assert_eq!(m.hiccups, 0, "rate guarantees hold through node failures");
+    assert_eq!(m.node_rebuilds_completed, 2, "both rebuilds finish in-window");
+    assert!(m.cross_node_rebuild_blocks > 0);
+    assert!(!base_trace.is_empty(), "tracing was on");
+
+    // Conservation across tiers: every routed or migrated stream arrived
+    // at exactly one node engine.
+    let node_arrivals: u64 = base.node_metrics.iter().map(|n| n.arrivals).sum();
+    assert_eq!(node_arrivals, m.routed + m.migrations);
+
+    for threads in THREAD_COUNTS {
+        let (other, other_trace) = run(threads);
+        let label = format!("{threads} threads");
+        assert_eq!(base.metrics, other.metrics, "{label}: cluster metrics");
+        assert_eq!(base.reports, other.reports, "{label}: per-round reports");
+        assert_eq!(
+            base.node_metrics.len(),
+            other.node_metrics.len(),
+            "{label}: node count"
+        );
+        for (id, (a, b)) in base.node_metrics.iter().zip(&other.node_metrics).enumerate() {
+            assert_eq!(a, b, "{label}: node {id} engine metrics");
+        }
+        assert_eq!(
+            base_trace, other_trace,
+            "{label}: JSONL trace bytes must be identical"
+        );
+    }
+}
+
+#[test]
+fn auto_worker_count_matches_sequential() {
+    // threads = 0 resolves to available parallelism — whatever the
+    // machine offers, the run must equal the sequential one.
+    let (base, base_trace) = run(1);
+    let (auto, auto_trace) = run(0);
+    assert_eq!(base.metrics, auto.metrics, "auto workers: cluster metrics");
+    assert_eq!(base.reports, auto.reports, "auto workers: reports");
+    assert_eq!(base.node_metrics, auto.node_metrics, "auto workers: node metrics");
+    assert_eq!(base_trace, auto_trace, "auto workers: trace bytes");
+}

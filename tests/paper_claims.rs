@@ -299,3 +299,104 @@ fn claim_failure_drill_upholds_section9() {
         }
     }
 }
+
+#[test]
+fn claim_cluster_capacity_respects_vod_bounds() {
+    // Cluster tier vs the Scalable Distributed VoD bounds (Viennot et
+    // al., RR-6496): a saturated multi-node campaign with a node
+    // failure, stream migration and cross-node rebuild must stay inside
+    // the bandwidth bound (total streams ≤ N × per-node capacity), track
+    // the degraded bound while nodes are dark, and finish its rebuild in
+    // exactly the rate-limited round count.
+    use cms_cluster::{ClusterConfig, ClusterSim};
+    use cms_model::{
+        capacity, capacity_bound, clip_concurrency_bound, cluster_capacity_bound,
+        cluster_rebuild_rounds, degraded_cluster_capacity_bound, ModelInput,
+    };
+    use cms_sim::{SimConfig, Simulator};
+
+    let mut input = ModelInput::sigmod96(256 << 20);
+    input.d = 8;
+    let point = capacity(Scheme::DeclusteredParity, &input, 4).expect("feasible point");
+    let mut node = SimConfig::sigmod96(Scheme::DeclusteredParity, &point, 8);
+    node.arrival_rate = 0.0; // the gateway generates all arrivals
+    node.clip_len = 12;
+
+    // The per-node stream capacity is the single-server §7 number; it
+    // must itself respect the single-server analytical ceiling.
+    let mut probe = node.clone();
+    probe.catalog_clips = 4;
+    let node_cap = Simulator::new(probe).expect("probe").nominal_capacity();
+    assert!(node_cap > 0);
+    assert!(
+        node_cap <= capacity_bound(&point, 8),
+        "engine capacity {node_cap} exceeds the §7 bound {}",
+        capacity_bound(&point, 8)
+    );
+
+    const NODES: u32 = 8;
+    const REPLICATION: u32 = 2;
+    const REBUILD_RATE: u32 = 64;
+    let faults = cms_fault::FaultSchedule::parse("@40 fail-node 3\n@60 repair-node 3\n")
+        .expect("schedule parses");
+    let cfg = ClusterConfig {
+        nodes: NODES,
+        replication: REPLICATION,
+        catalog_clips: 64,
+        node,
+        arrival_rate: 400.0, // far beyond the cluster: saturate admission
+        zipf_theta: 0.0,
+        rounds: 120,
+        rebuild_rate: REBUILD_RATE,
+        rebuild_fanout: 2,
+        faults: Some(faults),
+        seed: 0x0DB0_09D5,
+        threads: 1,
+        trace: cms_trace::TraceSpec::off(),
+    };
+    let run = ClusterSim::new(cfg).expect("constructs").run();
+    let m = &run.metrics;
+
+    // Bandwidth bound: the gateway cap and everything it admitted stay
+    // under N × node capacity, degrading linearly with dark nodes.
+    let healthy_bound = cluster_capacity_bound(node_cap, NODES);
+    assert!(m.peak_active <= healthy_bound, "{} > {healthy_bound}", m.peak_active);
+    for r in &run.reports {
+        let dark = u32::try_from(r.down_nodes + r.rebuilding_nodes).unwrap();
+        assert!(
+            r.cluster_cap <= degraded_cluster_capacity_bound(node_cap, NODES, dark),
+            "round {}: cap {} exceeds degraded bound with {dark} dark nodes",
+            r.round,
+            r.cluster_cap
+        );
+        assert!(r.active + r.pending <= healthy_bound, "round {}: overcommitted", r.round);
+    }
+    // Saturation actually exercised the cap (the bound is not vacuous),
+    // and the failure triggered migration with no stream loss at r=2.
+    assert!(m.cluster_refusals > 0, "saturated gateway must shed");
+    assert!(m.migrations > 0);
+    assert_eq!(m.lost_streams, 0);
+    assert_eq!(m.hiccups, 0, "rate guarantees hold through the node failure");
+    // After the post-failure transient drains, commitments sit back
+    // under the live cap.
+    let last = run.reports.last().unwrap();
+    assert!(last.active + last.pending <= last.cluster_cap);
+
+    // Placement bound: one title can never out-stream its replica set.
+    assert!(clip_concurrency_bound(node_cap, REPLICATION) <= healthy_bound);
+    assert_eq!(
+        clip_concurrency_bound(node_cap, NODES),
+        healthy_bound,
+        "full replication is the only way one title spans the cluster"
+    );
+
+    // Rebuild bound: the cross-node rebuild is rate-limited by
+    // construction, so it ships blocks for exactly ceil(debt / rate)
+    // rounds (at least one source node was up throughout).
+    let debt = m.cross_node_rebuild_blocks;
+    assert!(debt > 0);
+    assert_eq!(m.node_rebuilds_completed, 1);
+    let shipping_rounds =
+        run.reports.iter().filter(|r| r.rebuild_blocks > 0).count() as u64;
+    assert_eq!(shipping_rounds, cluster_rebuild_rounds(debt, REBUILD_RATE));
+}
