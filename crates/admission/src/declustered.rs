@@ -16,19 +16,21 @@
 //! `λ_max·f`, and Property 2 (row-following) keeps both conditions
 //! invariant as service lists rotate — so checking at admission time
 //! suffices.
+//!
+//! Both conditions are evaluated in O(1) from two count tables keyed by
+//! *time-invariant* clip classes. A clip admitted on disk `s` at round
+//! `t_adm` occupies ring phase `(s − t_adm) mod d` forever, and its PGT
+//! row at round `t` is `(base + ⌊(phase + t)/d⌋) mod r` for the constant
+//! `base = (row₀ − ⌊(phase + t_adm)/d⌋) mod r` — rows advance once per
+//! ring wrap (Property 2), and `⌊(phase + t)/d⌋` counts exactly the wraps
+//! a phase-`phase` clip has seen by round `t`, up to the per-clip constant
+//! folded into `base`. So `(phase, base)` classifies clips once at
+//! admission, and the per-disk / per-(disk, row) loads of any future round
+//! are single table cells.
 
-use crate::traits::{disk_at, phase_of, wraps_since, Admission, AdmitRequest};
+use crate::traits::{phase_of, Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
 use std::collections::BTreeMap;
-
-/// One admitted clip's invariants.
-#[derive(Debug, Clone, Copy)]
-struct Active {
-    phase: u32,
-    start_disk: u32,
-    row0: u32,
-    t_adm: u64,
-}
 
 /// Admission controller for [`Scheme::DeclusteredParity`].
 #[derive(Debug, Clone)]
@@ -39,7 +41,13 @@ pub struct DeclusteredAdmission {
     f: u32,
     lambda_max: u32,
     t: u64,
-    active: BTreeMap<RequestId, Active>,
+    /// Active clips per ring phase (condition (a), indexed by `phase`).
+    by_phase: Vec<u32>,
+    /// Active clips per `(phase, base)` row class (condition (b),
+    /// indexed by `phase·r + base`).
+    by_phase_base: Vec<u32>,
+    /// id → `(phase, base)`, for removal.
+    active: BTreeMap<RequestId, (u32, u32)>,
 }
 
 impl DeclusteredAdmission {
@@ -65,7 +73,17 @@ impl DeclusteredAdmission {
                 lambda_max * f
             )));
         }
-        Ok(DeclusteredAdmission { d, r, q, f, lambda_max, t: 0, active: BTreeMap::new() })
+        Ok(DeclusteredAdmission {
+            d,
+            r,
+            q,
+            f,
+            lambda_max,
+            t: 0,
+            by_phase: vec![0; d as usize],
+            by_phase_base: vec![0; d as usize * r as usize],
+            active: BTreeMap::new(),
+        })
     }
 
     /// Per-disk clip capacity after the contingency reserve
@@ -81,27 +99,41 @@ impl DeclusteredAdmission {
         self.f
     }
 
-    /// Current row of an active clip (rows advance once per ring wrap —
-    /// Property 2).
-    fn current_row(&self, a: &Active) -> u32 {
-        ((u64::from(a.row0) + wraps_since(a.start_disk, a.t_adm, self.t, self.d))
-            % u64::from(self.r)) as u32
+    /// Time-invariant row class of a clip at `phase` whose PGT row is
+    /// `row` at round `t`: rows advance once per ring wrap, so the row at
+    /// any round `t'` is `(base + ⌊(phase + t')/d⌋) mod r` for this base.
+    fn base_of(&self, phase: u32, row: u32, t: u64) -> u32 {
+        let shift = ((u64::from(phase) + t) / u64::from(self.d)) % u64::from(self.r);
+        ((u64::from(row) + u64::from(self.r) - shift) % u64::from(self.r)) as u32
     }
 
     /// Number of clips currently reading from `disk`, and how many of
-    /// those read blocks mapped to `row`.
+    /// those read blocks mapped to `row`. O(1): two table lookups.
     fn loads(&self, disk: u32, row: u32) -> (u32, u32) {
-        let mut total = 0;
-        let mut same_row = 0;
-        for a in self.active.values() {
-            if disk_at(a.phase, self.t, self.d) == disk {
-                total += 1;
-                if self.current_row(a) == row {
-                    same_row += 1;
-                }
-            }
+        let phase = phase_of(disk, self.t, self.d);
+        let base = self.base_of(phase, row, self.t);
+        (
+            self.by_phase[phase as usize],
+            self.by_phase_base[phase as usize * self.r as usize + base as usize],
+        )
+    }
+
+    /// The §4.2 verdict for a request, without mutating or allocating:
+    /// `Ok((phase, base))` gives the class to record on admission.
+    fn verdict(&self, req: &AdmitRequest) -> Result<(u32, u32), (u32, u32, bool)> {
+        let disk = req.start_disk.raw();
+        let phase = phase_of(disk, self.t, self.d);
+        debug_assert!(req.row < self.r);
+        let base = self.base_of(phase, req.row, self.t);
+        let total = self.by_phase[phase as usize];
+        if total >= self.per_disk_capacity() {
+            return Err((total, 0, false));
         }
-        (total, same_row)
+        let same_row = self.by_phase_base[phase as usize * self.r as usize + base as usize];
+        if same_row >= self.f {
+            return Err((total, same_row, true));
+        }
+        Ok((phase, base))
     }
 }
 
@@ -122,33 +154,33 @@ impl Admission for DeclusteredAdmission {
             )));
         }
         let disk = req.start_disk.raw();
-        let (total, same_row) = self.loads(disk, req.row);
-        if total >= self.per_disk_capacity() {
-            return Err(CmsError::rejected(format!(
+        match self.verdict(&req) {
+            Err((total, _, false)) => Err(CmsError::rejected(format!(
                 "disk {disk} serves {total} clips, capacity q − λf = {}",
                 self.per_disk_capacity()
-            )));
-        }
-        if same_row >= self.f {
-            return Err(CmsError::rejected(format!(
+            ))),
+            Err((_, same_row, true)) => Err(CmsError::rejected(format!(
                 "disk {disk} row {} already serves {same_row} clips, f = {}",
                 req.row, self.f
-            )));
+            ))),
+            Ok((phase, base)) => {
+                self.by_phase[phase as usize] += 1;
+                self.by_phase_base[phase as usize * self.r as usize + base as usize] += 1;
+                self.active.insert(req.id, (phase, base));
+                Ok(())
+            }
         }
-        self.active.insert(
-            req.id,
-            Active {
-                phase: phase_of(disk, self.t, self.d),
-                start_disk: disk,
-                row0: req.row,
-                t_adm: self.t,
-            },
-        );
-        Ok(())
+    }
+
+    fn check(&self, req: &AdmitRequest) -> bool {
+        req.row < self.r && self.verdict(req).is_ok()
     }
 
     fn remove(&mut self, id: RequestId) {
-        self.active.remove(&id);
+        if let Some((phase, base)) = self.active.remove(&id) {
+            self.by_phase[phase as usize] -= 1;
+            self.by_phase_base[phase as usize * self.r as usize + base as usize] -= 1;
+        }
     }
 
     fn advance_round(&mut self) {
@@ -302,5 +334,28 @@ mod tests {
             c.try_admit(req(1, 0, 5)),
             Err(CmsError::InvalidParams { .. })
         ));
+    }
+
+    #[test]
+    fn check_mirrors_try_admit_across_rotation() {
+        // `check` must agree with `try_admit` for every (disk, row)
+        // candidate at every rotation offset, as clips come and go.
+        let mut c = controller();
+        let mut id = 100u64;
+        for round in 0..40u64 {
+            for disk in 0..7u32 {
+                for row in 0..4u32 {
+                    id += 1;
+                    let r = req(id, disk, row);
+                    let predicted = c.check(&r);
+                    let actual = c.try_admit(r).is_ok();
+                    assert_eq!(predicted, actual, "round {round} disk {disk} row {row}");
+                    if actual && id.is_multiple_of(3) {
+                        c.remove(RequestId(id)); // churn
+                    }
+                }
+            }
+            c.advance_round();
+        }
     }
 }

@@ -20,7 +20,7 @@
 //! reconstruction ever materializes on `i` at once per row — unused
 //! contingency overlaps instead of accumulating.
 
-use crate::traits::{phase_of, Admission, AdmitRequest};
+use crate::traits::{disk_at, phase_of, Admission, AdmitRequest};
 use cms_core::{CmsError, DiskId, RequestId, Scheme};
 use std::collections::BTreeMap;
 
@@ -92,6 +92,13 @@ impl DynamicAdmission {
     /// per candidate failure and maximize over failures — exact for any
     /// λ, and identical to the paper's condition when λ = 1.
     fn max_cont(&self, disk: u32) -> u32 {
+        self.max_cont_plus(disk, None)
+    }
+
+    /// [`Self::max_cont`] with an optional hypothetical extra clip of
+    /// `(stream, phase)` counted in — the admission precondition can then
+    /// be evaluated without mutating the count tables.
+    fn max_cont_plus(&self, disk: u32, extra: Option<(usize, u32)>) -> u32 {
         let mut worst = 0;
         for j in 0..self.d {
             if j == disk {
@@ -103,12 +110,24 @@ impl DynamicAdmission {
             let mut from_j = 0;
             for (l, offsets) in self.deltas.iter().enumerate() {
                 if offsets.binary_search(&delta).is_ok() {
-                    from_j += self.count[l][phase as usize];
+                    from_j += self.count[l][phase as usize]
+                        + u32::from(extra == Some((l, phase as u32)));
                 }
             }
             worst = worst.max(from_j);
         }
         worst
+    }
+
+    /// First disk whose §5.2 condition a hypothetical extra clip of
+    /// `stream` at `phase` would violate (`None` = admissible). Shared by
+    /// `try_admit` and the allocation-free [`Admission::check`] preview.
+    fn violation_with(&self, stream: usize, phase: u32) -> Option<u32> {
+        let new_disk = disk_at(phase, self.t, self.d);
+        (0..self.d).find(|&i| {
+            let served = self.served(i) + u32::from(i == new_disk);
+            served + self.max_cont_plus(i, Some((stream, phase))) > self.q
+        })
     }
 }
 
@@ -131,20 +150,28 @@ impl Admission for DynamicAdmission {
             )));
         }
         let phase = phase_of(req.start_disk.raw(), self.t, self.d);
-        // Tentatively add, check the global condition, roll back on
-        // failure. (The check is O(d·Σ|Δ|); cheaper than special-casing
-        // which disks the new clip touches.)
-        self.count[stream][phase as usize] += 1;
-        let violation = (0..self.d).find(|&i| self.served(i) + self.max_cont(i) > self.q);
-        if let Some(disk) = violation {
-            self.count[stream][phase as usize] -= 1;
+        // Evaluate the global condition with the candidate counted in
+        // (no tentative mutation — the same verdict backs `check`). The
+        // check is O(d·Σ|Δ|); cheaper than special-casing which disks the
+        // new clip touches.
+        if let Some(disk) = self.violation_with(stream, phase) {
             return Err(CmsError::rejected(format!(
                 "disk {disk}: served + max contingency would exceed q = {}",
                 self.q
             )));
         }
+        self.count[stream][phase as usize] += 1;
         self.active.insert(req.id, (req.stream, phase));
         Ok(())
+    }
+
+    fn check(&self, req: &AdmitRequest) -> bool {
+        let stream = req.stream as usize;
+        if stream >= self.deltas.len() {
+            return false;
+        }
+        let phase = phase_of(req.start_disk.raw(), self.t, self.d);
+        self.violation_with(stream, phase).is_none()
     }
 
     fn remove(&mut self, id: RequestId) {

@@ -101,31 +101,30 @@ impl FlatAdmission {
         let parity = ((u64::from(last_disk) + 1 + (j % m)) % d) as u32;
         (covered, parity)
     }
-}
 
-impl Admission for FlatAdmission {
-    fn scheme(&self) -> Scheme {
-        Scheme::PrefetchFlat
-    }
-
-    fn q(&self) -> u32 {
-        self.q
-    }
-
-    fn try_admit(&mut self, req: AdmitRequest) -> Result<(), CmsError> {
-        let candidate = Active {
+    /// The geometry a request admitted *now* would occupy.
+    fn candidate(&self, req: &AdmitRequest) -> Active {
+        Active {
             cadence: (self.t % u64::from(self.p - 1)) as u32,
             s0: req.start_index,
             t_adm: self.t,
-        };
-        // Evaluate conditions (a) and (b) for the *candidate's* increments
-        // only: per-disk fetch counts on the disks it covers, and the
-        // (data-disk, parity-disk) pairs it adds. (Checking unrelated
-        // pairs here would let slow parity-class drift of long-running
-        // clips block every admission — the candidate can only be charged
-        // for load it adds.)
+        }
+    }
+
+    /// Evaluates conditions (a) and (b) for the *candidate's* increments
+    /// only: per-disk fetch counts on the disks it covers, and the
+    /// (data-disk, parity-disk) pairs it adds. (Checking unrelated
+    /// pairs here would let slow parity-class drift of long-running
+    /// clips block every admission — the candidate can only be charged
+    /// for load it adds.) Shared verdict behind both `try_admit` and
+    /// `check`.
+    ///
+    /// # Errors
+    ///
+    /// [`CmsError::AdmissionRejected`] naming the binding condition.
+    fn decide(&self, candidate: &Active) -> Result<(), CmsError> {
         let (cand_covered, cand_parity) = {
-            let start = self.current_group_start(&candidate, self.t);
+            let start = self.current_group_start(candidate, self.t);
             self.group_geometry(start)
         };
         let d = self.d as usize;
@@ -163,8 +162,28 @@ impl Admission for FlatAdmission {
                 self.f
             )));
         }
+        Ok(())
+    }
+}
+
+impl Admission for FlatAdmission {
+    fn scheme(&self) -> Scheme {
+        Scheme::PrefetchFlat
+    }
+
+    fn q(&self) -> u32 {
+        self.q
+    }
+
+    fn try_admit(&mut self, req: AdmitRequest) -> Result<(), CmsError> {
+        let candidate = self.candidate(&req);
+        self.decide(&candidate)?;
         self.active.insert(req.id, candidate);
         Ok(())
+    }
+
+    fn check(&self, req: &AdmitRequest) -> bool {
+        self.decide(&self.candidate(req)).is_ok()
     }
 
     fn remove(&mut self, id: RequestId) {

@@ -88,6 +88,16 @@ impl Admission for PrefetchParityDiskAdmission {
         Ok(())
     }
 
+    fn check(&self, req: &AdmitRequest) -> bool {
+        let p = self.cadences + 1;
+        let start_cluster = req.start_disk.raw() / p;
+        if start_cluster >= self.clusters {
+            return false;
+        }
+        let (cadence, class) = self.slot(start_cluster);
+        self.count[cadence as usize][class as usize] < self.q
+    }
+
     fn remove(&mut self, id: RequestId) {
         if let Some((cadence, class)) = self.active.remove(&id) {
             self.count[cadence as usize][class as usize] -= 1;
@@ -199,6 +209,12 @@ impl Admission for StreamingRaidAdmission {
         Ok(())
     }
 
+    fn check(&self, req: &AdmitRequest) -> bool {
+        let start_cluster = req.start_disk.raw() / self.p;
+        start_cluster < self.clusters
+            && self.count[self.admit_class(start_cluster) as usize] < self.q
+    }
+
     fn remove(&mut self, id: RequestId) {
         if let Some(class) = self.active.remove(&id) {
             self.count[class as usize] -= 1;
@@ -289,6 +305,11 @@ impl Admission for NonClusteredAdmission {
         self.count[phase as usize] += 1;
         self.active.insert(req.id, phase);
         Ok(())
+    }
+
+    fn check(&self, req: &AdmitRequest) -> bool {
+        let ring = (req.start_index % u64::from(self.data_disks)) as u32;
+        self.count[self.phase(ring) as usize] < self.q
     }
 
     fn remove(&mut self, id: RequestId) {

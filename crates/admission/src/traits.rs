@@ -46,6 +46,18 @@ pub trait Admission {
     /// pending list and is retried as clips complete.
     fn try_admit(&mut self, req: AdmitRequest) -> Result<(), CmsError>;
 
+    /// Allocation-free preview of [`Admission::try_admit`]: `true` iff an
+    /// immediately following `try_admit` with the same request at the same
+    /// round would succeed. The simulator retries the pending queue every
+    /// round, so rejections dominate admissions under load; this lets the
+    /// hot retry path skip building the rejection message entirely. The
+    /// default conservatively accepts (the `try_admit` verdict still
+    /// rules); every controller in this crate overrides it exactly.
+    fn check(&self, req: &AdmitRequest) -> bool {
+        let _ = req;
+        true
+    }
+
     /// Removes a completed (or cancelled) request. Unknown ids are
     /// ignored.
     fn remove(&mut self, id: RequestId);

@@ -12,18 +12,26 @@
 //!   A3 experiment's configuration);
 //! * `cluster-small` — the campaign's 8-node steady-state cluster behind
 //!   the gateway (one serve phase per node per round, so `serve_rounds`
-//!   is `rounds * 8` for this scenario).
+//!   is `rounds * 8` for this scenario);
+//! * `giant` — the scale stressor: a 1000-disk declustered array
+//!   saturated at ~50 000 concurrent streams (p = 2 complete-pairs
+//!   design, q = 52, 1 MB blocks). Three orders of magnitude more
+//!   streams than a paper cell; capped at 256 measured rounds so the
+//!   suite stays CI-sized.
 //!
 //! Each scenario steps `--warmup` rounds (default 64) to grow the scratch
 //! arenas to steady-state size, then times `--rounds` further rounds
-//! (default 256). With `--features bench-alloc` the binary installs a
-//! counting global allocator and reports the allocations attributed to
-//! the disk-service phase of the timed window — the performance contract
-//! (DESIGN.md §7) says that number is zero. Attribution is only valid
-//! single-threaded, so `--threads` defaults to 1 here (0 also means 1).
+//! (default 4096 — long enough that the measurement is dominated by
+//! steady-state service, not the admission ramp; sub-second windows
+//! showed ±40 % run-to-run noise). With `--features bench-alloc` the
+//! binary installs a counting global allocator and reports the
+//! allocations attributed to the disk-service phase of the timed window —
+//! the performance contract (DESIGN.md §7) says that number is zero.
+//! Attribution is only valid single-threaded, so `--threads` defaults to
+//! 1 here (0 also means 1).
 //!
 //! Usage:
-//! `cargo run --release -p cms-bench --features bench-alloc --bin perf_baseline -- [--out BENCH_engine.json] [--rounds N] [--warmup N] [--seed S] [--threads T]`
+//! `cargo run --release -p cms-bench --features bench-alloc --bin perf_baseline -- [--out BENCH_engine.json] [--rounds N] [--warmup N] [--seed S] [--threads T] [--only NAME] [--gauge-probe]`
 
 use std::time::Instant;
 
@@ -206,6 +214,42 @@ fn rebuild_sim(total: u64, warmup: u64, seed: u64, threads: usize) -> Simulator 
     Simulator::new(cfg).expect("rebuild sim constructs")
 }
 
+/// The scale stressor: 1000 disks, ~50 000 concurrent streams. p = 2
+/// resolves to the complete-pairs design (every disk pair is a parity
+/// group; r = 999, λ = 1 — the only feasible block design at v = 1000),
+/// and q = 52 with f = 2 puts nominal capacity at d·(q−f) = 50 000
+/// double-buffered streams. The arrival flood (λ = 800/round) saturates
+/// admission within the warm-up; the huge aging limit keeps the backlog
+/// queued instead of expiring it.
+fn giant_sim(total: u64, seed: u64, threads: usize) -> Simulator {
+    let cfg = SimConfig {
+        scheme: Scheme::DeclusteredParity,
+        d: 1000,
+        p: 2,
+        q: 52,
+        f: 2,
+        block_bytes: mib(1),
+        catalog_clips: 1000,
+        clip_len: 64,
+        clip_len_spread: 0,
+        arrival_rate: 800.0,
+        zipf_theta: 0.0,
+        rounds: total,
+        failure: None,
+        faults: None,
+        degraded_admission: false,
+        verify_parity: false,
+        content_bytes: 512,
+        seed,
+        admission_scan: 64,
+        aging_limit: 100_000,
+        auto_rebuild: false,
+        threads,
+        trace: cms_sim::TraceSpec::off(),
+    };
+    Simulator::new(cfg).expect("giant sim constructs")
+}
+
 /// The cluster-tier scenario: the campaign's 8-node steady-state cluster
 /// (DeclusteredParity, d = 8 per node, replicated catalog, gateway
 /// arrivals) stepped single-threaded so allocation attribution stays
@@ -226,8 +270,38 @@ fn peak_rss_kib() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// `--gauge-probe`: proves the allocation-measurement chain is live.
+/// Every real scenario is allocation-free, so a dead gauge (e.g. the
+/// binary rebuilt without `bench-alloc`) and a clean hot path report the
+/// same zero — this deliberately allocates inside a synthetic serve
+/// bracket and demands the count.
+#[cfg(feature = "bench-alloc")]
+fn gauge_probe() -> ! {
+    cms_sim::hotgauge::reset();
+    cms_sim::hotgauge::probe_serve(|| {
+        let v = vec![0u8; 4096];
+        std::hint::black_box(&v);
+    });
+    let (allocs, phases) = cms_sim::hotgauge::snapshot();
+    assert!(
+        allocs >= 1 && phases == 1,
+        "gauge dead: {allocs} allocs / {phases} phases counted for a probe that allocates once"
+    );
+    println!("perf_baseline: gauge probe ok ({allocs} alloc(s) attributed to 1 serve phase)");
+    std::process::exit(0);
+}
+
+#[cfg(not(feature = "bench-alloc"))]
+fn gauge_probe() -> ! {
+    eprintln!("perf_baseline: --gauge-probe requires --features bench-alloc");
+    std::process::exit(2);
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    if args.flag("--gauge-probe") {
+        gauge_probe();
+    }
     if args.trace_path().is_some() {
         eprintln!("perf_baseline: --trace ignored (tracing would perturb the timings)");
     }
@@ -236,21 +310,61 @@ fn main() {
         t => t,
     };
     let warmup = args.u64_value("--warmup").unwrap_or(64);
-    let rounds = args.rounds_or(256);
+    let rounds = args.rounds_or(4096);
     let seed = args.seed_or(1);
     let total = warmup + rounds;
 
-    let scenarios = vec![
-        run_scenario("fig6_steady", fig6_sim(total, seed, threads), warmup, rounds),
-        run_scenario("failure_drill", drill_sim(total, warmup, seed, threads), warmup, rounds),
-        run_scenario("rebuild", rebuild_sim(total, warmup, seed, threads), warmup, rounds),
-        run_cluster_scenario(
+    let only = args.value("--only").map(str::to_owned);
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+
+    let mut scenarios = Vec::new();
+    if want("fig6_steady") {
+        scenarios.push(run_scenario(
+            "fig6_steady",
+            fig6_sim(total, seed, threads),
+            warmup,
+            rounds,
+        ));
+    }
+    if want("failure_drill") {
+        scenarios.push(run_scenario(
+            "failure_drill",
+            drill_sim(total, warmup, seed, threads),
+            warmup,
+            rounds,
+        ));
+    }
+    if want("rebuild") {
+        scenarios.push(run_scenario(
+            "rebuild",
+            rebuild_sim(total, warmup, seed, threads),
+            warmup,
+            rounds,
+        ));
+    }
+    if want("cluster-small") {
+        scenarios.push(run_cluster_scenario(
             "cluster-small",
             cluster_sim(total, seed, threads),
             warmup,
             rounds,
-        ),
-    ];
+        ));
+    }
+    if want("giant") {
+        // Each giant round services ~50k streams across 1000 disks, so
+        // the measured window is capped to keep the suite CI-sized.
+        let giant_rounds = rounds.min(256);
+        scenarios.push(run_scenario(
+            "giant",
+            giant_sim(warmup + giant_rounds, seed, threads),
+            warmup,
+            giant_rounds,
+        ));
+    }
+    if scenarios.is_empty() {
+        eprintln!("perf_baseline: --only matched no scenario");
+        std::process::exit(2);
+    }
 
     let report = Report {
         schema: "cms-perf-baseline/v1",

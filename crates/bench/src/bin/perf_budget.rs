@@ -1,0 +1,159 @@
+//! Blocking perf-budget gate: checks a `perf_baseline` report
+//! (`BENCH_engine.json`) against the committed ratchet table
+//! (`PERF_BUDGETS.json`) and exits non-zero on any violation.
+//!
+//! Modes:
+//!
+//! * default — load report + budgets, print a verdict per scenario, exit
+//!   1 if any floor/ceiling is violated. This is the CI gate.
+//! * `--update-budgets` — tighten the table from the report (floors only
+//!   rise, ceilings only fall; see `cms_bench::budget`) and rewrite the
+//!   budgets file. Run after landing a real optimisation, then commit the
+//!   diff.
+//! * `--self-test` — feed the checker synthetic reports that violate each
+//!   budget class and assert every one is flagged, so CI proves the gate
+//!   can actually fail before trusting its green.
+//!
+//! Usage:
+//! `cargo run --release -p cms-bench --bin perf_budget -- [--report BENCH_engine.json] [--budgets PERF_BUDGETS.json] [--update-budgets | --self-test]`
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use cms_bench::budget::{check, ratchet, BudgetTable, PerfReport, PerfScenario, Violation};
+use cms_bench::BenchArgs;
+
+fn load_report(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_budget: cannot read report {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("perf_budget: report {path} does not parse: {e}"))
+}
+
+fn load_budgets(path: &str) -> BudgetTable {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_budget: cannot read budgets {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("perf_budget: budgets {path} do not parse: {e}"))
+}
+
+/// Asserts that the checker flags every violation class and passes a
+/// clean report. A gate that cannot fail is decoration; this proves the
+/// failure paths before CI trusts the success path.
+fn self_test() {
+    let mut budgets = BudgetTable::empty();
+    budgets.max_peak_rss_kib = 1_000;
+    budgets.scenarios.insert(
+        "steady".to_owned(),
+        cms_bench::budget::ScenarioBudget {
+            min_rounds_per_sec: 100.0,
+            max_allocs_per_round: 0.0,
+        },
+    );
+    budgets.scenarios.insert(
+        "gone".to_owned(),
+        cms_bench::budget::ScenarioBudget { min_rounds_per_sec: 1.0, max_allocs_per_round: 0.0 },
+    );
+
+    let bad = PerfReport {
+        schema: "cms-perf-baseline/v1".to_owned(),
+        alloc_counting: false,
+        peak_rss_kib: Some(2_000),
+        scenarios: vec![PerfScenario {
+            name: "steady".to_owned(),
+            rounds_per_sec: 50.0,
+            allocs_per_round: Some(3.0),
+        }],
+    };
+    let violations = check(&bad, &budgets);
+    let has = |pred: fn(&Violation) -> bool| violations.iter().any(pred);
+    assert!(has(|v| matches!(v, Violation::TooSlow { .. })), "floor violation not flagged");
+    assert!(
+        has(|v| matches!(v, Violation::TooManyAllocs { .. })),
+        "allocation violation not flagged"
+    );
+    assert!(has(|v| matches!(v, Violation::RssOverCeiling { .. })), "RSS violation not flagged");
+    assert!(
+        has(|v| matches!(v, Violation::MissingScenario { .. })),
+        "missing scenario not flagged"
+    );
+    assert!(has(|v| matches!(v, Violation::NoAllocCounting)), "missing alloc counting not flagged");
+
+    let good = PerfReport {
+        schema: "cms-perf-baseline/v1".to_owned(),
+        alloc_counting: true,
+        peak_rss_kib: Some(500),
+        scenarios: vec![
+            PerfScenario {
+                name: "steady".to_owned(),
+                rounds_per_sec: 400.0,
+                allocs_per_round: Some(0.0),
+            },
+            PerfScenario {
+                name: "gone".to_owned(),
+                rounds_per_sec: 4.0,
+                allocs_per_round: Some(0.0),
+            },
+        ],
+    };
+    assert!(check(&good, &budgets).is_empty(), "clean report must pass");
+    println!("perf_budget: self-test ok (all 5 violation classes flagged, clean report passes)");
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    if args.flag("--self-test") {
+        self_test();
+        return ExitCode::SUCCESS;
+    }
+
+    let report_path = args.value("--report").unwrap_or("BENCH_engine.json");
+    let budgets_path = args.value("--budgets").unwrap_or("PERF_BUDGETS.json");
+    let report = load_report(report_path);
+
+    if args.flag("--update-budgets") {
+        let mut budgets = if std::path::Path::new(budgets_path).exists() {
+            load_budgets(budgets_path)
+        } else {
+            BudgetTable::empty()
+        };
+        let changed = ratchet(&mut budgets, &report);
+        let json = serde_json::to_string_pretty(&budgets).expect("budgets serialize");
+        std::fs::write(budgets_path, format!("{json}\n")).expect("budgets file writable");
+        println!("{json}");
+        eprintln!(
+            "perf_budget: {} {budgets_path}",
+            if changed { "tightened" } else { "no change to" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let budgets = load_budgets(budgets_path);
+    let violations = check(&report, &budgets);
+    for (name, b) in &budgets.scenarios {
+        let measured = report
+            .scenarios
+            .iter()
+            .find(|s| &s.name == name)
+            .map_or_else(|| "MISSING".to_owned(), |s| format!("{:.1} r/s", s.rounds_per_sec));
+        println!("{name:>14}: {measured:>14}  (floor {:.1} r/s)", b.min_rounds_per_sec);
+    }
+    if let (Some(rss), ceiling) = (report.peak_rss_kib, budgets.max_peak_rss_kib) {
+        println!("{:>14}: {rss:>10} KiB  (ceiling {ceiling} KiB)", "peak RSS");
+    }
+    if violations.is_empty() {
+        println!("perf_budget: OK — every floor and ceiling holds");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("perf_budget: VIOLATION: {v}");
+        }
+        eprintln!(
+            "perf_budget: {} violation(s); a real regression should be fixed, a deliberate \
+             trade-off needs PERF_BUDGETS.json edited by hand and justified in PERF_BUDGETS.md",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

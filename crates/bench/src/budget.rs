@@ -1,0 +1,328 @@
+//! Ratcheted performance budgets for the engine baseline.
+//!
+//! `PERF_BUDGETS.json` (repo root, next to `BENCH_engine.json`) holds one
+//! budget per baseline scenario: a rounds/second **floor**, an
+//! allocations-per-serve-phase **ceiling** (zero — the DESIGN.md §7
+//! contract), and a global peak-RSS ceiling. [`check`] compares a
+//! `perf_baseline` report against the table and returns every violation;
+//! the `perf_budget` binary turns that into a blocking CI verdict.
+//!
+//! The table is a *ratchet*: [`ratchet`] only ever tightens it. Floors
+//! move up to `measured / FLOOR_HEADROOM`, never down; the RSS ceiling
+//! moves down to `measured * RSS_HEADROOM`, never up. Loosening a budget
+//! is a deliberate act — edit the JSON by hand and justify it in
+//! `PERF_BUDGETS.md`.
+//!
+//! The headroom factors absorb host-to-host variance (CI runners are
+//! several times slower and noisier than a warm workstation) without
+//! letting an order-of-magnitude regression — say, the SoA stream table
+//! silently reverting to per-round map rebuilds — pass unnoticed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Floors are set this many times below the measured rounds/second.
+pub const FLOOR_HEADROOM: f64 = 4.0;
+/// The RSS ceiling is set this many times above the measured peak.
+pub const RSS_HEADROOM: f64 = 4.0;
+
+/// Budget for one baseline scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioBudget {
+    /// Minimum acceptable rounds/second (floor, with headroom baked in).
+    pub min_rounds_per_sec: f64,
+    /// Maximum acceptable allocations per serve phase. The contract is
+    /// zero for every steady scenario; kept in the table so a deliberate
+    /// exception would be visible in review.
+    pub max_allocs_per_round: f64,
+}
+
+/// The committed budget table (`PERF_BUDGETS.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetTable {
+    /// Schema tag, bumped on incompatible change.
+    pub schema: String,
+    /// Peak-RSS ceiling in KiB for the whole baseline run.
+    pub max_peak_rss_kib: u64,
+    /// Per-scenario budgets, keyed by scenario name (sorted for stable
+    /// diffs).
+    pub scenarios: BTreeMap<String, ScenarioBudget>,
+}
+
+/// Current schema tag.
+pub const BUDGET_SCHEMA: &str = "cms-perf-budgets/v1";
+
+impl BudgetTable {
+    /// An empty table ready to be ratcheted from a first report.
+    #[must_use]
+    pub fn empty() -> Self {
+        BudgetTable {
+            schema: BUDGET_SCHEMA.to_owned(),
+            max_peak_rss_kib: u64::MAX,
+            scenarios: BTreeMap::new(),
+        }
+    }
+}
+
+/// The slice of a `perf_baseline` report the checker consumes.
+///
+/// Deserialized with `serde(deny_unknown_fields)` *off* so the report can
+/// grow fields without breaking the checker.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PerfReport {
+    /// Report schema tag (`cms-perf-baseline/v1`).
+    pub schema: String,
+    /// Whether the counting allocator was compiled in.
+    pub alloc_counting: bool,
+    /// Peak resident set in KiB, when `/proc` exposed it.
+    pub peak_rss_kib: Option<u64>,
+    /// Measured scenarios.
+    pub scenarios: Vec<PerfScenario>,
+}
+
+/// One measured scenario of the report.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PerfScenario {
+    /// Scenario name (`fig6_steady`, `giant`, ...).
+    pub name: String,
+    /// Measured throughput.
+    pub rounds_per_sec: f64,
+    /// Allocations per serve phase (`None` without `bench-alloc`).
+    pub allocs_per_round: Option<f64>,
+}
+
+/// One budget violation, carrying enough context to be actionable from a
+/// CI log alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Throughput fell below the committed floor.
+    TooSlow {
+        /// Scenario name.
+        name: String,
+        /// Measured rounds/second.
+        measured: f64,
+        /// Committed floor.
+        floor: f64,
+    },
+    /// Serve-phase allocations exceeded the ceiling.
+    TooManyAllocs {
+        /// Scenario name.
+        name: String,
+        /// Measured allocations per serve phase.
+        measured: f64,
+        /// Committed ceiling.
+        ceiling: f64,
+    },
+    /// Peak RSS exceeded the ceiling.
+    RssOverCeiling {
+        /// Measured peak RSS in KiB.
+        measured: u64,
+        /// Committed ceiling in KiB.
+        ceiling: u64,
+    },
+    /// A budgeted scenario is absent from the report — a silently dropped
+    /// scenario must fail the gate, not dodge it.
+    MissingScenario {
+        /// Scenario name.
+        name: String,
+    },
+    /// The report lacks allocation counts (built without `bench-alloc`),
+    /// so the zero-allocation contract cannot be checked.
+    NoAllocCounting,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TooSlow { name, measured, floor } => write!(
+                f,
+                "{name}: {measured:.1} rounds/s is below the committed floor of {floor:.1}"
+            ),
+            Violation::TooManyAllocs { name, measured, ceiling } => write!(
+                f,
+                "{name}: {measured} allocs/serve-phase exceeds the ceiling of {ceiling}"
+            ),
+            Violation::RssOverCeiling { measured, ceiling } => write!(
+                f,
+                "peak RSS {measured} KiB exceeds the ceiling of {ceiling} KiB"
+            ),
+            Violation::MissingScenario { name } => {
+                write!(f, "{name}: budgeted scenario missing from the report")
+            }
+            Violation::NoAllocCounting => write!(
+                f,
+                "report built without --features bench-alloc; allocation contract unchecked"
+            ),
+        }
+    }
+}
+
+/// Checks a report against the table. Returns every violation (empty ⇒
+/// the budget holds).
+#[must_use]
+pub fn check(report: &PerfReport, budgets: &BudgetTable) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !report.alloc_counting {
+        violations.push(Violation::NoAllocCounting);
+    }
+    for (name, budget) in &budgets.scenarios {
+        let Some(s) = report.scenarios.iter().find(|s| &s.name == name) else {
+            violations.push(Violation::MissingScenario { name: name.clone() });
+            continue;
+        };
+        if s.rounds_per_sec < budget.min_rounds_per_sec {
+            violations.push(Violation::TooSlow {
+                name: name.clone(),
+                measured: s.rounds_per_sec,
+                floor: budget.min_rounds_per_sec,
+            });
+        }
+        if let Some(allocs) = s.allocs_per_round {
+            if allocs > budget.max_allocs_per_round {
+                violations.push(Violation::TooManyAllocs {
+                    name: name.clone(),
+                    measured: allocs,
+                    ceiling: budget.max_allocs_per_round,
+                });
+            }
+        }
+    }
+    if let Some(rss) = report.peak_rss_kib {
+        if rss > budgets.max_peak_rss_kib {
+            violations.push(Violation::RssOverCeiling {
+                measured: rss,
+                ceiling: budgets.max_peak_rss_kib,
+            });
+        }
+    }
+    violations
+}
+
+/// Tightens `budgets` from a fresh report: floors rise to
+/// `measured / FLOOR_HEADROOM` (never fall), the RSS ceiling drops to
+/// `measured * RSS_HEADROOM` (never rises), allocation ceilings stay at
+/// zero for new scenarios. Returns `true` when anything changed.
+pub fn ratchet(budgets: &mut BudgetTable, report: &PerfReport) -> bool {
+    let before = budgets.clone();
+    for s in &report.scenarios {
+        let candidate = s.rounds_per_sec / FLOOR_HEADROOM;
+        let entry = budgets
+            .scenarios
+            .entry(s.name.clone())
+            .or_insert(ScenarioBudget { min_rounds_per_sec: 0.0, max_allocs_per_round: 0.0 });
+        if candidate > entry.min_rounds_per_sec {
+            entry.min_rounds_per_sec = candidate;
+        }
+    }
+    if let Some(rss) = report.peak_rss_kib {
+        // Ceilings only tighten; the ratchet never loosens one.
+        let candidate = (rss as f64 * RSS_HEADROOM).ceil() as u64;
+        if candidate < budgets.max_peak_rss_kib {
+            budgets.max_peak_rss_kib = candidate;
+        }
+    }
+    *budgets != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scenarios: Vec<PerfScenario>) -> PerfReport {
+        PerfReport {
+            schema: "cms-perf-baseline/v1".to_owned(),
+            alloc_counting: true,
+            peak_rss_kib: Some(100_000),
+            scenarios,
+        }
+    }
+
+    fn table() -> BudgetTable {
+        let mut t = BudgetTable::empty();
+        t.max_peak_rss_kib = 200_000;
+        t.scenarios.insert(
+            "fig6_steady".to_owned(),
+            ScenarioBudget { min_rounds_per_sec: 1000.0, max_allocs_per_round: 0.0 },
+        );
+        t
+    }
+
+    fn scenario(name: &str, rps: f64, allocs: f64) -> PerfScenario {
+        PerfScenario {
+            name: name.to_owned(),
+            rounds_per_sec: rps,
+            allocs_per_round: Some(allocs),
+        }
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let r = report(vec![scenario("fig6_steady", 5000.0, 0.0)]);
+        assert!(check(&r, &table()).is_empty());
+    }
+
+    #[test]
+    fn slow_scenario_fails() {
+        let r = report(vec![scenario("fig6_steady", 10.0, 0.0)]);
+        let v = check(&r, &table());
+        assert!(matches!(&v[..], [Violation::TooSlow { name, .. }] if name == "fig6_steady"));
+    }
+
+    #[test]
+    fn allocations_fail() {
+        let r = report(vec![scenario("fig6_steady", 5000.0, 0.5)]);
+        let v = check(&r, &table());
+        assert!(
+            matches!(&v[..], [Violation::TooManyAllocs { measured, .. }] if *measured == 0.5)
+        );
+    }
+
+    #[test]
+    fn missing_scenario_and_rss_fail() {
+        let mut r = report(vec![]);
+        r.peak_rss_kib = Some(300_000);
+        let v = check(&r, &table());
+        assert!(v.contains(&Violation::MissingScenario { name: "fig6_steady".to_owned() }));
+        assert!(v.contains(&Violation::RssOverCeiling { measured: 300_000, ceiling: 200_000 }));
+    }
+
+    #[test]
+    fn missing_alloc_counting_fails() {
+        let mut r = report(vec![scenario("fig6_steady", 5000.0, 0.0)]);
+        r.alloc_counting = false;
+        assert!(check(&r, &table()).contains(&Violation::NoAllocCounting));
+    }
+
+    #[test]
+    fn ratchet_only_tightens() {
+        let mut t = table();
+        // Faster report raises the floor and lowers the RSS ceiling.
+        let fast = report(vec![scenario("fig6_steady", 8000.0, 0.0)]);
+        assert!(ratchet(&mut t, &fast));
+        assert_eq!(t.scenarios["fig6_steady"].min_rounds_per_sec, 2000.0);
+        assert_eq!(t.max_peak_rss_kib, 200_000); // 100k * 4 == existing, no change
+
+        // A slower report must not loosen anything.
+        let mut slow = report(vec![scenario("fig6_steady", 100.0, 0.0)]);
+        slow.peak_rss_kib = Some(90_000_000);
+        assert!(!ratchet(&mut t, &slow));
+        assert_eq!(t.scenarios["fig6_steady"].min_rounds_per_sec, 2000.0);
+        assert_eq!(t.max_peak_rss_kib, 200_000);
+
+        // New scenarios enter with a zero-alloc ceiling.
+        let fresh = report(vec![scenario("giant", 400.0, 0.0)]);
+        assert!(ratchet(&mut t, &fresh));
+        assert_eq!(t.scenarios["giant"].max_allocs_per_round, 0.0);
+        assert_eq!(t.scenarios["giant"].min_rounds_per_sec, 100.0);
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let t = table();
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: BudgetTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -28,6 +28,9 @@ pub struct ClusterScenario {
     /// Node-scoped fault-schedule spec (`fail-node` / `repair-node`);
     /// empty string for a fault-free run.
     pub spec: &'static str,
+    /// Nodes in the cluster (the canned sweep uses 8 everywhere; the
+    /// opt-in `giant` stressor scales this up).
+    pub nodes: u32,
     /// Replication degree `r`.
     pub replication: u32,
     /// Mean Poisson arrivals per round at the gateway.
@@ -41,6 +44,7 @@ pub const CLUSTER_SCENARIOS: [ClusterScenario; 5] = [
     ClusterScenario {
         name: "steady",
         spec: "",
+        nodes: 8,
         replication: 2,
         arrival_rate: 12.0,
         rebuild_rate: 64,
@@ -48,6 +52,7 @@ pub const CLUSTER_SCENARIOS: [ClusterScenario; 5] = [
     ClusterScenario {
         name: "node_failure",
         spec: "@40 fail-node 3\n",
+        nodes: 8,
         replication: 2,
         arrival_rate: 12.0,
         rebuild_rate: 64,
@@ -55,6 +60,7 @@ pub const CLUSTER_SCENARIOS: [ClusterScenario; 5] = [
     ClusterScenario {
         name: "fail_migrate_rebuild",
         spec: "@40 fail-node 3\n@70 repair-node 3\n",
+        nodes: 8,
         replication: 2,
         arrival_rate: 12.0,
         rebuild_rate: 32,
@@ -68,6 +74,7 @@ pub const CLUSTER_SCENARIOS: [ClusterScenario; 5] = [
         // exercises concurrent migration under a deeply degraded cap).
         name: "double_node_failure",
         spec: "@40 fail-node 2\n@45 fail-node 5\n",
+        nodes: 8,
         replication: 2,
         arrival_rate: 12.0,
         rebuild_rate: 64,
@@ -76,11 +83,27 @@ pub const CLUSTER_SCENARIOS: [ClusterScenario; 5] = [
         // No replication: a node failure strands its whole catalog.
         name: "unreplicated_failure",
         spec: "@40 fail-node 1\n",
+        nodes: 8,
         replication: 1,
         arrival_rate: 12.0,
         rebuild_rate: 64,
     },
 ];
+
+/// The opt-in cluster-scale stressor: a 48-node cluster under an
+/// arrival flood, run only when `--scenario giant` asks for it (the
+/// default sweep and its committed golden stay the canned 8-node five).
+/// It rides the same work-stealing runner as the sweep, so `--jobs`
+/// settings are exercised at scale; rows remain bit-identical at any
+/// `--jobs`/`--threads` combination.
+pub const GIANT_CLUSTER_SCENARIO: ClusterScenario = ClusterScenario {
+    name: "giant",
+    spec: "",
+    nodes: 48,
+    replication: 2,
+    arrival_rate: 96.0,
+    rebuild_rate: 64,
+};
 
 /// One scenario verdict — a JSONL line of the cluster campaign output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,8 +168,9 @@ impl ClusterCampaignRow {
     }
 }
 
-/// Builds the cluster config for one campaign scenario: 8 nodes of the
-/// engine test geometry behind the gateway.
+/// Builds the cluster config for one campaign scenario:
+/// `scenario.nodes` nodes of the engine test geometry behind the
+/// gateway.
 ///
 /// # Panics
 ///
@@ -188,7 +212,7 @@ pub fn cluster_campaign_config(
         FaultSchedule::parse(scenario.spec).expect("canned spec must parse")
     });
     ClusterConfig {
-        nodes: 8,
+        nodes: scenario.nodes,
         replication: scenario.replication,
         catalog_clips: 64,
         node,
@@ -218,6 +242,10 @@ pub fn cluster_campaign_rows(
 ) -> Vec<ClusterCampaignRow> {
     let tasks: Vec<(usize, &ClusterScenario)> = CLUSTER_SCENARIOS
         .iter()
+        // The giant stressor is opt-in: it joins the task list only when
+        // named, so the default sweep (and its golden) stays the canned
+        // 8-node five.
+        .chain(std::iter::once(&GIANT_CLUSTER_SCENARIO).filter(|_| filter == Some("giant")))
         .filter(|sc| filter.is_none_or(|f| f == sc.name))
         .enumerate()
         .collect();
@@ -282,6 +310,22 @@ mod tests {
         let par = cluster_campaign_rows(60, 7, 8, 4, Some("fail_migrate_rebuild"));
         assert_eq!(seq, par);
         assert_eq!(cluster_to_jsonl(&seq), cluster_to_jsonl(&par));
+    }
+
+    #[test]
+    fn giant_is_opt_in_and_jobs_invariant() {
+        // Not part of the default sweep…
+        let rows = cluster_campaign_rows(20, 7, 0, 1, None);
+        assert!(rows.iter().all(|r| r.scenario != "giant"));
+        // …but runs through the same work-stealing runner when named,
+        // with rows identical at any jobs/threads combination.
+        let seq = cluster_campaign_rows(60, 7, 1, 1, Some("giant"));
+        let par = cluster_campaign_rows(60, 7, 8, 4, Some("giant"));
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].nodes, 48);
+        assert!(seq[0].admissions > 0, "the flood must admit streams");
+        assert_eq!(seq[0].hiccups, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod budget;
 pub mod campaign;
 pub mod cli;
 pub mod cluster_campaign;
@@ -20,7 +21,7 @@ pub mod timeline;
 pub use campaign::{campaign_rows, CampaignRow, Scenario, CAMPAIGN_SCHEMES, SCENARIOS};
 pub use cluster_campaign::{
     cluster_campaign_config, cluster_campaign_rows, cluster_to_jsonl, ClusterCampaignRow,
-    ClusterScenario, CLUSTER_SCENARIOS,
+    ClusterScenario, CLUSTER_SCENARIOS, GIANT_CLUSTER_SCENARIO,
 };
 pub use cli::BenchArgs;
 pub use timeline::render_timeline;

@@ -86,9 +86,13 @@ impl Strategy for CaseStrategy {
             d,
             p,
             buffer_mib,
-            clips: 16 + rng.below(24),
+            // Catalog and arrival sizes are deliberately large enough to
+            // push tens of concurrent streams through the SoA stream
+            // table, so staged admission merges, tombstone compaction and
+            // the incremental EDF queues all fire inside every fuzz case.
+            clips: 24 + rng.below(40),
             clip_len: 8 + rng.below(12),
-            arrival_milli: 1_000 + rng.below(6_000),
+            arrival_milli: 2_000 + rng.below(12_000),
             rounds: 80 + rng.below(80),
             seed,
             auto_rebuild: false,
@@ -99,7 +103,7 @@ impl Strategy for CaseStrategy {
         match template {
             // Saturated fault-free: drives the capacity floor.
             0 => {
-                case.arrival_milli = 50_000 + rng.below(150_000);
+                case.arrival_milli = 80_000 + rng.below(240_000);
                 case.rounds = 3 * case.clip_len + 40 + rng.below(60);
                 case.degraded = false;
             }
@@ -138,7 +142,7 @@ impl Strategy for CaseStrategy {
             // Degraded overload: the cap must hold back a hot queue.
             3 => {
                 case.degraded = true;
-                case.arrival_milli = 20_000 + rng.below(60_000);
+                case.arrival_milli = 40_000 + rng.below(120_000);
                 case.rounds = 90 + rng.below(60);
                 let disk = DiskId(u32::try_from(rng.below(u64::from(d))).unwrap_or(0));
                 let start = case.rounds / 3;
@@ -168,7 +172,7 @@ impl Strategy for CaseStrategy {
             // Mixed random schedules from the cms-fault generators.
             _ => {
                 case.rounds = 120 + rng.below(120);
-                case.arrival_milli = 500 + rng.below(8_000);
+                case.arrival_milli = 1_000 + rng.below(16_000);
                 case.auto_rebuild = coin(rng, 40);
                 let gseed = rng.next_u64();
                 case.faults = match rng.below(4) {

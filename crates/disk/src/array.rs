@@ -9,7 +9,7 @@
 //! *impossible*, and the simulator asserts exactly that.
 
 use crate::cscan::{sweep_order_into, BlockRequest};
-use crate::timing::TimingModel;
+use crate::timing::{SeekModel, TimingModel};
 use cms_core::units::Seconds;
 use cms_core::{CmsError, DiskId, DiskParams};
 
@@ -67,6 +67,20 @@ pub struct ServiceContext {
 pub struct ServiceScratch {
     cylinders: Vec<u32>,
     order: Vec<usize>,
+}
+
+impl ServiceScratch {
+    /// A scratch pre-grown for rounds of up to `budget` requests, so that
+    /// even the very first serve — or a later queue-deepening burst, e.g.
+    /// rebuild reads raising the high-water mark mid-run — allocates
+    /// nothing inside the service loop.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        ServiceScratch {
+            cylinders: Vec::with_capacity(budget),
+            order: Vec::with_capacity(budget),
+        }
+    }
 }
 
 impl Disk {
@@ -138,12 +152,48 @@ impl Disk {
         sweep_order_into(&scratch.cylinders, self.head, &mut scratch.order);
         let mut busy = 0.0;
         let mut pos = self.head;
-        for &i in &scratch.order {
-            let c = scratch.cylinders[i];
-            busy += ctx
-                .timing
-                .block_time(&ctx.params, pos.abs_diff(c), requests[i].block_no, ctx.block_bytes);
-            pos = c;
+        // When rotation and transfer are block-independent (the worst-case
+        // and expected models without zoning — every simulator
+        // configuration), hoist that constant tail and price only the seek
+        // per block. `seek + rot + settle + tx` is the exact expression
+        // `block_time` evaluates, in the same association order, so the
+        // busy total is bit-identical to the generic path.
+        match (ctx.timing.constant_block_tail(&ctx.params, ctx.block_bytes), ctx.timing.seek) {
+            (Some((rot, settle, tx)), SeekModel::WorstCase) => {
+                for &i in &scratch.order {
+                    let c = scratch.cylinders[i];
+                    let seek = ctx.params.seek_worst * f64::from(pos.abs_diff(c)) / 1999.0;
+                    busy += seek + rot + settle + tx;
+                    pos = c;
+                }
+            }
+            (Some((rot, settle, tx)), SeekModel::SqrtCurve { min_seek, cylinders }) => {
+                let full = f64::from(cylinders.saturating_sub(1).max(1));
+                let coef = (ctx.params.seek_worst - min_seek) / full.sqrt();
+                for &i in &scratch.order {
+                    let c = scratch.cylinders[i];
+                    let d = pos.abs_diff(c);
+                    let seek = if d == 0 {
+                        0.0
+                    } else {
+                        (min_seek + coef * f64::from(d).sqrt()).min(ctx.params.seek_worst)
+                    };
+                    busy += seek + rot + settle + tx;
+                    pos = c;
+                }
+            }
+            (None, _) => {
+                for &i in &scratch.order {
+                    let c = scratch.cylinders[i];
+                    busy += ctx.timing.block_time(
+                        &ctx.params,
+                        pos.abs_diff(c),
+                        requests[i].block_no,
+                        ctx.block_bytes,
+                    );
+                    pos = c;
+                }
+            }
         }
         self.head = pos;
         let busy = busy * f64::from(self.slow_factor.max(1));

@@ -174,6 +174,39 @@ impl TimingModel {
         ((idx * u64::from(self.cylinders)) / blocks_per_disk) as u32
     }
 
+    /// The per-block cost components that do not depend on *which* block
+    /// is served — `(rotation, settle, transfer)` — when the model makes
+    /// all three constant: a [`RotationModel::WorstCase`] or
+    /// [`RotationModel::Expected`] rotation charge and no zoned-bit
+    /// recording (`zbr_ratio == None`, so every cylinder transfers at the
+    /// inner-track rate). Returns `None` when any component varies per
+    /// block ([`RotationModel::Hashed`] or zoning), in which case callers
+    /// must price each block with [`TimingModel::block_time`].
+    ///
+    /// Service loops use this to hoist the constant tail out of the
+    /// per-block accounting: `seek + rot + settle + transfer` summed
+    /// left-to-right is the *same expression* `block_time` evaluates, so
+    /// the busy-time result is bit-identical — only the dead per-block
+    /// work (zone lookup, transfer division, rotation match) disappears.
+    #[must_use]
+    // lint: hot
+    pub fn constant_block_tail(
+        &self,
+        params: &DiskParams,
+        block_bytes: u64,
+    ) -> Option<(Seconds, Seconds, Seconds)> {
+        if self.zbr_ratio.is_some() {
+            return None;
+        }
+        let rot = match self.rotation {
+            RotationModel::WorstCase => params.rot_worst,
+            RotationModel::Expected => params.rot_worst / 2.0,
+            RotationModel::Hashed => return None,
+        };
+        let transfer = cms_core::units::transfer_time(block_bytes, params.transfer_rate);
+        Some((rot, params.settle, transfer))
+    }
+
     /// Time to service one block at `block_no` after moving the head
     /// `distance` cylinders: seek + rotation + settle + transfer (at the
     /// destination cylinder's zone rate).

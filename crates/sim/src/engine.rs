@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::Metrics;
+use crate::table::{sv_get, sv_get_mut, sv_insert, sv_or_insert, sv_remove, StreamTable};
 use cms_admission::{
     Admission, AdmitRequest, DeclusteredAdmission, DynamicAdmission, FlatAdmission,
     NonClusteredAdmission, PendingList, PrefetchParityDiskAdmission, StreamingRaidAdmission,
@@ -38,33 +39,11 @@ struct Fetch {
     /// Failed-disk block number this read helps rebuild onto the spare,
     /// if this is a background-rebuild read.
     rebuild_for: Option<u64>,
-}
-
-/// An active playback session.
-#[derive(Debug)]
-struct Client {
-    placement: ClipPlacement,
-    admitted_at: u64,
-    /// For streaming RAID: first long-round fetch boundary.
-    first_boundary: u64,
-    /// Blocks whose fetches have been issued (count, in order).
-    issued: u64,
-    /// Consumption progress (blocks, in order; skipped blocks count).
-    consumed: u64,
-    /// idx → round from which the block is available in the buffer.
-    avail: BTreeMap<u64, u64>,
-    /// idx → outstanding reads before reconstruction completes.
-    recon_pending: BTreeMap<u64, u32>,
-}
-
-impl Client {
-    /// The round at which clip-block `idx` is due for transmission.
-    fn consume_round(&self, idx: u64, scheme: Scheme, p: u32) -> u64 {
-        match scheme {
-            Scheme::StreamingRaid => self.first_boundary + u64::from(p - 1) + idx,
-            _ => self.admitted_at + idx + 1,
-        }
-    }
+    /// The issuing stream's [`StreamTable`] slot at issue time
+    /// (`u32::MAX` for rebuild reads, which have no stream). Delivery
+    /// revalidates it against `client` — a completed stream's slot may
+    /// have been reused by the time a stale recovery read lands.
+    slot: u32,
 }
 
 /// The locally-computed summary of draining one disk's queue for one
@@ -103,6 +82,21 @@ struct RoundScratch {
     disk: cms_disk::ServiceScratch,
 }
 
+impl RoundScratch {
+    /// An arena pre-grown for rounds serving up to `budget` fetches, so
+    /// even the first serviced round (and rebuild's deeper queues — the
+    /// drain is still capped at the round budget) stays allocation-free
+    /// inside the serve bracket.
+    fn with_budget(budget: usize) -> Self {
+        RoundScratch {
+            served: Vec::with_capacity(budget),
+            requests: Vec::with_capacity(budget),
+            events: Vec::with_capacity(4),
+            disk: cms_disk::ServiceScratch::with_budget(budget),
+        }
+    }
+}
+
 /// Drains up to `budget` fetches from one disk's queue
 /// (earliest-deadline-first) and services them in C-SCAN order against
 /// that disk's own head/busy state. Pure per-disk work: callable
@@ -137,7 +131,14 @@ fn serve_disk(
     );
     let queue_len = queue.len() as u32;
     let take = queue.len().min(budget);
-    scratch.served.extend(queue.drain(..take));
+    if take == queue.len() {
+        // Whole queue served (the common healthy-round case): swap the
+        // buffers instead of copying every fetch. `served` was cleared
+        // above, so the queue comes back empty with `served`'s capacity.
+        std::mem::swap(&mut scratch.served, queue);
+    } else {
+        scratch.served.extend(queue.drain(..take));
+    }
     scratch.requests.extend(scratch.served.iter().map(|f| BlockRequest {
         disk: disk.id,
         block_no: f.loc.block_no,
@@ -182,6 +183,14 @@ struct PendingPlay {
     clip: ClipId,
     /// Blocks already consumed before the (re-)queueing.
     offset: u64,
+    /// Disk holding the first block to play. The catalog and layout are
+    /// immutable, so the admission probe's placement-derived fields are
+    /// the same on every scan — computed once at enqueue time instead of
+    /// per candidate per round. Meaningless (zero) when the remainder is
+    /// empty; admission completes those without probing.
+    start_disk: DiskId,
+    /// PGT row of the first block to play (same precomputation).
+    row: u32,
 }
 
 /// A paused session, parked outside admission (its bandwidth slot is
@@ -243,10 +252,8 @@ struct VerifyScratch {
 /// buffer never alias it.
 #[derive(Default)]
 struct EngineScratch {
-    /// Client-id snapshot for `schedule_fetches`.
-    ids: Vec<RequestId>,
-    /// Completed clients collected by `consume_and_complete`.
-    done: Vec<RequestId>,
+    /// Completed `(id, slot)` pairs collected by `consume_and_complete`.
+    done: Vec<(RequestId, u32)>,
     /// Healthy group members in `issue_group_fetch`.
     healthy: Vec<(u64, BlockLocation)>,
     /// Reconstruction-read locations (recovery and rebuild paths).
@@ -269,9 +276,16 @@ pub struct Simulator {
     paused: BTreeMap<RequestId, PausedClient>,
     arrivals: PoissonArrivals,
     choice: ClipChoice,
-    clients: BTreeMap<RequestId, Client>,
+    /// Active streams, stored as struct-of-arrays columns indexed by
+    /// dense slot id (see the `table` module docs).
+    table: StreamTable,
     array: DiskArray,
     queues: Vec<Vec<Fetch>>,
+    /// Per-disk staging rows for fetches issued this round. `push_fetch`
+    /// appends here; `flush_disk` sorts each row once and bulk-merges it
+    /// into the disk's `(needed, seq)`-ordered queue — one O(n + k)
+    /// merge per disk per round instead of k O(n) mid-vector inserts.
+    incoming: Vec<Vec<Fetch>>,
     /// Issue stamp for the next fetch (see [`Fetch::seq`]).
     fetch_seq: u64,
     /// Per-disk round arenas, reused every round (DESIGN.md §7).
@@ -474,14 +488,15 @@ impl Simulator {
                 ClipChoice::uniform(cfg.catalog_clips, cfg.seed ^ 0xC11)
             },
             queues: vec![Vec::new(); cfg.d as usize],
+            incoming: vec![Vec::new(); cfg.d as usize],
             fetch_seq: 0,
-            round_scratch: (0..cfg.d).map(|_| RoundScratch::default()).collect(),
+            round_scratch: (0..cfg.d).map(|_| RoundScratch::with_budget(cfg.q as usize)).collect(),
             round_results: vec![DiskRound::default(); cfg.d as usize],
             scratch: EngineScratch::default(),
             workers,
             pending: PendingList::new(),
             paused: BTreeMap::new(),
-            clients: BTreeMap::new(),
+            table: StreamTable::default(),
             layout,
             catalog,
             admission,
@@ -591,7 +606,7 @@ impl Simulator {
             late_serves: self.metrics.late_serves - before.8,
             lost_streams: self.metrics.lost_streams - before.9,
             degraded_refusals: self.metrics.degraded_refusals - before.10,
-            active: self.clients.len() as u64,
+            active: self.table.len() as u64,
             pending: self.pending.len() as u64,
             down_disks,
             degraded_cap,
@@ -635,7 +650,7 @@ impl Simulator {
     /// Number of active playback sessions.
     #[must_use]
     pub fn active_clients(&self) -> usize {
-        self.clients.len()
+        self.table.len()
     }
 
     /// Number of requests waiting in the pending list.
@@ -663,6 +678,24 @@ impl Simulator {
         self.failed.contains(&disk) || self.transient_until.contains_key(&disk)
     }
 
+    /// Builds the pending-queue payload for playing `clip` from `offset`,
+    /// precomputing the admission probe's layout lookups (see
+    /// [`PendingPlay`]).
+    fn pending_play(&self, clip: ClipId, offset: u64) -> PendingPlay {
+        let placement = self.catalog.placement(clip);
+        let offset = offset.min(placement.len);
+        if placement.len == offset {
+            return PendingPlay { clip, offset, start_disk: DiskId(0), row: 0 };
+        }
+        let start = StreamAddr::new(placement.stream, placement.start_index + offset);
+        PendingPlay {
+            clip,
+            offset,
+            start_disk: self.layout.locate(start).disk,
+            row: self.layout.row_of(start).unwrap_or(0),
+        }
+    }
+
     /// Submits an external playback request for `clip` (in addition to —
     /// or instead of, when `arrival_rate` is 0 — the generated workload).
     /// The request queues in the FIFO pending list like any arrival.
@@ -679,7 +712,7 @@ impl Simulator {
         }
         let id = RequestId(self.next_request);
         self.next_request += 1;
-        self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
+        self.pending.push(id, Round(self.t), self.pending_play(clip, 0));
         self.metrics.arrivals += 1;
         emit(
             &mut self.tracer,
@@ -698,14 +731,16 @@ impl Simulator {
     /// Returns [`CmsError::InvalidParams`] if `id` is not an active
     /// session.
     pub fn pause(&mut self, id: RequestId) -> Result<(), CmsError> {
-        let Some(client) = self.clients.remove(&id) else {
+        let Some(slot) = self.table.slot_of(id) else {
             return Err(CmsError::invalid_params(format!("{id} is not playing")));
         };
+        let parked = PausedClient {
+            clip: self.table.placement[slot as usize].id,
+            consumed: self.table.consumed[slot as usize],
+        };
+        self.table.remove(id, slot);
         self.admission.remove(id);
-        self.paused.insert(
-            id,
-            PausedClient { clip: client.placement.id, consumed: client.consumed },
-        );
+        self.paused.insert(id, parked);
         Ok(())
     }
 
@@ -730,7 +765,7 @@ impl Simulator {
         let new_id = RequestId(self.next_request);
         self.next_request += 1;
         self.pending
-            .push(new_id, Round(self.t), PendingPlay { clip: parked.clip, offset });
+            .push(new_id, Round(self.t), self.pending_play(parked.clip, offset));
         Ok(new_id)
     }
 
@@ -761,7 +796,7 @@ impl Simulator {
             if self.cfg.scheme.prefetches_groups() { (offset / span) * span } else { offset };
         let id = RequestId(self.next_request);
         self.next_request += 1;
-        self.pending.push(id, Round(self.t), PendingPlay { clip, offset });
+        self.pending.push(id, Round(self.t), self.pending_play(clip, offset));
         self.metrics.arrivals += 1;
         emit(&mut self.tracer, self.t, EventKind::Arrival { request: id.raw(), clip: clip.raw() });
         Ok(id)
@@ -774,12 +809,15 @@ impl Simulator {
     /// goes dark and its streams must be re-homed.
     #[must_use]
     pub fn export_sessions(&self) -> Vec<SessionExport> {
-        let mut out = Vec::with_capacity(self.clients.len() + self.pending.len());
-        for (&id, client) in &self.clients {
+        let mut out = Vec::with_capacity(self.table.len() + self.pending.len());
+        for &(id, slot) in &self.table.order {
+            if !self.table.live(id, slot) {
+                continue;
+            }
             out.push(SessionExport {
                 request: id,
-                clip: client.placement.id,
-                offset: client.consumed,
+                clip: self.table.placement[slot as usize].id,
+                offset: self.table.consumed[slot as usize],
                 was_active: true,
             });
         }
@@ -803,16 +841,21 @@ impl Simulator {
     /// sessions dropped (the streams the gateway must re-home or declare
     /// lost).
     pub fn evacuate(&mut self) -> usize {
-        let dropped = self.clients.len() + self.pending.len();
-        let ids: Vec<RequestId> = self.clients.keys().copied().collect();
-        for id in ids {
-            self.admission.remove(id);
+        let dropped = self.table.len() + self.pending.len();
+        for i in 0..self.table.order.len() {
+            let (id, slot) = self.table.order[i];
+            if self.table.live(id, slot) {
+                self.admission.remove(id);
+            }
         }
-        self.clients.clear();
+        self.table.clear();
         while self.pending.pop().is_some() {}
         self.paused.clear();
         for queue in &mut self.queues {
             queue.clear();
+        }
+        for staged in &mut self.incoming {
+            staged.clear();
         }
         self.rebuild = None;
         self.rebuild_pending.clear();
@@ -920,6 +963,7 @@ impl Simulator {
                 serves: None,
                 recon_for: None,
                 rebuild_for: Some(block_no),
+                slot: u32::MAX, // no stream
             });
         }
         self.scratch.rebuild_batch = batch;
@@ -1023,16 +1067,21 @@ impl Simulator {
     /// themselves reconstruction inputs mean the stream lost a second
     /// group member, and rebuild source reads leave a counted hole.
     fn strand_queue(&mut self, disk: DiskId) {
+        // Recovery reads scheduled by an earlier strand in the same
+        // fault batch may still sit in this disk's staging row; merge
+        // them in first so they strand in exactly the order the queue
+        // would have held them.
+        self.flush_disk(disk.idx());
         let stranded: Vec<Fetch> = std::mem::take(&mut self.queues[disk.idx()]);
         for fetch in stranded {
             if let Some(idx) = fetch.recon_for {
                 // This read was reconstructing `idx` from survivors;
                 // losing a survivor is a second failure in the group.
-                self.lose_stream(fetch.client, idx);
+                self.lose_stream(fetch.client, fetch.slot, idx);
                 continue;
             }
             if let Some(idx) = fetch.serves {
-                self.schedule_recovery(fetch.client, idx, fetch.needed);
+                self.schedule_recovery(fetch.client, fetch.slot, idx, fetch.needed);
             }
             if let Some(block_no) = fetch.rebuild_for {
                 self.abandon_rebuild_block(block_no);
@@ -1043,8 +1092,9 @@ impl Simulator {
     /// Deterministically terminates a stream whose due block became
     /// unreconstructable (a second failure in its parity group). The
     /// client is removed and counted — never silently mis-served.
-    fn lose_stream(&mut self, id: RequestId, block: u64) {
-        if self.clients.remove(&id).is_some() {
+    fn lose_stream(&mut self, id: RequestId, slot: u32, block: u64) {
+        if self.table.live(id, slot) {
+            self.table.remove(id, slot);
             self.admission.remove(id);
             self.metrics.lost_streams += 1;
             emit(
@@ -1171,7 +1221,7 @@ impl Simulator {
             let clip = self.choice.next_clip();
             let id = RequestId(self.next_request);
             self.next_request += 1;
-            self.pending.push(id, Round(self.t), PendingPlay { clip, offset: 0 });
+            self.pending.push(id, Round(self.t), self.pending_play(clip, 0));
             self.metrics.arrivals += 1;
             emit(
                 &mut self.tracer,
@@ -1241,7 +1291,7 @@ impl Simulator {
                 continue;
             }
             if let Some(cap) = degraded_cap {
-                if self.clients.len() as u64 >= cap {
+                if self.table.len() as u64 >= cap {
                     // Degraded mode: the cap is reached; refuse this
                     // round's remaining candidates (they stay queued)
                     // and count one refusal for the blocked head.
@@ -1257,17 +1307,22 @@ impl Simulator {
                     break;
                 }
             }
-            let start = StreamAddr::new(placement.stream, placement.start_index);
-            let loc = self.layout.locate(start);
+            // `start_disk` and `row` were precomputed when the candidate
+            // was enqueued — the layout is immutable, so the probe fields
+            // never change between scans.
             let req = AdmitRequest {
                 id: cand.id,
                 stream: placement.stream,
                 start_index: placement.start_index,
-                start_disk: loc.disk,
-                row: self.layout.row_of(start).unwrap_or(0),
+                start_disk: cand.payload.start_disk,
+                row: cand.payload.row,
                 len: placement.len,
             };
-            if self.admission.try_admit(req).is_err() {
+            // Allocation-free preview first: a rejection costs one table
+            // probe instead of `try_admit`'s error-message formatting.
+            // The trace event carries no reason string, so skipping the
+            // full call is observationally identical.
+            if !self.admission.check(&req) || self.admission.try_admit(req).is_err() {
                 emit(
                     &mut self.tracer,
                     self.t,
@@ -1298,33 +1353,38 @@ impl Simulator {
                 EventKind::Admission { request: cand.id.raw(), clip: cand_clip.raw(), wait },
             );
             let span = u64::from(self.cfg.p - 1).max(1);
-            self.clients.insert(
-                cand.id,
-                Client {
-                    placement,
-                    admitted_at: self.t,
-                    first_boundary: self.t.div_ceil(span) * span,
-                    issued: 0,
-                    consumed: 0,
-                    avail: BTreeMap::new(),
-                    recon_pending: BTreeMap::new(),
-                },
-            );
-            self.metrics.peak_active = self.metrics.peak_active.max(self.clients.len() as u64);
+            self.table.admit(cand.id, placement, self.t, self.t.div_ceil(span) * span);
+            self.metrics.peak_active = self.metrics.peak_active.max(self.table.len() as u64);
         }
+        // One bulk merge of this round's admissions into iteration order
+        // (the scan visits the id-sorted pending queue, so staged ids
+        // are ascending; bypass means they may interleave with ids
+        // admitted in earlier rounds).
+        self.table.flush_staged();
     }
 
+    // lint: hot
     fn schedule_fetches(&mut self) {
         let span = u64::from(self.cfg.p - 1).max(1);
         let scheme = self.cfg.scheme;
-        let mut ids = std::mem::take(&mut self.scratch.ids);
-        ids.clear();
-        ids.extend(self.clients.keys().copied());
-        for &id in &ids {
-            let (placement, admitted_at, first_boundary, issued) = {
-                let c = &self.clients[&id];
-                (c.placement, c.admitted_at, c.first_boundary, c.issued)
-            };
+        // Walk the id-sorted order index directly — the same ascending-id
+        // visit order the old map snapshot produced, with no snapshot
+        // vector. `lose_stream` mid-walk only tombstones entries (never
+        // reorders or grows `order`), so positional iteration is stable;
+        // the liveness recheck after each issue mirrors the old map
+        // re-lookups.
+        for at in 0..self.table.order.len() {
+            let (id, slot) = self.table.order[at];
+            if !self.table.live(id, slot) {
+                continue;
+            }
+            let s = slot as usize;
+            let (placement, admitted_at, first_boundary, issued) = (
+                self.table.placement[s],
+                self.table.admitted_at[s],
+                self.table.first_boundary[s],
+                self.table.issued[s],
+            );
             if issued >= placement.len {
                 continue;
             }
@@ -1338,10 +1398,10 @@ impl Simulator {
                         continue;
                     }
                     let idx = issued;
-                    let needed = self.clients[&id].consume_round(idx, scheme, self.cfg.p);
-                    self.issue_data_fetch(id, idx, needed);
-                    if let Some(c) = self.clients.get_mut(&id) {
-                        c.issued = idx + 1;
+                    let needed = self.table.consume_round(slot, idx, scheme, self.cfg.p);
+                    self.issue_data_fetch(id, slot, idx, needed);
+                    if self.table.live(id, slot) {
+                        self.table.issued[s] = idx + 1;
                     }
                 }
                 Scheme::PrefetchParityDisks | Scheme::PrefetchFlat => {
@@ -1350,9 +1410,9 @@ impl Simulator {
                         continue;
                     }
                     let group_end = (issued + span).min(placement.len);
-                    self.issue_group_fetch(id, issued, group_end, false);
-                    if let Some(c) = self.clients.get_mut(&id) {
-                        c.issued = group_end;
+                    self.issue_group_fetch(id, slot, issued, group_end, false);
+                    if self.table.live(id, slot) {
+                        self.table.issued[s] = group_end;
                     }
                 }
                 Scheme::StreamingRaid => {
@@ -1361,27 +1421,28 @@ impl Simulator {
                         continue;
                     }
                     let group_end = (issued + span).min(placement.len);
-                    self.issue_group_fetch(id, issued, group_end, true);
-                    if let Some(c) = self.clients.get_mut(&id) {
-                        c.issued = group_end;
+                    self.issue_group_fetch(id, slot, issued, group_end, true);
+                    if self.table.live(id, slot) {
+                        self.table.issued[s] = group_end;
                     }
                 }
             }
         }
-        self.scratch.ids = ids;
     }
 
     /// Issues the single-block fetch for `idx`, or recovery reads if its
     /// disk is down.
-    fn issue_data_fetch(&mut self, id: RequestId, idx: u64, needed: u64) {
-        let Some(c) = self.clients.get(&id) else {
+    // lint: hot
+    fn issue_data_fetch(&mut self, id: RequestId, slot: u32, idx: u64, needed: u64) {
+        if !self.table.live(id, slot) {
             return; // stream already lost or completed
-        };
-        let addr = StreamAddr::new(c.placement.stream, c.placement.start_index + idx);
-        let clip = c.placement.id;
+        }
+        let placement = self.table.placement[slot as usize];
+        let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
+        let clip = placement.id;
         let loc = self.layout.locate(addr);
         if self.is_down(loc.disk) {
-            self.schedule_recovery(id, idx, needed);
+            self.schedule_recovery(id, slot, idx, needed);
         } else {
             self.push_fetch(Fetch {
                 client: id,
@@ -1392,6 +1453,7 @@ impl Simulator {
                 serves: Some(idx),
                 recon_for: None,
                 rebuild_for: None,
+                slot,
             });
         }
     }
@@ -1401,11 +1463,12 @@ impl Simulator {
     /// RAID). Reads on a failed disk are replaced by the pre-fetching
     /// recovery rule: the parity block substitutes, and the sibling reads
     /// of the same fetch double as reconstruction inputs.
-    fn issue_group_fetch(&mut self, id: RequestId, start: u64, end: u64, with_parity: bool) {
-        let Some(c) = self.clients.get(&id) else {
+    // lint: hot
+    fn issue_group_fetch(&mut self, id: RequestId, slot: u32, start: u64, end: u64, with_parity: bool) {
+        if !self.table.live(id, slot) {
             return; // stream already lost or completed
-        };
-        let placement = c.placement;
+        }
+        let placement = self.table.placement[slot as usize];
         let clip = placement.id;
         let scheme = self.cfg.scheme;
         let p = self.cfg.p;
@@ -1435,14 +1498,12 @@ impl Simulator {
             // with it): the group cannot reconstruct — declare the
             // stream lost instead of mis-serving a partial XOR.
             self.scratch.healthy = healthy;
-            self.lose_stream(id, lost.unwrap_or(start));
+            self.lose_stream(id, slot, lost.unwrap_or(start));
             return;
         }
-        let needed_of = |client: &Client, idx: u64| client.consume_round(idx, scheme, p);
-
-        let lost_needed = lost.map(|idx| needed_of(&self.clients[&id], idx));
+        let lost_needed = lost.map(|idx| self.table.consume_round(slot, idx, scheme, p));
         for &(idx, loc) in &healthy {
-            let needed = needed_of(&self.clients[&id], idx);
+            let needed = self.table.consume_round(slot, idx, scheme, p);
             self.push_fetch(Fetch {
                 client: id,
                 clip,
@@ -1452,6 +1513,7 @@ impl Simulator {
                 serves: Some(idx),
                 recon_for: lost,
                 rebuild_for: None,
+                slot,
             });
         }
         self.scratch.healthy = healthy;
@@ -1459,7 +1521,8 @@ impl Simulator {
         // pre-fetching schemes (unless the parity disk itself died, in
         // which case the data is all there and nothing is lost).
         if parity_alive && (with_parity || lost.is_some()) {
-            let needed = lost_needed.unwrap_or_else(|| needed_of(&self.clients[&id], start));
+            let needed =
+                lost_needed.unwrap_or_else(|| self.table.consume_round(slot, start, scheme, p));
             self.push_fetch(Fetch {
                 client: id,
                 clip,
@@ -1469,6 +1532,7 @@ impl Simulator {
                 serves: None,
                 recon_for: lost,
                 rebuild_for: None,
+                slot,
             });
             if let Some(idx) = lost {
                 self.metrics.recovery_reads += 1;
@@ -1493,19 +1557,19 @@ impl Simulator {
             if let Some(tr) = self.tracer.as_mut() {
                 tr.record_recovery_fanout(survivors);
             }
-            if let Some(client) = self.clients.get_mut(&id) {
-                client.recon_pending.insert(idx, survivors as u32);
+            if self.table.live(id, slot) {
+                sv_insert(&mut self.table.recon_pending[slot as usize], idx, survivors as u32);
             }
         }
     }
 
     /// Schedules the declustered/non-clustered recovery reads that rebuild
     /// clip block `idx` after its disk failed.
-    fn schedule_recovery(&mut self, id: RequestId, idx: u64, needed: u64) {
-        let Some(c) = self.clients.get(&id) else {
+    fn schedule_recovery(&mut self, id: RequestId, slot: u32, idx: u64, needed: u64) {
+        if !self.table.live(id, slot) {
             return; // stream already lost or completed
-        };
-        let placement = c.placement;
+        }
+        let placement = self.table.placement[slot as usize];
         let clip = placement.id;
         let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
         let mut reads = std::mem::take(&mut self.scratch.reads);
@@ -1515,7 +1579,7 @@ impl Simulator {
         // lost, never silently mis-served from a partial XOR.
         if reads.is_empty() || reads.iter().any(|l| self.is_down(l.disk)) {
             self.scratch.reads = reads;
-            self.lose_stream(id, idx);
+            self.lose_stream(id, slot, idx);
             return;
         }
         let mut survivors = 0u32;
@@ -1529,6 +1593,7 @@ impl Simulator {
                 serves: None,
                 recon_for: Some(idx),
                 rebuild_for: None,
+                slot,
             });
             survivors += 1;
             self.metrics.recovery_reads += 1;
@@ -1543,28 +1608,75 @@ impl Simulator {
         if let Some(tr) = self.tracer.as_mut() {
             tr.record_recovery_fanout(u64::from(survivors));
         }
-        if let Some(client) = self.clients.get_mut(&id) {
-            client.recon_pending.insert(idx, survivors);
+        if self.table.live(id, slot) {
+            sv_insert(&mut self.table.recon_pending[slot as usize], idx, survivors);
         }
     }
 
-    /// Inserts a fetch into its disk's queue, keeping the queue ordered
-    /// by `(needed, seq)`. The stamp is assigned here — monotonically
+    /// Stages a fetch for its disk, stamping the issue seq — monotonically
     /// increasing across the whole run — so a fresh fetch always sorts
-    /// *after* every queued fetch with the same deadline. That reproduces
-    /// the old per-round stable sort exactly: leftovers (earlier stamps)
-    /// precede new arrivals among equal deadlines, and relative order
-    /// within each group is preserved by induction.
+    /// *after* every queued fetch with the same deadline. The staging row
+    /// is merged into the disk's `(needed, seq)`-ordered queue by
+    /// [`Simulator::flush_disk`]; the combined sort-and-merge produces
+    /// exactly the queue the old one-ordered-insert-per-push maintained
+    /// (and hence the old per-round stable sort on `needed`: leftovers —
+    /// earlier stamps — precede new arrivals among equal deadlines).
     // lint: hot
     fn push_fetch(&mut self, mut fetch: Fetch) {
         debug_assert!(!self.is_down(fetch.loc.disk), "fetch routed to a down disk");
         fetch.seq = self.fetch_seq;
         self.fetch_seq += 1;
-        let queue = &mut self.queues[fetch.loc.disk.idx()];
-        // First slot with a strictly later deadline; among equal
-        // deadlines the new stamp is the largest, so it lands last.
-        let pos = queue.partition_point(|f| f.needed <= fetch.needed);
-        queue.insert(pos, fetch);
+        self.incoming[fetch.loc.disk.idx()].push(fetch);
+    }
+
+    /// Merges one disk's staging row into its EDF queue. Both runs are
+    /// sorted by `(needed, seq)` — the staging row after one
+    /// `sort_unstable` (unique seq stamps: no ties, so instability is
+    /// irrelevant), the queue by induction — so a single backward
+    /// two-pointer merge restores the global order in O(n + k) moves.
+    /// Equivalent to, and replacing, k ordered mid-vector inserts of
+    /// O(n) each.
+    // lint: hot
+    fn flush_disk(&mut self, disk: usize) {
+        let (queue, staged) = (&mut self.queues[disk], &mut self.incoming[disk]);
+        if staged.is_empty() {
+            return;
+        }
+        staged.sort_unstable_by_key(|f| (f.needed, f.seq));
+        if queue.last().is_none_or(|l| (l.needed, l.seq) < (staged[0].needed, staged[0].seq)) {
+            // Common case (steady state): every staged fetch lands after
+            // the whole queue.
+            queue.extend_from_slice(staged);
+        } else {
+            let old_len = queue.len();
+            queue.extend_from_slice(staged);
+            // Backward merge: `i` walks the old run, `j` the staged run,
+            // `k` the write cursor. While `j ≥ 0`, `k` stays strictly
+            // ahead of `i`, so no unread element is overwritten — the
+            // safe-code in-place merge (the sim crate forbids unsafe).
+            let mut i = old_len as isize - 1;
+            let mut j = staged.len() as isize - 1;
+            let mut k = queue.len() as isize - 1;
+            while j >= 0 {
+                let take_old = i >= 0 && {
+                    let (o, s) = (&queue[i as usize], &staged[j as usize]);
+                    (o.needed, o.seq) > (s.needed, s.seq)
+                };
+                if take_old {
+                    queue[k as usize] = queue[i as usize];
+                    i -= 1;
+                } else {
+                    queue[k as usize] = staged[j as usize];
+                    j -= 1;
+                }
+                k -= 1;
+            }
+        }
+        staged.clear();
+        debug_assert!(
+            queue.windows(2).all(|w| (w[0].needed, w[0].seq) <= (w[1].needed, w[1].seq)),
+            "disk queue must stay ordered by (needed, seq)"
+        );
     }
 
     /// Services every disk's queue for this round, then merges the
@@ -1581,6 +1693,13 @@ impl Simulator {
     /// used, which is what makes results bit-identical at any thread
     /// count (the determinism contract in DESIGN.md).
     fn execute_disks(&mut self) {
+        // Merge this round's staged fetches into the per-disk EDF queues
+        // — before the streaming-RAID gate below, so fetches staged on a
+        // skipped round are queued (not lost) exactly as the old direct
+        // ordered inserts left them.
+        for disk in 0..self.queues.len() {
+            self.flush_disk(disk);
+        }
         let span = u64::from(self.cfg.p - 1).max(1);
         let streaming = self.cfg.scheme == Scheme::StreamingRaid;
         // Streaming RAID disks work in long rounds; others every round.
@@ -1679,6 +1798,7 @@ impl Simulator {
         self.round_results = results;
     }
 
+    // lint: hot
     fn deliver(&mut self, fetch: Fetch) {
         self.metrics.blocks_fetched += 1;
         if let Some(block_no) = fetch.rebuild_for {
@@ -1706,18 +1826,19 @@ impl Simulator {
                 },
             );
         }
-        let Some(client) = self.clients.get_mut(&fetch.client) else {
+        if !self.table.live(fetch.client, fetch.slot) {
             return; // client already completed (stale recovery read)
-        };
+        }
+        let slot = fetch.slot as usize;
         if let Some(idx) = fetch.serves {
-            client.avail.entry(idx).or_insert(self.t + 1);
+            sv_or_insert(&mut self.table.avail[slot], idx, self.t + 1);
         }
         if let Some(idx) = fetch.recon_for {
-            if let Some(pending) = client.recon_pending.get_mut(&idx) {
+            if let Some(pending) = sv_get_mut(&mut self.table.recon_pending[slot], idx) {
                 *pending -= 1;
                 if *pending == 0 {
-                    client.recon_pending.remove(&idx);
-                    client.avail.insert(idx, self.t + 1);
+                    sv_remove(&mut self.table.recon_pending[slot], idx);
+                    sv_insert(&mut self.table.avail[slot], idx, self.t + 1);
                     self.metrics.reconstructions += 1;
                     emit(
                         &mut self.tracer,
@@ -1725,7 +1846,7 @@ impl Simulator {
                         EventKind::Reconstruction { request: fetch.client.raw(), block: idx },
                     );
                     if self.cfg.verify_parity {
-                        let placement = self.clients[&fetch.client].placement;
+                        let placement = self.table.placement[slot];
                         let mut vs = std::mem::take(&mut self.scratch.verify);
                         let ok = self.verify_reconstruction(&mut vs, placement, idx);
                         self.scratch.verify = vs;
@@ -1780,20 +1901,27 @@ impl Simulator {
         scratch.rebuilt == scratch.expect
     }
 
+    // lint: hot
     fn consume_and_complete(&mut self) {
         let scheme = self.cfg.scheme;
         let p = self.cfg.p;
         let mut done = std::mem::take(&mut self.scratch.done);
         done.clear();
         let mut buffered = 0u64;
-        for (&id, client) in &mut self.clients {
-            while client.consumed < client.placement.len
-                && self.t >= client.consume_round(client.consumed, scheme, p)
+        for at in 0..self.table.order.len() {
+            let (id, slot) = self.table.order[at];
+            if !self.table.live(id, slot) {
+                continue;
+            }
+            let s = slot as usize;
+            let len = self.table.placement[s].len;
+            while self.table.consumed[s] < len
+                && self.t >= self.table.consume_round(slot, self.table.consumed[s], scheme, p)
             {
-                let idx = client.consumed;
-                match client.avail.get(&idx) {
-                    Some(&at) if at <= self.t => {
-                        client.avail.remove(&idx);
+                let idx = self.table.consumed[s];
+                match sv_get(&self.table.avail[s], idx) {
+                    Some(avail_at) if avail_at <= self.t => {
+                        sv_remove(&mut self.table.avail[s], idx);
                         self.metrics.blocks_consumed += 1;
                     }
                     _ => {
@@ -1808,21 +1936,24 @@ impl Simulator {
                         );
                     }
                 }
-                client.consumed += 1;
+                self.table.consumed[s] += 1;
             }
-            buffered += client.avail.len() as u64;
-            if client.consumed >= client.placement.len {
-                done.push(id);
+            buffered += self.table.avail[s].len() as u64;
+            if self.table.consumed[s] >= len {
+                done.push((id, slot));
             }
         }
         self.metrics.peak_buffered_blocks = self.metrics.peak_buffered_blocks.max(buffered);
-        for &id in &done {
-            self.clients.remove(&id);
+        for &(id, slot) in &done {
+            self.table.remove(id, slot);
             self.admission.remove(id);
             self.metrics.completed += 1;
             emit(&mut self.tracer, self.t, EventKind::Completion { request: id.raw() });
         }
         self.scratch.done = done;
+        // Amortized sweep of completion tombstones out of the order
+        // index, so long runs never scan a mostly-dead vector.
+        self.table.maybe_compact();
     }
 }
 
@@ -1936,6 +2067,7 @@ mod tests {
                         serves: (!recon).then_some(block_no),
                         recon_for: recon.then_some(block_no),
                         rebuild_for: None,
+                        slot: 0,
                     };
                     seq += 1;
                     // Mirror push_fetch's ordered insert on one side, the

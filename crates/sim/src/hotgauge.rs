@@ -42,6 +42,20 @@ pub(crate) fn exit_serve() {
     SERVE_ROUNDS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Measurement-chain self-test: runs `f` inside a synthetic serve-phase
+/// bracket. A bench binary that installs a counting allocator calls this
+/// with a closure that deliberately allocates and asserts the allocation
+/// was counted — proving allocator → [`note_alloc`] → bracket
+/// attribution end-to-end. Needed because the real scenarios are
+/// allocation-free: a dead gauge and a clean hot path report the same
+/// zero.
+pub fn probe_serve<R>(f: impl FnOnce() -> R) -> R {
+    enter_serve();
+    let r = f();
+    exit_serve();
+    r
+}
+
 /// Zeroes both counters (call after warm-up rounds).
 pub fn reset() {
     SERVE_ALLOCS.store(0, Ordering::Relaxed);

@@ -316,6 +316,23 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), T::deserialize(v)?)))
+            .collect()
+    }
+}
+
 impl Serialize for Value {
     fn serialize(&self) -> Value {
         self.clone()
