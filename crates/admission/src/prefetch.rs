@@ -21,7 +21,8 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct PrefetchParityDiskAdmission {
     clusters: u32,
-    cadences: u32, // p − 1
+    p: u32,
+    cadences: u32, // k = p − m data disks per cluster
     q: u32,
     t: u64,
     /// `count[cadence][cluster_class]`.
@@ -30,16 +31,32 @@ pub struct PrefetchParityDiskAdmission {
 }
 
 impl PrefetchParityDiskAdmission {
-    /// Creates a controller for `d` disks in clusters of `p`, budget `q`.
+    /// Creates a controller for `d` disks in clusters of `p`, budget `q`,
+    /// with the paper's single parity disk per cluster.
     ///
     /// # Errors
     ///
     /// [`CmsError::InvalidParams`] unless `p | d`, `p ≥ 2`, `q ≥ 1`.
     pub fn new(d: u32, p: u32, q: u32) -> Result<Self, CmsError> {
+        Self::with_redundancy(d, p, 1, q)
+    }
+
+    /// Creates a controller for clusters of `k = p − m` data disks plus
+    /// `m` redundancy disks (GF(256) Reed–Solomon for `m ≥ 2`): a clip
+    /// fetches its whole next group every `k` rounds, and a cluster keeps
+    /// serving while at most `m` of its disks are down.
+    ///
+    /// # Errors
+    ///
+    /// [`CmsError::InvalidParams`] unless `p | d`, `p ≥ 2`, `q ≥ 1`,
+    /// `1 ≤ m < p`.
+    pub fn with_redundancy(d: u32, p: u32, m: u32, q: u32) -> Result<Self, CmsError> {
         validate_clustered(d, p, q)?;
-        let cadences = (p - 1).max(1);
+        validate_redundancy(p, m)?;
+        let cadences = (p - m).max(1);
         Ok(PrefetchParityDiskAdmission {
             clusters: d / p,
+            p,
             cadences,
             q,
             t: 0,
@@ -70,8 +87,7 @@ impl Admission for PrefetchParityDiskAdmission {
     }
 
     fn try_admit(&mut self, req: AdmitRequest) -> Result<(), CmsError> {
-        let p = self.cadences + 1;
-        let start_cluster = req.start_disk.raw() / p;
+        let start_cluster = req.start_disk.raw() / self.p;
         if start_cluster >= self.clusters {
             return Err(CmsError::invalid_params("start disk out of range"));
         }
@@ -89,8 +105,7 @@ impl Admission for PrefetchParityDiskAdmission {
     }
 
     fn check(&self, req: &AdmitRequest) -> bool {
-        let p = self.cadences + 1;
-        let start_cluster = req.start_disk.raw() / p;
+        let start_cluster = req.start_disk.raw() / self.p;
         if start_cluster >= self.clusters {
             return false;
         }
@@ -114,17 +129,16 @@ impl Admission for PrefetchParityDiskAdmission {
 
     fn worst_case_load(&self, disk: DiskId) -> u32 {
         // A data disk serves the clips fetching from its cluster this
-        // round; its parity disk serves at most the same count after a
-        // failure. Both are the slot count of (current cadence, the
+        // round; each redundancy disk serves at most the same count after
+        // a failure. Both are the slot count of (current cadence, the
         // class currently sitting on this cluster).
-        let p = self.cadences + 1;
-        let cluster = disk.raw() / p;
+        let cluster = disk.raw() / self.p;
         let (cadence, class) = self.slot(cluster);
         self.count[cadence as usize][class as usize]
     }
 
     fn nominal_capacity(&self) -> u64 {
-        // q clips per (cadence, cluster-class) slot: q·d(p−1)/p total.
+        // q clips per (cadence, cluster-class) slot: q·d(p−m)/p total.
         u64::from(self.cadences) * u64::from(self.clusters) * u64::from(self.q)
     }
 }
@@ -137,6 +151,8 @@ impl Admission for PrefetchParityDiskAdmission {
 pub struct StreamingRaidAdmission {
     clusters: u32,
     p: u32,
+    /// Long-round length `k = p − m` in standard rounds.
+    span: u32,
     q: u32,
     t: u64,
     count: Vec<u32>,
@@ -145,16 +161,31 @@ pub struct StreamingRaidAdmission {
 
 impl StreamingRaidAdmission {
     /// Creates a controller for `d` disks in clusters of `p`, with a
-    /// per-cluster budget `q`.
+    /// per-cluster budget `q` and the paper's single parity disk.
     ///
     /// # Errors
     ///
     /// [`CmsError::InvalidParams`] unless `p | d`, `p ≥ 2`, `q ≥ 1`.
     pub fn new(d: u32, p: u32, q: u32) -> Result<Self, CmsError> {
+        Self::with_redundancy(d, p, 1, q)
+    }
+
+    /// Creates a controller whose clusters stripe `k = p − m` data blocks
+    /// plus `m` redundancy blocks per group; long rounds shrink to `k`
+    /// standard rounds, and a cluster keeps its guarantees with up to `m`
+    /// of its disks down.
+    ///
+    /// # Errors
+    ///
+    /// [`CmsError::InvalidParams`] unless `p | d`, `p ≥ 2`, `q ≥ 1`,
+    /// `1 ≤ m < p`.
+    pub fn with_redundancy(d: u32, p: u32, m: u32, q: u32) -> Result<Self, CmsError> {
         validate_clustered(d, p, q)?;
+        validate_redundancy(p, m)?;
         Ok(StreamingRaidAdmission {
             clusters: d / p,
             p,
+            span: (p - m).max(1),
             q,
             t: 0,
             count: vec![0; (d / p) as usize],
@@ -166,7 +197,7 @@ impl StreamingRaidAdmission {
     /// long-round boundary (admissions mid-long-round start one boundary
     /// later — the paper's response-time quantization for this scheme).
     fn admit_class(&self, start_cluster: u32) -> u32 {
-        let span = u64::from((self.p - 1).max(1));
+        let span = u64::from(self.span);
         let first_long_round = self.t.div_ceil(span);
         ((u64::from(start_cluster) + u64::from(self.clusters) * (1 + first_long_round)
             - first_long_round)
@@ -176,7 +207,7 @@ impl StreamingRaidAdmission {
     /// Class of the clips currently fetching from `cluster` (i.e. during
     /// the long round containing `self.t`).
     fn current_class(&self, cluster: u32) -> u32 {
-        let span = u64::from((self.p - 1).max(1));
+        let span = u64::from(self.span);
         let long_round = self.t / span;
         ((u64::from(cluster) + u64::from(self.clusters) * (1 + long_round) - long_round)
             % u64::from(self.clusters)) as u32
@@ -354,6 +385,13 @@ fn validate_clustered(d: u32, p: u32, q: u32) -> Result<(), CmsError> {
     Ok(())
 }
 
+fn validate_redundancy(p: u32, m: u32) -> Result<(), CmsError> {
+    if m == 0 || m >= p {
+        return Err(CmsError::invalid_params("need 1 <= m < p redundancy shards"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +522,27 @@ mod tests {
         assert!(StreamingRaidAdmission::new(8, 3, 1).is_err());
         assert!(NonClusteredAdmission::new(8, 4, 0).is_err());
         assert!(PrefetchParityDiskAdmission::new(8, 1, 1).is_err());
+    }
+
+    #[test]
+    fn redundancy_shrinks_cadences_and_capacity() {
+        // (d = 8, p = 4, m = 2): k = 2 data disks per cluster, so 2
+        // cadences and capacity q·d(p−m)/p = 1·8·2/4 = 4.
+        let mut c = PrefetchParityDiskAdmission::with_redundancy(8, 4, 2, 1).unwrap();
+        assert_eq!(c.nominal_capacity(), 4);
+        c.try_admit(req(1, 0, 0)).unwrap();
+        // After k = 2 rounds the clip moved on to cluster 1.
+        c.advance_round();
+        c.advance_round();
+        assert!(c.try_admit(req(2, 4, 0)).is_err());
+        assert!(c.try_admit(req(3, 0, 0)).is_ok());
+
+        let s = StreamingRaidAdmission::with_redundancy(8, 4, 2, 3).unwrap();
+        assert_eq!(s.nominal_capacity(), 6);
+
+        assert!(PrefetchParityDiskAdmission::with_redundancy(8, 4, 0, 2).is_err());
+        assert!(PrefetchParityDiskAdmission::with_redundancy(8, 4, 4, 2).is_err());
+        assert!(StreamingRaidAdmission::with_redundancy(8, 4, 5, 3).is_err());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   failure, with reconstruction verification on;
 //! * `rebuild` — background rebuild onto a spare under client load (the
 //!   A3 experiment's configuration);
+//! * `rs-rebuild` — the campaign's `double_disk_failure_rs2` cell
+//!   (PrefetchParityDisks under RS(2, 2), both failures landing during
+//!   warm-up, background rebuild, byte-level verification on), so the
+//!   GF(256) encode/decode hot loops run — and are allocation-counted —
+//!   inside the timed window;
 //! * `cluster-small` — the campaign's 8-node steady-state cluster behind
 //!   the gateway (one serve phase per node per round, so `serve_rounds`
 //!   is `rounds * 8` for this scenario);
@@ -35,7 +40,8 @@
 
 use std::time::Instant;
 
-use cms_bench::{cluster_campaign_config, sim_point, BenchArgs, CLUSTER_SCENARIOS, PAPER_D};
+use cms_bench::campaign::campaign_config;
+use cms_bench::{cluster_campaign_config, sim_point, BenchArgs, CLUSTER_SCENARIOS, PAPER_D, SCENARIOS};
 use cms_cluster::ClusterSim;
 use cms_core::units::mib;
 use cms_core::{DiskId, Scheme};
@@ -214,6 +220,22 @@ fn rebuild_sim(total: u64, warmup: u64, seed: u64, threads: usize) -> Simulator 
     Simulator::new(cfg).expect("rebuild sim constructs")
 }
 
+/// The Reed–Solomon drill: the fault campaign's `double_disk_failure_rs2`
+/// cell — PrefetchParityDisks with RS(2, 2) groups, disks 1 and 2 (same
+/// cluster) failing at rounds 30/40 (inside the default warm-up),
+/// background rebuild, and byte-level reconstruction verification on.
+/// Every recovery and rebuild decode in the timed window exercises the
+/// GF(256) kernels, so the budget gate pins both their throughput and
+/// the zero-allocation contract of the `_within` codec paths.
+fn rs_rebuild_sim(total: u64, seed: u64, threads: usize) -> Simulator {
+    let scenario = SCENARIOS
+        .iter()
+        .find(|s| s.name == "double_disk_failure_rs2")
+        .expect("rs2 campaign scenario exists");
+    let cfg = campaign_config(scenario, Scheme::PrefetchParityDisks, total, seed, threads);
+    Simulator::new(cfg).expect("rs-rebuild sim constructs")
+}
+
 /// The scale stressor: 1000 disks, ~50 000 concurrent streams. p = 2
 /// resolves to the complete-pairs design (every disk pair is a parity
 /// group; r = 999, λ = 1 — the only feasible block design at v = 1000),
@@ -226,6 +248,7 @@ fn giant_sim(total: u64, seed: u64, threads: usize) -> Simulator {
         scheme: Scheme::DeclusteredParity,
         d: 1000,
         p: 2,
+        m: 1,
         q: 52,
         f: 2,
         block_bytes: mib(1),
@@ -338,6 +361,14 @@ fn main() {
         scenarios.push(run_scenario(
             "rebuild",
             rebuild_sim(total, warmup, seed, threads),
+            warmup,
+            rounds,
+        ));
+    }
+    if want("rs-rebuild") {
+        scenarios.push(run_scenario(
+            "rs-rebuild",
+            rs_rebuild_sim(total, seed, threads),
             warmup,
             rounds,
         ));

@@ -32,6 +32,10 @@ pub struct Scenario {
     pub degraded_admission: bool,
     /// Mean Poisson arrivals per round.
     pub arrival_rate: f64,
+    /// Redundancy shards per parity group (1 = XOR parity; `m >= 2` =
+    /// Reed–Solomon, clustered parity-disk schemes only — incompatible
+    /// schemes are skipped for that scenario).
+    pub m: u32,
 }
 
 /// The canned scenario set. Disks 1 and 3 share parity groups in the
@@ -39,13 +43,14 @@ pub struct Scenario {
 /// placements), so the double-failure scenarios provably overlap; a
 /// complementary pair such as 1 and 2 would reconstruct around both
 /// failures and lose nothing.
-pub const SCENARIOS: [Scenario; 5] = [
+pub const SCENARIOS: [Scenario; 7] = [
     Scenario {
         name: "single_failure",
         spec: "@30 fail 1\n",
         auto_rebuild: false,
         degraded_admission: true,
         arrival_rate: 20.0, // overload: the degraded cap must bite
+        m: 1,
     },
     Scenario {
         name: "fail_during_rebuild",
@@ -53,6 +58,7 @@ pub const SCENARIOS: [Scenario; 5] = [
         auto_rebuild: true,
         degraded_admission: false,
         arrival_rate: 3.0,
+        m: 1,
     },
     Scenario {
         name: "transient_blip",
@@ -60,6 +66,7 @@ pub const SCENARIOS: [Scenario; 5] = [
         auto_rebuild: false,
         degraded_admission: false,
         arrival_rate: 3.0,
+        m: 1,
     },
     Scenario {
         name: "double_failure_same_group",
@@ -67,6 +74,7 @@ pub const SCENARIOS: [Scenario; 5] = [
         auto_rebuild: false,
         degraded_admission: false,
         arrival_rate: 3.0,
+        m: 1,
     },
     Scenario {
         name: "slow_disk",
@@ -74,8 +82,38 @@ pub const SCENARIOS: [Scenario; 5] = [
         auto_rebuild: false,
         degraded_admission: false,
         arrival_rate: 1.0,
+        m: 1,
+    },
+    // The differential pair for multi-failure erasure coding: the same
+    // two-disk loss, first under single XOR parity (streams sharing a
+    // group with both disks are gone), then under RS(k, 2) (two erasures
+    // per group are decodable, so nothing is lost and the rebuild runs to
+    // completion). Disks 1 and 2 share cluster 0 in every (8, 4)
+    // clustered placement.
+    Scenario {
+        name: "double_disk_failure",
+        spec: "@30 fail 1\n@40 fail 2\n",
+        auto_rebuild: true,
+        degraded_admission: false,
+        arrival_rate: 3.0,
+        m: 1,
+    },
+    Scenario {
+        name: "double_disk_failure_rs2",
+        spec: "@30 fail 1\n@40 fail 2\n",
+        auto_rebuild: true,
+        degraded_admission: false,
+        arrival_rate: 3.0,
+        m: 2,
     },
 ];
+
+/// Whether `scheme` can run a scenario's redundancy level: `m >= 2`
+/// needs the Reed–Solomon clustered placements.
+#[must_use]
+pub fn scheme_supports_redundancy(scheme: Scheme, m: u32) -> bool {
+    m == 1 || matches!(scheme, Scheme::PrefetchParityDisks | Scheme::StreamingRaid)
+}
 
 /// Schemes the campaign sweeps: one declustered representative, one
 /// clustered representative, and the no-redundancy baseline.
@@ -83,12 +121,16 @@ pub const CAMPAIGN_SCHEMES: [Scheme; 3] =
     [Scheme::DeclusteredParity, Scheme::PrefetchParityDisks, Scheme::NonClustered];
 
 /// One (scenario, scheme) verdict — a JSONL line of the campaign output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignRow {
     /// Scenario name.
     pub scenario: String,
     /// Scheme under test.
     pub scheme: Scheme,
+    /// Redundancy shards per parity group the run used (serialized only
+    /// when it departs from 1, so the pre-existing single-parity golden
+    /// lines stay byte-identical).
+    pub m: u32,
     /// Playback glitches over the whole run.
     pub hiccups: u64,
     /// Streams deterministically declared lost (second failure in their
@@ -116,11 +158,74 @@ pub struct CampaignRow {
     pub guarantees_held: bool,
 }
 
+// Hand-rolled (de)serialization: `m` is emitted only when it departs
+// from 1 and defaults to 1 on read, keeping the historical single-parity
+// golden lines byte-identical (the vendored derive has no
+// `#[serde(default/skip_serializing_if)]`).
+impl Serialize for CampaignRow {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![
+            ("scenario".to_string(), self.scenario.serialize()),
+            ("scheme".to_string(), self.scheme.serialize()),
+        ];
+        if self.m != 1 {
+            fields.push(("m".to_string(), self.m.serialize()));
+        }
+        fields.push(("hiccups".to_string(), self.hiccups.serialize()));
+        fields.push(("lost_streams".to_string(), self.lost_streams.serialize()));
+        fields.push(("degraded_refusals".to_string(), self.degraded_refusals.serialize()));
+        fields.push((
+            "unrecoverable_blocks".to_string(),
+            self.unrecoverable_blocks.serialize(),
+        ));
+        fields.push((
+            "rebuild_completed_round".to_string(),
+            self.rebuild_completed_round.serialize(),
+        ));
+        fields.push(("admitted".to_string(), self.admitted.serialize()));
+        fields.push(("completed".to_string(), self.completed.serialize()));
+        fields.push(("recovery_reads".to_string(), self.recovery_reads.serialize()));
+        fields.push(("rebuild_reads".to_string(), self.rebuild_reads.serialize()));
+        fields.push(("parity_mismatches".to_string(), self.parity_mismatches.serialize()));
+        fields.push(("guarantees_held".to_string(), self.guarantees_held.serialize()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CampaignRow {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for CampaignRow"))?;
+        let m = match fields.iter().find(|(k, _)| k == "m") {
+            Some(_) => serde::from_field(fields, "m")?,
+            None => 1,
+        };
+        Ok(CampaignRow {
+            scenario: serde::from_field(fields, "scenario")?,
+            scheme: serde::from_field(fields, "scheme")?,
+            m,
+            hiccups: serde::from_field(fields, "hiccups")?,
+            lost_streams: serde::from_field(fields, "lost_streams")?,
+            degraded_refusals: serde::from_field(fields, "degraded_refusals")?,
+            unrecoverable_blocks: serde::from_field(fields, "unrecoverable_blocks")?,
+            rebuild_completed_round: serde::from_field(fields, "rebuild_completed_round")?,
+            admitted: serde::from_field(fields, "admitted")?,
+            completed: serde::from_field(fields, "completed")?,
+            recovery_reads: serde::from_field(fields, "recovery_reads")?,
+            rebuild_reads: serde::from_field(fields, "rebuild_reads")?,
+            parity_mismatches: serde::from_field(fields, "parity_mismatches")?,
+            guarantees_held: serde::from_field(fields, "guarantees_held")?,
+        })
+    }
+}
+
 impl CampaignRow {
     fn from_metrics(scenario: &Scenario, scheme: Scheme, m: &Metrics) -> Self {
         CampaignRow {
             scenario: scenario.name.to_string(),
             scheme,
+            m: scenario.m,
             hiccups: m.hiccups,
             lost_streams: m.lost_streams,
             degraded_refusals: m.degraded_refusals,
@@ -157,6 +262,7 @@ pub fn campaign_config(
         scheme,
         d: 8,
         p: 4,
+        m: scenario.m,
         q: 8,
         f: 2,
         block_bytes: 1 << 20,
@@ -197,6 +303,7 @@ pub fn campaign_rows(
         .iter()
         .filter(|sc| filter.is_none_or(|f| f == sc.name))
         .flat_map(|sc| CAMPAIGN_SCHEMES.into_iter().map(move |scheme| (sc, scheme)))
+        .filter(|&(sc, scheme)| scheme_supports_redundancy(scheme, sc.m))
         .enumerate()
         .map(|(slot, (sc, scheme))| (slot, sc, scheme))
         .collect();

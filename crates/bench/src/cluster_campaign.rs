@@ -186,6 +186,7 @@ pub fn cluster_campaign_config(
         scheme: Scheme::DeclusteredParity,
         d: 8,
         p: 4,
+        m: 1,
         q: 8,
         f: 2,
         block_bytes: 1 << 20,

@@ -150,6 +150,7 @@ mod tests {
             &cms_model::CapacityPoint {
                 scheme: Scheme::DeclusteredParity,
                 p: 4,
+                m: 1,
                 block_bytes: 1 << 20,
                 q: 8,
                 f: 2,

@@ -42,6 +42,9 @@ pub struct ConformanceCase {
     /// Parity group size (pinned, not auto-tuned, so the case is stable
     /// under model retuning).
     pub p: u32,
+    /// Redundancy shards per parity group (1 = XOR parity; `m >= 2` =
+    /// GF(256) Reed–Solomon, clustered parity-disk schemes only).
+    pub m: u32,
     /// Server RAM buffer, in MiB.
     pub buffer_mib: u64,
     /// Catalog size in clips.
@@ -81,6 +84,7 @@ impl ConformanceCase {
             .buffer_bytes(self.buffer_mib << 20)
             .catalog(self.clips, self.clip_len)
             .parity_group(self.p)
+            .redundancy(self.m)
             .seed(self.seed)
             .verify_reconstructions();
         if self.auto_rebuild {
@@ -110,11 +114,14 @@ impl ConformanceCase {
     }
 
     /// Renders the one-line `key=value` config header body (without the
-    /// leading `# `). [`ConformanceCase::parse_header`] inverts it.
+    /// leading `# `). [`ConformanceCase::parse_header`] inverts it. The
+    /// `m=` key is emitted only for `m >= 2`, so every pre-multi-failure
+    /// committed repro stays byte-stable.
     #[must_use]
     pub fn header(&self) -> String {
+        let m = if self.m == 1 { String::new() } else { format!(" m={}", self.m) };
         format!(
-            "scheme={} d={} p={} buffer_mib={} clips={} clip_len={} \
+            "scheme={} d={} p={}{m} buffer_mib={} clips={} clip_len={} \
              arrival_milli={} rounds={} seed={} rebuild={} degraded={}",
             scheme_token(self.scheme),
             self.d,
@@ -157,6 +164,13 @@ impl ConformanceCase {
                 fields.insert(k.to_owned(), n);
             }
         }
+        // Optional for backward compatibility: headers written before the
+        // multi-failure axis carry no `m` key and mean XOR parity.
+        let m = match fields.remove("m") {
+            None => 1,
+            Some(n) => u32::try_from(n)
+                .map_err(|_| CmsError::invalid_params("repro header: `m` out of range"))?,
+        };
         let mut take = |k: &str| {
             fields.remove(k).ok_or_else(|| {
                 CmsError::invalid_params(format!("repro header: missing key `{k}`"))
@@ -169,6 +183,7 @@ impl ConformanceCase {
                 .map_err(|_| CmsError::invalid_params("repro header: `d` out of range"))?,
             p: u32::try_from(take("p")?)
                 .map_err(|_| CmsError::invalid_params("repro header: `p` out of range"))?,
+            m,
             buffer_mib: take("buffer_mib")?,
             clips: take("clips")?,
             clip_len: take("clip_len")?,
@@ -196,6 +211,7 @@ mod tests {
             scheme: Scheme::DeclusteredParity,
             d: 8,
             p: 4,
+            m: 1,
             buffer_mib: 64,
             clips: 24,
             clip_len: 12,
@@ -223,6 +239,22 @@ mod tests {
         let mut parsed = ConformanceCase::parse_header(&case.header()).unwrap();
         parsed.faults = case.faults.clone();
         assert_eq!(parsed, case);
+    }
+
+    #[test]
+    fn header_m_key_is_optional_and_round_trips() {
+        // Pre-multi-failure headers carry no `m=` key and mean m = 1; an
+        // m = 1 case emits none (so committed repros stay byte-stable),
+        // while m >= 2 round-trips through an explicit key.
+        let xor = sample();
+        assert!(!xor.header().contains("m="), "m = 1 must not emit the key");
+        let mut rs = sample();
+        rs.scheme = Scheme::PrefetchParityDisks;
+        rs.m = 2;
+        assert!(rs.header().contains(" m=2 "), "m >= 2 must emit the key");
+        let mut parsed = ConformanceCase::parse_header(&rs.header()).unwrap();
+        parsed.faults = rs.faults.clone();
+        assert_eq!(parsed, rs);
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl ClusterCase {
             scheme: Scheme::DeclusteredParity,
             d: 8,
             p: 4,
+            m: 1,
             q: 8,
             f: 2,
             block_bytes: 1 << 20,

@@ -79,12 +79,22 @@ impl Strategy for CaseStrategy {
         // nothing through an outage, so it would only dilute coverage.
         let scheme = pick_scheme(rng, template == 1);
         let (d, p) = pick_geometry(rng, scheme);
+        // Multi-failure axis: the RS-capable clustered schemes sample
+        // m ∈ {1, 2, 3} (bounded by m < p); every other scheme pins the
+        // paper's single XOR parity.
+        let m = match scheme {
+            Scheme::PrefetchParityDisks | Scheme::StreamingRaid => {
+                1 + u32::try_from(rng.below(u64::from(p.min(4)) - 1)).unwrap_or(0)
+            }
+            _ => 1,
+        };
         let buffer_mib = [32u64, 64, 128][rng.below(3) as usize];
         let seed = rng.next_u64() >> 1;
         let mut case = ConformanceCase {
             scheme,
             d,
             p,
+            m,
             buffer_mib,
             // Catalog and arrival sizes are deliberately large enough to
             // push tens of concurrent streams through the SoA stream

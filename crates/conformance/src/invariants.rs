@@ -269,9 +269,11 @@ pub fn check_case_with(
             detail: format!("{} service errors", m.service_errors),
         });
     }
-    // The guarantee regime: at most one disk down at a time, no slow
-    // windows, and the scheme actually promises hiccup-free service
-    // (NonClustered only fault-free — §7.4). One further boundary the
+    // The guarantee regime: at most `m` disks down at a time (one under
+    // the paper's single-parity schemes; up to the redundancy shard
+    // count under RS), no slow windows, and the scheme actually promises
+    // hiccup-free service (NonClustered only fault-free — §7.4). One
+    // further boundary the
     // fuzzer itself established (see regressions/): the §2 contingency
     // analysis vets the *admitted* set — it reserves `f` for the
     // streams admission let in under fault-free accounting. Streams
@@ -285,7 +287,7 @@ pub fn check_case_with(
         .map(|r| r.admissions)
         .sum();
     let guarantee = !facts.has_slow
-        && facts.max_concurrent_down <= 1
+        && facts.max_concurrent_down <= u64::from(case.m)
         && (case.scheme != Scheme::NonClustered || facts.down_events == 0)
         && (admitted_while_down == 0 || case.degraded);
     if guarantee {
@@ -299,7 +301,10 @@ pub fn check_case_with(
         if m.lost_streams != 0 {
             violations.push(Violation {
                 invariant: InvariantId::FeasibleService,
-                detail: format!("{} streams lost without a double outage", m.lost_streams),
+                detail: format!(
+                    "{} streams lost within the designed tolerance (m = {})",
+                    m.lost_streams, case.m
+                ),
             });
         }
     }
@@ -352,7 +357,7 @@ pub fn check_case_with(
     for r in &run.reports {
         let expected = if !case.degraded || r.down_disks == 0 {
             None
-        } else if case.scheme == Scheme::NonClustered || r.down_disks > 1 {
+        } else if case.scheme == Scheme::NonClustered || r.down_disks > u64::from(case.m) {
             Some(0)
         } else {
             let healthy = u64::from(case.d).saturating_sub(r.down_disks);

@@ -114,6 +114,7 @@ mod tests {
                 scheme: Scheme::StreamingRaid,
                 d: 8,
                 p: 4,
+                m: 1,
                 buffer_mib: 64,
                 clips: 16,
                 clip_len: 8,

@@ -151,6 +151,7 @@ mod tests {
             scheme: Scheme::DeclusteredParity,
             d: 8,
             p: 4,
+            m: 1,
             buffer_mib: 128,
             clips: 32,
             clip_len: 16,

@@ -21,6 +21,7 @@ fn healthy_case() -> ConformanceCase {
         scheme: Scheme::StreamingRaid,
         d: 8,
         p: 4,
+        m: 1,
         buffer_mib: 64,
         clips: 16,
         clip_len: 8,

@@ -16,7 +16,8 @@ use crate::materialized::MaterializedLayout;
 use crate::types::{BlockLocation, ParityGroupInfo, Slot, StreamAddr};
 use cms_core::{CmsError, Scheme};
 
-/// Builds the clustered layout with `num_data_blocks` placed.
+/// Builds the clustered layout with `num_data_blocks` placed and a single
+/// XOR parity disk per cluster (the paper's `m = 1`).
 ///
 /// # Errors
 ///
@@ -26,6 +27,26 @@ pub fn build(
     scheme: Scheme,
     d: u32,
     p: u32,
+    num_data_blocks: u64,
+) -> Result<MaterializedLayout, CmsError> {
+    build_with_redundancy(scheme, d, p, 1, num_data_blocks)
+}
+
+/// Builds the clustered layout with `m` redundancy disks per cluster: the
+/// last `m` disks of each `p`-disk cluster hold Reed–Solomon shards
+/// (plain XOR parity when `m = 1`), the first `k = p − m` hold data.
+/// Groups are aligned runs of `k` consecutive data blocks plus one block
+/// on each of the cluster's redundancy disks.
+///
+/// # Errors
+///
+/// Returns [`CmsError::InvalidParams`] unless `2 <= p <= d`, `p | d`,
+/// `1 <= m < p`, and `scheme` is one of the three parity-disk schemes.
+pub fn build_with_redundancy(
+    scheme: Scheme,
+    d: u32,
+    p: u32,
+    m: u32,
     num_data_blocks: u64,
 ) -> Result<MaterializedLayout, CmsError> {
     if !scheme.uses_parity_disks() {
@@ -41,8 +62,14 @@ pub fn build(
             "clustered layout needs p | d (got d = {d}, p = {p})"
         )));
     }
+    if m == 0 || m >= p {
+        return Err(CmsError::invalid_params(format!(
+            "clustered layout needs 1 <= m < p (got p = {p}, m = {m})"
+        )));
+    }
+    let k = p - m;
     let clusters = d / p;
-    let data_disks = d - clusters; // d·(p−1)/p
+    let data_disks = clusters * k; // d·(p−m)/p
     let span = u64::from(data_disks);
 
     let mut slots: Vec<Vec<Slot>> = vec![Vec::new(); d as usize];
@@ -51,8 +78,8 @@ pub fn build(
     let mut group_of = vec![usize::MAX; num_data_blocks as usize];
 
     let physical_disk = |data_disk: u32| -> u32 {
-        let cluster = data_disk / (p - 1);
-        let offset = data_disk % (p - 1);
+        let cluster = data_disk / k;
+        let offset = data_disk % k;
         cluster * p + offset
     };
 
@@ -64,8 +91,8 @@ pub fn build(
         stream.push(BlockLocation::new(disk, block_no));
     }
 
-    // Groups: run g covers data indices g(p−1) .. g(p−1)+p−2.
-    let group_span = u64::from(p - 1);
+    // Groups: run g covers data indices g·k .. g·k+k−1.
+    let group_span = u64::from(k);
     let num_groups = num_data_blocks.div_ceil(group_span);
     for g in 0..num_groups {
         let start = g * group_span;
@@ -74,16 +101,20 @@ pub fn build(
         // All members lie in cluster g mod clusters at row g / clusters.
         let cluster = (g % u64::from(clusters)) as u32;
         let block_no = g / u64::from(clusters);
-        let parity_disk = cluster * p + (p - 1);
         let gid = groups.len();
-        push_slot(&mut slots[parity_disk as usize], block_no, Slot::Parity(gid));
+        // Redundancy shards occupy the cluster's last `m` disks, in
+        // shard-index order `k .. k + m` (`m >= 1` validated above).
+        for r in 0..m {
+            let disk = cluster * p + k + r;
+            push_slot(&mut slots[disk as usize], block_no, Slot::Parity(gid));
+        }
+        let parity = BlockLocation::new(cluster * p + k, block_no);
+        let extra: Vec<BlockLocation> =
+            (1..m).map(|r| BlockLocation::new(cluster * p + k + r, block_no)).collect();
         for a in &data {
             group_of[a.index as usize] = gid;
         }
-        groups.push(ParityGroupInfo {
-            data,
-            parity: BlockLocation::new(parity_disk, block_no),
-        });
+        groups.push(ParityGroupInfo { data, parity, extra });
     }
 
     MaterializedLayout::assemble(scheme, d, p, vec![stream], slots, groups, vec![group_of], None)
@@ -194,6 +225,69 @@ mod tests {
         assert!(build(Scheme::PrefetchParityDisks, 8, 1, 10).is_err());
         assert!(build(Scheme::PrefetchParityDisks, 8, 16, 10).is_err());
         assert!(build(Scheme::DeclusteredParity, 8, 4, 10).is_err()); // wrong scheme
+        assert!(build_with_redundancy(Scheme::PrefetchParityDisks, 8, 4, 0, 10).is_err());
+        assert!(build_with_redundancy(Scheme::PrefetchParityDisks, 8, 4, 4, 10).is_err());
+    }
+
+    #[test]
+    fn redundancy_two_reserves_the_last_two_disks_per_cluster() {
+        let layout =
+            build_with_redundancy(Scheme::PrefetchParityDisks, 8, 4, 2, 120).unwrap();
+        assert_eq!(layout.redundancy(), 2);
+        // Clusters {0..3} and {4..7}; k = 2 → data on {0,1,4,5}, shards
+        // on {2,3,6,7}.
+        for disk in [2u32, 3, 6, 7] {
+            for b in 0..layout.blocks_used(DiskId(disk)) {
+                assert!(
+                    matches!(layout.slot(DiskId(disk), b), Slot::Parity(_) | Slot::Free),
+                    "disk {disk} block {b} must be redundancy"
+                );
+            }
+        }
+        for disk in [0u32, 1, 4, 5] {
+            for b in 0..layout.blocks_used(DiskId(disk)) {
+                assert!(
+                    matches!(layout.slot(DiskId(disk), b), Slot::Data(_) | Slot::Free),
+                    "disk {disk} block {b} must be data"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_two_groups_have_k_data_and_m_shards() {
+        let layout = build_with_redundancy(Scheme::StreamingRaid, 8, 4, 2, 64).unwrap();
+        for gid in 0..layout.num_groups() {
+            let g = layout.group(gid);
+            assert_eq!(g.data.len(), 2, "full groups have k = p−m data blocks");
+            assert_eq!(g.redundancy(), 2);
+            let cluster = g.parity.disk.raw() / 4;
+            assert!(
+                g.extra.iter().all(|loc| loc.disk.raw() / 4 == cluster),
+                "group {gid}: shards span clusters"
+            );
+            assert_eq!(g.parity.disk.raw() % 4, 2);
+            assert_eq!(g.extra[0].disk.raw() % 4, 3);
+        }
+        // Reconstruction reads report the sibling data block plus both
+        // shards: any k = 2 of the 3 survivors suffice for the decoder.
+        let reads = layout.reconstruction_reads(StreamAddr::new(0, 0));
+        assert_eq!(reads.len(), 3);
+    }
+
+    #[test]
+    fn redundancy_one_is_byte_identical_to_build() {
+        let a = build(Scheme::PrefetchParityDisks, 8, 4, 120).unwrap();
+        let b = build_with_redundancy(Scheme::PrefetchParityDisks, 8, 4, 1, 120).unwrap();
+        assert_eq!(b.redundancy(), 1);
+        for i in 0..120u64 {
+            let addr = StreamAddr::new(0, i);
+            assert_eq!(a.locate(addr), b.locate(addr), "block {i}");
+            assert_eq!(a.group_id_of(addr), b.group_id_of(addr), "block {i}");
+        }
+        for gid in 0..a.num_groups() {
+            assert_eq!(a.group(gid), b.group(gid), "group {gid}");
+        }
     }
 
     #[test]

@@ -188,6 +188,7 @@ impl<'a> Allocator<'a> {
                 groups.push(ParityGroupInfo {
                     data,
                     parity: BlockLocation::new(parity_disk, pblock),
+                    extra: Vec::new(),
                 });
             }
         }

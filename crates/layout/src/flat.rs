@@ -78,6 +78,7 @@ pub fn build(d: u32, p: u32, num_data_blocks: u64) -> Result<MaterializedLayout,
         groups.push(ParityGroupInfo {
             data,
             parity: BlockLocation::new(parity_disk, parity_block),
+            extra: Vec::new(),
         });
     }
 

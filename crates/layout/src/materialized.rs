@@ -52,6 +52,15 @@ impl MaterializedLayout {
     }
 
     fn check_invariants(&self) -> Result<(), CmsError> {
+        // Redundancy is a layout-wide constant: every group carries the
+        // same shard count `m` (trailing groups may be short on data, but
+        // never on redundancy).
+        if let Some(first) = self.groups.first() {
+            let m = first.redundancy();
+            if self.groups.iter().any(|g| g.redundancy() != m) {
+                return Err(CmsError::invalid_params("groups disagree on redundancy m"));
+            }
+        }
         if self.slots.len() != self.d as usize {
             return Err(CmsError::invalid_params("slot table width != d"));
         }
@@ -73,13 +82,14 @@ impl MaterializedLayout {
                 return Err(CmsError::invalid_params("group_of length mismatch"));
             }
         }
-        // Groups: members on pairwise distinct disks, parity slot marked.
+        // Groups: members on pairwise distinct disks, every redundancy
+        // slot marked.
         for (gid, g) in self.groups.iter().enumerate() {
             let mut disks: Vec<DiskId> = g
                 .data
                 .iter()
                 .map(|&a| self.locate(a).disk)
-                .chain(std::iter::once(g.parity.disk))
+                .chain(g.redundancy_blocks().map(|loc| loc.disk))
                 .collect();
             disks.sort_unstable();
             let before = disks.len();
@@ -89,12 +99,14 @@ impl MaterializedLayout {
                     "group {gid} has two members on one disk"
                 )));
             }
-            match self.slot(g.parity.disk, g.parity.block_no) {
-                Slot::Parity(owner) if owner == gid => {}
-                other => {
-                    return Err(CmsError::invalid_params(format!(
-                        "parity slot of group {gid} holds {other:?}"
-                    )));
+            for loc in g.redundancy_blocks() {
+                match self.slot(loc.disk, loc.block_no) {
+                    Slot::Parity(owner) if owner == gid => {}
+                    other => {
+                        return Err(CmsError::invalid_params(format!(
+                            "parity slot of group {gid} holds {other:?}"
+                        )));
+                    }
                 }
             }
             for &a in &g.data {
@@ -180,9 +192,11 @@ impl MaterializedLayout {
     }
 
     /// Physical locations of the *other* members of `addr`'s parity group
-    /// (data blocks first, then the parity block) — exactly the blocks a
-    /// declustered-scheme server must fetch to reconstruct `addr` after
-    /// its disk fails.
+    /// (data blocks first, then the redundancy blocks) — exactly the
+    /// blocks a declustered-scheme server must fetch to reconstruct
+    /// `addr` after its disk fails. With `m > 1` redundancy shards the
+    /// list has more entries than a decode strictly needs (any `k`
+    /// suffice); the caller filters to the survivors it can reach.
     #[must_use]
     pub fn reconstruction_reads(&self, addr: StreamAddr) -> Vec<BlockLocation> {
         let mut out = Vec::new();
@@ -201,7 +215,14 @@ impl MaterializedLayout {
                 .filter(|&&a| a != addr)
                 .map(|&a| self.locate(a)),
         );
-        out.push(g.parity);
+        out.extend(g.redundancy_blocks());
+    }
+
+    /// Redundancy shards per group `m` (1 for every single-parity
+    /// layout; the clustered family can be built with more).
+    #[must_use]
+    pub fn redundancy(&self) -> u32 {
+        self.groups.first().map_or(1, |g| g.redundancy() as u32)
     }
 
     /// The PGT, for the declustered family.
@@ -245,6 +266,6 @@ impl MaterializedLayout {
         if data == 0 {
             return 0.0;
         }
-        self.groups.len() as f64 / data as f64
+        self.groups.iter().map(|g| g.redundancy() as u64).sum::<u64>() as f64 / data as f64
     }
 }

@@ -59,11 +59,17 @@ impl ModelInput {
     /// Largest block size storable for parity overhead `(p−1)/p`, or
     /// `u64::MAX` when no storage constraint is set.
     fn storage_block_cap(&self, p: u32) -> u64 {
+        self.storage_block_cap_m(p, 1)
+    }
+
+    /// [`Self::storage_block_cap`] with `m` redundancy shards per group:
+    /// only `p − m` of every `p` disk blocks hold data.
+    fn storage_block_cap_m(&self, p: u32, m: u32) -> u64 {
         match self.storage_blocks {
             None => u64::MAX,
             Some(blocks) => {
                 let data_capacity =
-                    u64::from(self.d) * self.disk.capacity / u64::from(p) * u64::from(p - 1);
+                    u64::from(self.d) * self.disk.capacity / u64::from(p) * u64::from(p - m);
                 (data_capacity / blocks.max(1)).max(1)
             }
         }
@@ -72,12 +78,18 @@ impl ModelInput {
 
 /// A solved capacity point: the parameters that maximize concurrent
 /// clips for one `(scheme, p)` combination.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CapacityPoint {
     /// The scheme.
     pub scheme: Scheme,
     /// Parity group size `p`.
     pub p: u32,
+    /// Redundancy shards per parity group `m`: 1 is the paper's XOR
+    /// parity; the clustered parity-disk schemes can trade data disks for
+    /// extra Reed–Solomon shards (`m >= 2`) to survive multi-disk
+    /// failures. Serialized only when it departs from 1, so single-parity
+    /// reports keep their historical byte layout.
+    pub m: u32,
     /// Chosen block size `b` in bytes.
     pub block_bytes: u64,
     /// Per-disk (per-cluster for streaming RAID) round budget `q`.
@@ -88,6 +100,50 @@ pub struct CapacityPoint {
     pub r: u32,
     /// Total concurrently serviceable clips, server-wide.
     pub total_clips: u32,
+}
+
+// Hand-rolled (de)serialization: `m` is emitted only when it departs from
+// 1 and defaults to 1 on read, so every single-parity report and golden
+// keeps its historical byte layout (the vendored derive has no
+// `#[serde(default/skip_serializing_if)]`).
+impl Serialize for CapacityPoint {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![
+            ("scheme".to_string(), self.scheme.serialize()),
+            ("p".to_string(), self.p.serialize()),
+        ];
+        if self.m != 1 {
+            fields.push(("m".to_string(), self.m.serialize()));
+        }
+        fields.push(("block_bytes".to_string(), self.block_bytes.serialize()));
+        fields.push(("q".to_string(), self.q.serialize()));
+        fields.push(("f".to_string(), self.f.serialize()));
+        fields.push(("r".to_string(), self.r.serialize()));
+        fields.push(("total_clips".to_string(), self.total_clips.serialize()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CapacityPoint {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for CapacityPoint"))?;
+        let m = match fields.iter().find(|(k, _)| k == "m") {
+            Some(_) => serde::from_field(fields, "m")?,
+            None => 1,
+        };
+        Ok(CapacityPoint {
+            scheme: serde::from_field(fields, "scheme")?,
+            p: serde::from_field(fields, "p")?,
+            m,
+            block_bytes: serde::from_field(fields, "block_bytes")?,
+            q: serde::from_field(fields, "q")?,
+            f: serde::from_field(fields, "f")?,
+            r: serde::from_field(fields, "r")?,
+            total_clips: serde::from_field(fields, "total_clips")?,
+        })
+    }
 }
 
 /// Ceiling on any per-disk `q`: the disk streaming limit `r_d / r_p`.
@@ -136,9 +192,42 @@ pub fn capacity_with_lambda(
             declustered(scheme, input, p, lambda)
         }
         Scheme::PrefetchFlat => prefetch_flat(input, p),
-        Scheme::PrefetchParityDisks => prefetch_parity_disks(input, p),
-        Scheme::StreamingRaid => streaming_raid(input, p),
+        Scheme::PrefetchParityDisks => prefetch_parity_disks(input, p, 1),
+        Scheme::StreamingRaid => streaming_raid(input, p, 1),
         Scheme::NonClustered => non_clustered(input, p),
+    }
+}
+
+/// Like [`capacity`], but with `m` Reed–Solomon redundancy shards per
+/// group instead of the paper's single XOR parity: each `p`-disk cluster
+/// keeps `k = p − m` data disks and survives any `m` concurrent disk
+/// losses. `m = 1` reproduces [`capacity`] exactly (same integer
+/// arithmetic, same chosen `(q, b)`); `m >= 2` is defined only for the
+/// clustered parity-disk schemes (pre-fetching with parity disks,
+/// streaming RAID).
+///
+/// # Errors
+///
+/// As for [`capacity`], plus [`CmsError::InvalidParams`] when `m` is out
+/// of range (`1 <= m < p`) or the scheme cannot carry multiple shards.
+pub fn capacity_with_redundancy(
+    scheme: Scheme,
+    input: &ModelInput,
+    p: u32,
+    m: u32,
+) -> Result<CapacityPoint, CmsError> {
+    if m == 0 || m >= p {
+        return Err(CmsError::invalid_params("need 1 <= m < p"));
+    }
+    if m == 1 {
+        return capacity(scheme, input, p);
+    }
+    match scheme {
+        Scheme::PrefetchParityDisks => prefetch_parity_disks(input, p, m),
+        Scheme::StreamingRaid => streaming_raid(input, p, m),
+        _ => Err(CmsError::invalid_params(format!(
+            "{scheme} supports only single-parity groups (m = 1)"
+        ))),
     }
 }
 
@@ -182,6 +271,7 @@ fn declustered(
         let point = CapacityPoint {
             scheme,
             p,
+            m: 1,
             block_bytes: b,
             q,
             f,
@@ -225,6 +315,7 @@ fn prefetch_flat(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> 
         let point = CapacityPoint {
             scheme: Scheme::PrefetchFlat,
             p,
+            m: 1,
             block_bytes: b,
             q,
             f,
@@ -240,27 +331,33 @@ fn prefetch_flat(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> 
     })
 }
 
-/// §7.2, dedicated parity disks: effective data disks `d·(p−1)/p`, buffer
-/// `p/2·b·q·d·(p−1)/p ≤ B`, no contingency.
-fn prefetch_parity_disks(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+/// §7.2, dedicated parity disks, generalized to `m` redundancy disks per
+/// cluster: effective data disks `d·k/p` with `k = p − m`, buffer
+/// `(k+m)/2·b·q·d·k/p ≤ B` (each clip's group holds `k` data blocks read
+/// a window ahead, plus `m` shard reads charged on failure), no
+/// contingency. `m = 1` is the paper's formula, term for term.
+fn prefetch_parity_disks(input: &ModelInput, p: u32, m: u32) -> Result<CapacityPoint, CmsError> {
     let d = input.d;
     if !d.is_multiple_of(p) {
         return Err(CmsError::invalid_params("parity-disk scheme needs p | d"));
     }
-    let data_disks = u64::from(d) * u64::from(p - 1) / u64::from(p);
+    let k = p - m;
+    let data_disks = u64::from(d) * u64::from(k) / u64::from(p);
     let (q, b) = best_q(input, p, |q| {
         if q == 0 {
             return None;
         }
-        // b ≤ 2B / (p·q·d(p−1)/p) = 2B / (q·d·(p−1))
-        Some(2 * input.buffer_bytes / (u64::from(q) * u64::from(d) * u64::from(p - 1)))
+        // b ≤ 2B / ((k+m)·q·d·k/p); m = 1 collapses to the paper's
+        // 2B / (q·d·(p−1)) since d·k/p is exact (p | d).
+        Some(2 * input.buffer_bytes / (u64::from(k + m) * u64::from(q) * data_disks))
     })
     .ok_or_else(|| CmsError::InfeasibleConfig {
-        reason: format!("prefetch-parity-disks p={p}: infeasible"),
+        reason: format!("prefetch-parity-disks p={p} m={m}: infeasible"),
     })?;
     Ok(CapacityPoint {
         scheme: Scheme::PrefetchParityDisks,
         p,
+        m,
         block_bytes: b,
         q,
         f: 0,
@@ -269,28 +366,31 @@ fn prefetch_parity_disks(input: &ModelInput, p: u32) -> Result<CapacityPoint, Cm
     })
 }
 
-/// §7.3, streaming RAID: clusters of `p` act as a logical disk serving `q`
-/// clips over long rounds of `(p−1)·b/r_p`; buffer `2(p−1)·b·q·d/p ≤ B`.
-fn streaming_raid(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> {
+/// §7.3, streaming RAID, generalized to `m` redundancy disks per cluster
+/// (`k = p − m` data disks): clusters of `p` act as a logical disk serving
+/// `q` clips over long rounds of `k·b/r_p`; buffer `2k·b·q·d/p ≤ B`.
+/// `m = 1` is the paper's formula, term for term.
+fn streaming_raid(input: &ModelInput, p: u32, m: u32) -> Result<CapacityPoint, CmsError> {
     let d = input.d;
     if !d.is_multiple_of(p) {
         return Err(CmsError::invalid_params("streaming RAID needs p | d"));
     }
+    let k = p - m;
     let clusters = u64::from(d / p);
-    // Continuity: 2·t_seek + q·(t_rot + t_settle + b/r_d) ≤ (p−1)·b/r_p.
+    // Continuity: 2·t_seek + q·(t_rot + t_settle + b/r_d) ≤ k·b/r_p.
     // With b(q) from the buffer bound, find max q by downward scan.
     let disk = &input.disk;
-    let cap = input.storage_block_cap(p);
+    let cap = input.storage_block_cap_m(p, m);
     let mut best: Option<(u32, u64)> = None;
     for q in 1..=q_ceiling(input) * p {
         let b = (input.buffer_bytes * u64::from(p)
-            / (2 * u64::from(p - 1) * u64::from(q) * u64::from(d)))
+            / (2 * u64::from(k) * u64::from(q) * u64::from(d)))
         .min(cap);
         if b == 0 {
             break;
         }
         let long_round =
-            u64::from(p - 1) as f64 * cms_core::units::transfer_time(b, input.playback_rate);
+            u64::from(k) as f64 * cms_core::units::transfer_time(b, input.playback_rate);
         let per_block = disk.block_service_time(b);
         let seeks = if input.mid_round_failure { 3.0 } else { 2.0 };
         let lhs = seeks * disk.seek_worst + f64::from(q) * per_block;
@@ -299,11 +399,12 @@ fn streaming_raid(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError>
         }
     }
     let (q, b) = best.ok_or_else(|| CmsError::InfeasibleConfig {
-        reason: format!("streaming RAID p={p}: infeasible"),
+        reason: format!("streaming RAID p={p} m={m}: infeasible"),
     })?;
     Ok(CapacityPoint {
         scheme: Scheme::StreamingRaid,
         p,
+        m,
         block_bytes: b,
         q,
         f: 0,
@@ -337,6 +438,7 @@ fn non_clustered(input: &ModelInput, p: u32) -> Result<CapacityPoint, CmsError> 
     Ok(CapacityPoint {
         scheme: Scheme::NonClustered,
         p,
+        m: 1,
         block_bytes: b,
         q,
         f: 0,

@@ -39,11 +39,15 @@ pub mod contract;
 pub mod optimal;
 pub mod reliability;
 
-pub use capacity::{capacity, capacity_with_lambda, CapacityPoint, ModelInput};
+pub use capacity::{
+    capacity, capacity_with_lambda, capacity_with_redundancy, CapacityPoint, ModelInput,
+};
 pub use cluster::{
     clip_concurrency_bound, cluster_capacity_bound, cluster_rebuild_rounds,
     degraded_cluster_capacity_bound, max_catalog_clips,
 };
 pub use contract::{capacity_bound, capacity_tolerance, rebuild_window_rounds};
-pub use optimal::{compute_optimal, p_min, tuned_optimal, tuned_point};
+pub use optimal::{
+    compute_optimal, p_min, tuned_optimal, tuned_point, tuned_point_with_redundancy,
+};
 pub use reliability::{array_mttf_hours, mttdl_hours};

@@ -2,7 +2,9 @@
 //! size `p`, block size `b` and contingency `f` that maximize the number
 //! of concurrently serviceable clips.
 
-use crate::capacity::{capacity, capacity_with_lambda, CapacityPoint, ModelInput};
+use crate::capacity::{
+    capacity, capacity_with_lambda, capacity_with_redundancy, CapacityPoint, ModelInput,
+};
 use cms_bibd::{best_design, Design, DesignRequest};
 use cms_core::{CmsError, Scheme};
 
@@ -84,6 +86,27 @@ pub fn tuned_point(
         1
     };
     capacity_with_lambda(scheme, input, p, lambda)
+}
+
+/// [`tuned_point`] with `m` Reed–Solomon redundancy shards per group.
+/// `m = 1` defers to [`tuned_point`] exactly; `m >= 2` is defined only
+/// for the clustered parity-disk schemes (which have no PGT, so the λ
+/// tuning is moot and [`capacity_with_redundancy`] applies directly).
+///
+/// # Errors
+///
+/// As for [`tuned_point`] and [`capacity_with_redundancy`].
+pub fn tuned_point_with_redundancy(
+    scheme: Scheme,
+    input: &ModelInput,
+    p: u32,
+    m: u32,
+    seed: u64,
+) -> Result<CapacityPoint, CmsError> {
+    if m == 1 {
+        return tuned_point(scheme, input, p, seed);
+    }
+    capacity_with_redundancy(scheme, input, p, m)
 }
 
 /// `tuned_point` maximized over `p` (the deployable analogue of

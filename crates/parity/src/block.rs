@@ -65,6 +65,18 @@ impl Block {
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Allocation-free [`Self::zeroed`]: resets the block to `len` zero
+    /// bytes in place, reusing the existing buffer's capacity.
+    pub fn fill_zero(&mut self, len: usize) {
+        self.data.clear();
+        self.data.resize(len, 0);
+    }
+
+    /// Mutable access to the bytes — for the in-crate GF(256) kernels.
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     /// Block length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -31,6 +31,9 @@
 
 pub mod block;
 pub mod codec;
+pub mod erasure;
+pub mod gf256;
 
 pub use block::Block;
 pub use codec::{parity_into, parity_of, reconstruct, reconstruct_into, verify_group, ParityError};
+pub use erasure::{codec_for, ErasureCodec, ErasureError, RsCodec, XorCodec};

@@ -2,7 +2,10 @@
 
 use cms_core::units::mbps;
 use cms_core::{CmsError, DiskParams, Scheme};
-use cms_model::{tuned_optimal, tuned_point, CapacityPoint, ModelInput};
+use cms_model::{
+    capacity_with_redundancy, tuned_optimal, tuned_point_with_redundancy, CapacityPoint,
+    ModelInput,
+};
 use cms_sim::{SimConfig, TraceSpec};
 
 /// Builder for a [`crate::CmServer`].
@@ -20,6 +23,7 @@ pub struct CmServerBuilder {
     clips: u64,
     clip_len: u64,
     p: Option<u32>,
+    m: u32,
     seed: u64,
     verify_parity: bool,
     auto_rebuild: bool,
@@ -39,6 +43,7 @@ impl CmServerBuilder {
             clips: 1000,
             clip_len: 50,
             p: None,
+            m: 1,
             seed: 0xCAFE,
             verify_parity: false,
             auto_rebuild: false,
@@ -80,6 +85,17 @@ impl CmServerBuilder {
     #[must_use]
     pub fn parity_group(mut self, p: u32) -> Self {
         self.p = Some(p);
+        self
+    }
+
+    /// Sets the redundancy shard count `m` per parity group (default 1 =
+    /// the paper's XOR parity). `m >= 2` switches the group codec to
+    /// GF(256) Reed–Solomon and is supported by the clustered parity-disk
+    /// schemes (pre-fetching with parity disks, streaming RAID), which
+    /// then survive up to `m` concurrent disk failures per cluster.
+    #[must_use]
+    pub fn redundancy(mut self, m: u32) -> Self {
+        self.m = m;
         self
     }
 
@@ -144,14 +160,34 @@ impl CmServerBuilder {
             storage_blocks: Some(storage_blocks.max(1)),
             mid_round_failure: false,
         };
-        let point = match self.p {
-            Some(p) => tuned_point(self.scheme, &input, p, self.seed)?,
-            None => tuned_optimal(self.scheme, &input, self.seed)?,
+        let point = match (self.p, self.m) {
+            (Some(p), m) => tuned_point_with_redundancy(self.scheme, &input, p, m, self.seed)?,
+            (None, 1) => tuned_optimal(self.scheme, &input, self.seed)?,
+            (None, m) => {
+                // Sweep p at fixed m (the m >= 2 analogue of
+                // `tuned_optimal`; no PGT schemes qualify, so no λ tuning).
+                let mut best: Option<CapacityPoint> = None;
+                for p in 2..=self.d {
+                    let Ok(pt) = capacity_with_redundancy(self.scheme, &input, p, m) else {
+                        continue;
+                    };
+                    if best.is_none_or(|b| pt.total_clips > b.total_clips) {
+                        best = Some(pt);
+                    }
+                }
+                best.ok_or_else(|| CmsError::InfeasibleConfig {
+                    reason: format!(
+                        "{}: no feasible p in 2..={} at m = {m}",
+                        self.scheme, self.d
+                    ),
+                })?
+            }
         };
         let cfg = SimConfig {
             scheme: self.scheme,
             d: self.d,
             p: point.p,
+            m: point.m,
             q: point.q,
             f: point.f,
             block_bytes: point.block_bytes,

@@ -25,6 +25,12 @@ pub struct SimConfig {
     pub d: u32,
     /// Parity group size `p`.
     pub p: u32,
+    /// Redundancy shards per parity group `m`: 1 is the paper's XOR
+    /// parity; `m >= 2` uses the GF(256) Reed–Solomon codec and tolerates
+    /// up to `m` concurrent disk losses per group. Only the clustered
+    /// parity-disk schemes (pre-fetching with parity disks, streaming
+    /// RAID) support `m >= 2`.
+    pub m: u32,
     /// Per-disk (per-cluster for streaming RAID) round budget `q`.
     pub q: u32,
     /// Contingency reservation `f` (ignored by schemes without one).
@@ -99,6 +105,7 @@ impl SimConfig {
             scheme,
             d,
             p: point.p,
+            m: point.m,
             q: point.q,
             f: point.f,
             block_bytes: point.block_bytes,
@@ -135,6 +142,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_rebuild(mut self) -> Self {
         self.auto_rebuild = true;
+        self
+    }
+
+    /// Sets the redundancy shard count `m` (1 = XOR parity, `m >= 2` =
+    /// Reed–Solomon; clustered parity-disk schemes only).
+    #[must_use]
+    pub fn with_redundancy(mut self, m: u32) -> Self {
+        self.m = m;
         self
     }
 
@@ -183,6 +198,17 @@ impl SimConfig {
         if self.d < 2 || self.p < 2 || self.p > self.d {
             return Err(CmsError::invalid_params("need d >= 2 and 2 <= p <= d"));
         }
+        if self.m == 0 || self.m >= self.p {
+            return Err(CmsError::invalid_params("need 1 <= m < p"));
+        }
+        if self.m > 1
+            && !matches!(self.scheme, Scheme::PrefetchParityDisks | Scheme::StreamingRaid)
+        {
+            return Err(CmsError::invalid_params(format!(
+                "{} supports only single-parity groups (m = 1)",
+                self.scheme
+            )));
+        }
         if self.q == 0 || self.catalog_clips == 0 || self.clip_len == 0 || self.rounds == 0 {
             return Err(CmsError::invalid_params(
                 "q, catalog size, clip length and duration must be >= 1",
@@ -214,6 +240,7 @@ mod tests {
         CapacityPoint {
             scheme: Scheme::DeclusteredParity,
             p: 4,
+            m: 1,
             block_bytes: 256 * 1024,
             q: 20,
             f: 2,
@@ -271,6 +298,25 @@ mod tests {
 
         let mut c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32);
         c.arrival_rate = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn redundancy_is_validated_per_scheme() {
+        // m >= 2 only for the clustered parity-disk schemes, and within
+        // 1 <= m < p.
+        let mut c = SimConfig::sigmod96(Scheme::PrefetchParityDisks, &point(), 32)
+            .with_redundancy(2);
+        c.validate().unwrap();
+        c.m = 0;
+        assert!(c.validate().is_err());
+        c.m = c.p;
+        assert!(c.validate().is_err());
+
+        let c = SimConfig::sigmod96(Scheme::DeclusteredParity, &point(), 32)
+            .with_redundancy(2);
+        assert!(c.validate().is_err());
+        let c = SimConfig::sigmod96(Scheme::PrefetchFlat, &point(), 32).with_redundancy(3);
         assert!(c.validate().is_err());
     }
 

@@ -13,7 +13,7 @@ use cms_core::{ClipId, CmsError, DiskId, DiskParams, RequestId, Round, Scheme};
 use cms_disk::{BlockRequest, Disk, DiskArray, RoundOutcome, ServiceContext, TimingModel};
 use cms_fault::FaultEvent;
 use cms_layout::{clustered, declustered, flat, BlockLocation, MaterializedLayout, StreamAddr};
-use cms_parity::{parity_into, reconstruct_into, Block};
+use cms_parity::{parity_into, reconstruct_into, Block, ErasureCodec, RsCodec};
 use cms_trace::{EventKind, TraceSink, TraceSummary, Tracer};
 use cms_workload::{Catalog, ClipChoice, ClipPlacement, PoissonArrivals};
 use std::collections::{BTreeMap, BTreeSet};
@@ -228,7 +228,8 @@ struct RebuildState {
     next_block: u64,
     /// Total blocks to rebuild (the disk's used prefix).
     total: u64,
-    /// block_no → outstanding reads before it is rebuilt.
+    /// block_no → packed `(expected, pending)` source-read counter
+    /// (see [`pack_pending`]) before the block is rebuilt.
     outstanding: BTreeMap<u64, u32>,
     /// Blocks fully rebuilt so far.
     rebuilt: u64,
@@ -244,6 +245,12 @@ struct VerifyScratch {
     parity: Block,
     rebuilt: Block,
     expect: Block,
+    /// Lazily built Reed–Solomon codec for `m ≥ 2` groups, reused while
+    /// the `(k, m)` geometry matches.
+    codec: Option<RsCodec>,
+    /// Contiguous `k + m` shard pool (data first, then redundancy) for
+    /// the `m ≥ 2` codec's allocation-free `_within` paths.
+    shards: Vec<Block>,
 }
 
 /// Engine-level reusable buffers for the per-round pipeline
@@ -256,6 +263,11 @@ struct EngineScratch {
     done: Vec<(RequestId, u32)>,
     /// Healthy group members in `issue_group_fetch`.
     healthy: Vec<(u64, BlockLocation)>,
+    /// Down-disk block indices within one group-fetch window (at most
+    /// one under `m = 1`; up to `m` while the group stays decodable).
+    lost: Vec<u64>,
+    /// Alive redundancy-shard locations of the window's group.
+    redundancy: Vec<BlockLocation>,
     /// Reconstruction-read locations (recovery and rebuild paths).
     reads: Vec<BlockLocation>,
     /// Flattened `(failed block, surviving location)` pairs staged by
@@ -331,6 +343,17 @@ fn emit(tracer: &mut Option<Tracer>, round: u64, kind: EventKind) {
     }
 }
 
+/// Packs a reconstruction/rebuild progress counter: the high 16 bits
+/// hold how many survivor reads are still *expected to arrive* (strands
+/// decrement it), the low 16 how many are still *pending* (deliveries
+/// and strands both decrement it). A block decodes when pending hits
+/// zero; it is lost when expected drops below the decode threshold `k`.
+#[inline]
+fn pack_pending(expected: u32, pending: u32) -> u32 {
+    debug_assert!(expected <= 0xFFFF && pending <= 0xFFFF);
+    (expected << 16) | pending
+}
+
 impl Simulator {
     /// Builds a simulator: catalog → layout → admission controller →
     /// disk array.
@@ -358,7 +381,9 @@ impl Simulator {
 
     fn build(cfg: &SimConfig, jitter: u64) -> Result<Self, CmsError> {
         let cfg = cfg.clone();
-        let span = u64::from(cfg.p - 1).max(1);
+        // Group span: the k = p − m data blocks fetched per group (p − 1
+        // under the paper's single-parity schemes, where m = 1).
+        let span = u64::from(cfg.p - cfg.m).max(1);
         let (catalog, layout) = match cfg.scheme {
             Scheme::DeclusteredParity => {
                 let pgt = build_pgt(cfg.d, cfg.p, cfg.seed)?;
@@ -399,8 +424,13 @@ impl Simulator {
                     jitter,
                     cfg.seed,
                 )?;
-                let layout =
-                    clustered::build(cfg.scheme, cfg.d, cfg.p, catalog.max_stream_len())?;
+                let layout = clustered::build_with_redundancy(
+                    cfg.scheme,
+                    cfg.d,
+                    cfg.p,
+                    cfg.m,
+                    catalog.max_stream_len(),
+                )?;
                 (catalog, layout)
             }
             Scheme::PrefetchFlat => {
@@ -437,10 +467,12 @@ impl Simulator {
                 let deltas = (0..pgt.rows()).map(|r| pgt.row_deltas(r)).collect();
                 Box::new(DynamicAdmission::new(cfg.d, cfg.q, deltas)?)
             }
-            Scheme::PrefetchParityDisks => {
-                Box::new(PrefetchParityDiskAdmission::new(cfg.d, cfg.p, cfg.q)?)
+            Scheme::PrefetchParityDisks => Box::new(
+                PrefetchParityDiskAdmission::with_redundancy(cfg.d, cfg.p, cfg.m, cfg.q)?,
+            ),
+            Scheme::StreamingRaid => {
+                Box::new(StreamingRaidAdmission::with_redundancy(cfg.d, cfg.p, cfg.m, cfg.q)?)
             }
-            Scheme::StreamingRaid => Box::new(StreamingRaidAdmission::new(cfg.d, cfg.p, cfg.q)?),
             Scheme::NonClustered => Box::new(NonClusteredAdmission::new(cfg.d, cfg.p, cfg.q)?),
             Scheme::PrefetchFlat => {
                 Box::new(FlatAdmission::new(cfg.d, cfg.p, cfg.q, cfg.f.max(1))?)
@@ -678,6 +710,13 @@ impl Simulator {
         self.failed.contains(&disk) || self.transient_until.contains_key(&disk)
     }
 
+    /// The group span `k = p − m`: data blocks fetched per group, the
+    /// long-round length, and the survivor count every reconstruction
+    /// needs (`p − 1` under the paper's single-parity schemes).
+    fn group_span(&self) -> u64 {
+        u64::from(self.cfg.p - self.cfg.m).max(1)
+    }
+
     /// Builds the pending-queue payload for playing `clip` from `offset`,
     /// precomputing the admission probe's layout lookups (see
     /// [`PendingPlay`]).
@@ -746,8 +785,8 @@ impl Simulator {
 
     /// Resumes a paused session: the remainder of the clip re-enters the
     /// pending list (aligned down to the scheme's group boundary, so a
-    /// resumed viewer may re-watch up to `p−2` blocks). Returns the new
-    /// request id tracking the resumed playback.
+    /// resumed viewer may re-watch up to `k−1` blocks, `k = p − m`).
+    /// Returns the new request id tracking the resumed playback.
     ///
     /// # Errors
     ///
@@ -756,7 +795,7 @@ impl Simulator {
         let Some(parked) = self.paused.remove(&id) else {
             return Err(CmsError::invalid_params(format!("{id} is not paused")));
         };
-        let span = u64::from(self.cfg.p - 1).max(1);
+        let span = self.group_span();
         let offset = if self.cfg.scheme.prefetches_groups() {
             (parked.consumed / span) * span
         } else {
@@ -779,7 +818,7 @@ impl Simulator {
     /// the migration entry point: a stream re-homed from a failed node
     /// resumes where it left off. The offset is aligned down to the
     /// scheme's group boundary exactly like [`Simulator::resume`], so a
-    /// migrated viewer may re-watch up to `p−2` blocks.
+    /// migrated viewer may re-watch up to `k−1` blocks, `k = p − m`.
     ///
     /// # Errors
     ///
@@ -791,7 +830,7 @@ impl Simulator {
                 self.cfg.catalog_clips
             )));
         }
-        let span = u64::from(self.cfg.p - 1).max(1);
+        let span = self.group_span();
         let offset =
             if self.cfg.scheme.prefetches_groups() { (offset / span) * span } else { offset };
         let id = RequestId(self.next_request);
@@ -928,6 +967,9 @@ impl Simulator {
                 cms_layout::Slot::Parity(gid) => {
                     let g = self.layout.group(gid);
                     reads.extend(g.data.iter().map(|&a| self.layout.locate(a)));
+                    // Sibling redundancy shards double as extra sources
+                    // (`m ≥ 2`); the shard being rebuilt is excluded.
+                    reads.extend(g.redundancy_blocks().filter(|l| l.disk != failed));
                 }
             }
             if reads.is_empty() {
@@ -936,18 +978,22 @@ impl Simulator {
                 self.metrics.rebuilt_blocks += 1;
                 continue;
             }
-            if reads.iter().any(|l| {
-                self.failed.contains(&l.disk) || self.transient_until.contains_key(&l.disk)
-            }) {
-                // A second outage removed a source this block needs: the
-                // rebuild completes around the hole, which is counted —
-                // the affected groups' streams were already declared
-                // lost when the second disk went down.
+            let total = reads.len();
+            reads.retain(|l| {
+                !self.failed.contains(&l.disk) && !self.transient_until.contains_key(&l.disk)
+            });
+            if total - reads.len() >= self.cfg.m as usize {
+                // Further outages removed more sources than the code's
+                // `m − 1` spare-shard slack can stand: the rebuild
+                // completes around the hole, which is counted — the
+                // affected groups' streams were already declared lost
+                // when those disks went down.
                 rb.rebuilt += 1;
                 self.metrics.unrecoverable_blocks += 1;
                 continue;
             }
-            rb.outstanding.insert(block_no, reads.len() as u32);
+            let n = reads.len() as u32;
+            rb.outstanding.insert(block_no, pack_pending(n, n));
             batch.extend(reads.iter().map(|&loc| (block_no, loc)));
         }
         for &(block_no, loc) in &batch {
@@ -1076,8 +1122,10 @@ impl Simulator {
         for fetch in stranded {
             if let Some(idx) = fetch.recon_for {
                 // This read was reconstructing `idx` from survivors;
-                // losing a survivor is a second failure in the group.
-                self.lose_stream(fetch.client, fetch.slot, idx);
+                // losing a survivor means one fewer shard will ever
+                // arrive. Fatal iff the rest cannot reach the decode
+                // threshold (always, under single-parity `m = 1`).
+                self.strand_recon(fetch.client, fetch.slot, idx);
                 continue;
             }
             if let Some(idx) = fetch.serves {
@@ -1105,14 +1153,69 @@ impl Simulator {
         }
     }
 
+    /// A queued survivor read reconstructing block `idx` of
+    /// `(id, slot)` was stranded by a new outage: one fewer shard will
+    /// ever arrive. The decode still completes if the remaining
+    /// expected shards reach the threshold `k` (possible only with
+    /// `m ≥ 2` spare redundancy); otherwise the stream is lost, exactly
+    /// as the single-parity schemes always declared it.
+    fn strand_recon(&mut self, id: RequestId, slot: u32, idx: u64) {
+        if !self.table.live(id, slot) {
+            return;
+        }
+        let Some(v) = sv_get(&self.table.recon_pending[slot as usize], idx) else {
+            self.lose_stream(id, slot, idx);
+            return;
+        };
+        // Decode threshold of *this* block's group (tail groups can be
+        // narrower than the configured span).
+        let placement = self.table.placement[slot as usize];
+        let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
+        let k = self.layout.group(self.layout.group_id_of(addr)).data.len() as u32;
+        let expected = (v >> 16) - 1;
+        let pending = (v & 0xFFFF) - 1;
+        if expected < k {
+            self.lose_stream(id, slot, idx);
+        } else if pending == 0 {
+            // Every non-stranded survivor already arrived and they
+            // suffice: the decode completes despite the strand.
+            self.complete_reconstruction(id, slot, idx);
+        } else if let Some(slot_v) =
+            sv_get_mut(&mut self.table.recon_pending[slot as usize], idx)
+        {
+            *slot_v = pack_pending(expected, pending);
+        }
+    }
+
     /// Drops a rebuild block whose in-flight source reads were stranded
-    /// by a second outage; the hole is counted, not silently filled.
+    /// by a further outage — unless enough expected source reads remain
+    /// to decode it (`m ≥ 2` spare redundancy). Unrecoverable holes are
+    /// counted, never silently filled.
     fn abandon_rebuild_block(&mut self, block_no: u64) {
-        if let Some(rb) = &mut self.rebuild {
-            if rb.outstanding.remove(&block_no).is_some() {
-                rb.rebuilt += 1;
-                self.metrics.unrecoverable_blocks += 1;
+        let Some(rb) = &mut self.rebuild else { return };
+        let Some(&v) = rb.outstanding.get(&block_no) else { return };
+        // Decode threshold of *this* block's group (tail groups can be
+        // narrower than the configured span).
+        let k = match self.layout.slot(rb.disk, block_no) {
+            cms_layout::Slot::Free => 0,
+            cms_layout::Slot::Data(addr) => {
+                self.layout.group(self.layout.group_id_of(addr)).data.len() as u32
             }
+            cms_layout::Slot::Parity(gid) => self.layout.group(gid).data.len() as u32,
+        };
+        let expected = (v >> 16) - 1;
+        let pending = (v & 0xFFFF) - 1;
+        if expected < k {
+            rb.outstanding.remove(&block_no);
+            rb.rebuilt += 1;
+            self.metrics.unrecoverable_blocks += 1;
+        } else if pending == 0 {
+            rb.outstanding.remove(&block_no);
+            rb.rebuilt += 1;
+            self.metrics.rebuilt_blocks += 1;
+            self.check_rebuild_complete();
+        } else if let Some(slot_v) = rb.outstanding.get_mut(&block_no) {
+            *slot_v = pack_pending(expected, pending);
         }
     }
 
@@ -1244,7 +1347,8 @@ impl Simulator {
     /// fraction — the lost disk's share of the array is withheld so
     /// survivors keep contingency headroom for its recovery reads — and
     /// zero for NonClustered (no redundancy to serve through an outage)
-    /// or a second concurrent outage (beyond the designed tolerance).
+    /// or more concurrent outages than the code's `m` redundancy shards
+    /// are designed to tolerate.
     fn degraded_cap(&self) -> Option<u64> {
         if !self.cfg.degraded_admission {
             return None;
@@ -1253,7 +1357,7 @@ impl Simulator {
         if down == 0 {
             return None;
         }
-        if self.cfg.scheme == Scheme::NonClustered || down > 1 {
+        if self.cfg.scheme == Scheme::NonClustered || down > u64::from(self.cfg.m) {
             return Some(0);
         }
         let healthy = u64::from(self.cfg.d).saturating_sub(down);
@@ -1352,7 +1456,7 @@ impl Simulator {
                 self.t,
                 EventKind::Admission { request: cand.id.raw(), clip: cand_clip.raw(), wait },
             );
-            let span = u64::from(self.cfg.p - 1).max(1);
+            let span = self.group_span();
             self.table.admit(cand.id, placement, self.t, self.t.div_ceil(span) * span);
             self.metrics.peak_active = self.metrics.peak_active.max(self.table.len() as u64);
         }
@@ -1365,7 +1469,7 @@ impl Simulator {
 
     // lint: hot
     fn schedule_fetches(&mut self) {
-        let span = u64::from(self.cfg.p - 1).max(1);
+        let span = self.group_span();
         let scheme = self.cfg.scheme;
         // Walk the id-sorted order index directly — the same ascending-id
         // visit order the old map snapshot produced, with no snapshot
@@ -1398,7 +1502,7 @@ impl Simulator {
                         continue;
                     }
                     let idx = issued;
-                    let needed = self.table.consume_round(slot, idx, scheme, self.cfg.p);
+                    let needed = self.table.consume_round(slot, idx, scheme, span);
                     self.issue_data_fetch(id, slot, idx, needed);
                     if self.table.live(id, slot) {
                         self.table.issued[s] = idx + 1;
@@ -1459,10 +1563,13 @@ impl Simulator {
     }
 
     /// Issues a whole-group fetch for blocks `start..end` of the clip.
-    /// With `with_parity`, also reads the group's parity block (streaming
-    /// RAID). Reads on a failed disk are replaced by the pre-fetching
-    /// recovery rule: the parity block substitutes, and the sibling reads
-    /// of the same fetch double as reconstruction inputs.
+    /// With `with_parity`, also reads the group's redundancy blocks
+    /// (streaming RAID). Reads on a failed disk are replaced by the
+    /// pre-fetching recovery rule: the alive redundancy shards
+    /// substitute, and the sibling reads of the same fetch double as
+    /// reconstruction inputs. Up to `m` window blocks may be down at
+    /// once; the stream is lost only when the alive survivors drop below
+    /// the decode threshold `k`.
     // lint: hot
     fn issue_group_fetch(&mut self, id: RequestId, slot: u32, start: u64, end: u64, with_parity: bool) {
         if !self.table.live(id, slot) {
@@ -1471,39 +1578,47 @@ impl Simulator {
         let placement = self.table.placement[slot as usize];
         let clip = placement.id;
         let scheme = self.cfg.scheme;
-        let p = self.cfg.p;
+        let span = self.group_span();
 
-        let mut lost: Option<u64> = None;
-        let mut lost_count = 0u32;
+        let mut lost = std::mem::take(&mut self.scratch.lost);
         let mut healthy = std::mem::take(&mut self.scratch.healthy);
+        let mut redundancy = std::mem::take(&mut self.scratch.redundancy);
+        lost.clear();
         healthy.clear();
+        redundancy.clear();
         for idx in start..end {
             let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
             let loc = self.layout.locate(addr);
             if self.is_down(loc.disk) {
-                lost_count += 1;
-                if lost.is_none() {
-                    lost = Some(idx);
-                }
+                lost.push(idx);
             } else {
                 healthy.push((idx, loc));
             }
         }
         let first_addr = StreamAddr::new(placement.stream, placement.start_index + start);
-        let group = self.layout.group(self.layout.group_id_of(first_addr));
-        let parity_loc = group.parity;
-        let parity_alive = !self.is_down(parity_loc.disk);
-        if lost_count > 1 || (lost_count == 1 && !parity_alive) {
-            // Two group members down (or the lost data block's parity
-            // with it): the group cannot reconstruct — declare the
-            // stream lost instead of mis-serving a partial XOR.
+        {
+            let group = self.layout.group(self.layout.group_id_of(first_addr));
+            redundancy.extend(group.redundancy_blocks().filter(|l| !self.is_down(l.disk)));
+        }
+        if redundancy.len() < lost.len() {
+            // More window members down than alive redundancy shards can
+            // stand in for (under `m = 1`: two members down, or the lost
+            // data block's parity with it): the group cannot decode —
+            // declare the stream lost instead of mis-serving a partial
+            // reconstruction.
+            let first = lost.first().copied().unwrap_or(start);
+            self.scratch.lost = lost;
             self.scratch.healthy = healthy;
-            self.lose_stream(id, slot, lost.unwrap_or(start));
+            self.scratch.redundancy = redundancy;
+            self.lose_stream(id, slot, first);
             return;
         }
-        let lost_needed = lost.map(|idx| self.table.consume_round(slot, idx, scheme, p));
+        // Every survivor must arrive by the earliest lost deadline.
+        let lost_needed =
+            lost.iter().map(|&idx| self.table.consume_round(slot, idx, scheme, span)).min();
+        let recon_first = lost.first().copied();
         for &(idx, loc) in &healthy {
-            let needed = self.table.consume_round(slot, idx, scheme, p);
+            let needed = self.table.consume_round(slot, idx, scheme, span);
             self.push_fetch(Fetch {
                 client: id,
                 clip,
@@ -1511,56 +1626,121 @@ impl Simulator {
                 needed: lost_needed.map_or(needed, |ln| needed.min(ln)),
                 seq: 0, // stamped by push_fetch
                 serves: Some(idx),
-                recon_for: lost,
+                recon_for: recon_first,
                 rebuild_for: None,
                 slot,
             });
         }
-        self.scratch.healthy = healthy;
-        // Parity read: always for streaming RAID; on failure for the
-        // pre-fetching schemes (unless the parity disk itself died, in
-        // which case the data is all there and nothing is lost).
-        if parity_alive && (with_parity || lost.is_some()) {
-            let needed =
-                lost_needed.unwrap_or_else(|| self.table.consume_round(slot, start, scheme, p));
-            self.push_fetch(Fetch {
-                client: id,
-                clip,
-                loc: parity_loc,
-                needed,
-                seq: 0, // stamped by push_fetch
-                serves: None,
-                recon_for: lost,
-                rebuild_for: None,
-                slot,
-            });
-            if let Some(idx) = lost {
-                self.metrics.recovery_reads += 1;
-                self.metrics.disk_recovery_reads[parity_loc.disk.idx()] += 1;
-                emit(
-                    &mut self.tracer,
-                    self.t,
-                    EventKind::RecoveryRead {
-                        request: id.raw(),
-                        disk: parity_loc.disk.raw(),
-                        block: idx,
-                    },
+        // Redundancy reads: always for streaming RAID; on failure for
+        // the pre-fetching schemes (unless only redundancy disks died,
+        // in which case the data is all there and nothing is lost).
+        if with_parity || !lost.is_empty() {
+            for &r_loc in &redundancy {
+                let needed = lost_needed
+                    .unwrap_or_else(|| self.table.consume_round(slot, start, scheme, span));
+                self.push_fetch(Fetch {
+                    client: id,
+                    clip,
+                    loc: r_loc,
+                    needed,
+                    seq: 0, // stamped by push_fetch
+                    serves: None,
+                    recon_for: recon_first,
+                    rebuild_for: None,
+                    slot,
+                });
+                if let Some(idx) = recon_first {
+                    self.metrics.recovery_reads += 1;
+                    self.metrics.disk_recovery_reads[r_loc.disk.idx()] += 1;
+                    emit(
+                        &mut self.tracer,
+                        self.t,
+                        EventKind::RecoveryRead {
+                            request: id.raw(),
+                            disk: r_loc.disk.raw(),
+                            block: idx,
+                        },
+                    );
+                }
+            }
+        }
+        let survivors = (healthy.len() + redundancy.len()) as u32;
+        if let Some(idx) = recon_first {
+            // Reconstruction waits for every surviving group read that
+            // carries recon_for: the healthy siblings of this fetch plus
+            // the alive redundancy shards.
+            debug_assert!(survivors > 0, "undecodable groups are declared lost above");
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record_recovery_fanout(u64::from(survivors));
+            }
+            if self.table.live(id, slot) {
+                sv_insert(
+                    &mut self.table.recon_pending[slot as usize],
+                    idx,
+                    pack_pending(survivors, survivors),
                 );
             }
         }
-        if let Some(idx) = lost {
-            // Reconstruction waits for every surviving group read that
-            // carries recon_for: the healthy siblings of this fetch plus
-            // the parity block (when alive).
-            let survivors = (end - start - 1) + u64::from(parity_alive);
-            debug_assert!(survivors > 0, "unreconstructable groups are declared lost above");
+        // Additional lost blocks (`m ≥ 2` with multiple failures in one
+        // cluster) each get their own reconstruction stream: dedicated
+        // recovery reads of the same survivors, accounted per block.
+        for li in 1..lost.len() {
+            let idx = lost[li];
+            let needed = self.table.consume_round(slot, idx, scheme, span);
+            for &(_, h_loc) in &healthy {
+                self.push_fetch(Fetch {
+                    client: id,
+                    clip,
+                    loc: h_loc,
+                    needed,
+                    seq: 0, // stamped by push_fetch
+                    serves: None,
+                    recon_for: Some(idx),
+                    rebuild_for: None,
+                    slot,
+                });
+                self.metrics.recovery_reads += 1;
+                self.metrics.disk_recovery_reads[h_loc.disk.idx()] += 1;
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::RecoveryRead { request: id.raw(), disk: h_loc.disk.raw(), block: idx },
+                );
+            }
+            for &r_loc in &redundancy {
+                self.push_fetch(Fetch {
+                    client: id,
+                    clip,
+                    loc: r_loc,
+                    needed,
+                    seq: 0, // stamped by push_fetch
+                    serves: None,
+                    recon_for: Some(idx),
+                    rebuild_for: None,
+                    slot,
+                });
+                self.metrics.recovery_reads += 1;
+                self.metrics.disk_recovery_reads[r_loc.disk.idx()] += 1;
+                emit(
+                    &mut self.tracer,
+                    self.t,
+                    EventKind::RecoveryRead { request: id.raw(), disk: r_loc.disk.raw(), block: idx },
+                );
+            }
             if let Some(tr) = self.tracer.as_mut() {
-                tr.record_recovery_fanout(survivors);
+                tr.record_recovery_fanout(u64::from(survivors));
             }
             if self.table.live(id, slot) {
-                sv_insert(&mut self.table.recon_pending[slot as usize], idx, survivors as u32);
+                sv_insert(
+                    &mut self.table.recon_pending[slot as usize],
+                    idx,
+                    pack_pending(survivors, survivors),
+                );
             }
         }
+        self.scratch.lost = lost;
+        self.scratch.healthy = healthy;
+        self.scratch.redundancy = redundancy;
     }
 
     /// Schedules the declustered/non-clustered recovery reads that rebuild
@@ -1574,10 +1754,15 @@ impl Simulator {
         let addr = StreamAddr::new(placement.stream, placement.start_index + idx);
         let mut reads = std::mem::take(&mut self.scratch.reads);
         self.layout.reconstruction_reads_into(addr, &mut reads);
-        // A second down disk among the sources (or no sources at all)
+        // The sources are the group's other shards: its data siblings
+        // plus all `m` redundancy blocks, so decoding the lost block
+        // tolerates at most `m − 1` of them being down as well. More
+        // (under `m = 1`: any second down disk, or no sources at all)
         // makes the block unreconstructable: the stream is declared
-        // lost, never silently mis-served from a partial XOR.
-        if reads.is_empty() || reads.iter().any(|l| self.is_down(l.disk)) {
+        // lost, never silently mis-served from a partial decode.
+        let total = reads.len();
+        reads.retain(|l| !self.is_down(l.disk));
+        if reads.is_empty() || total - reads.len() >= self.cfg.m as usize {
             self.scratch.reads = reads;
             self.lose_stream(id, slot, idx);
             return;
@@ -1609,7 +1794,11 @@ impl Simulator {
             tr.record_recovery_fanout(u64::from(survivors));
         }
         if self.table.live(id, slot) {
-            sv_insert(&mut self.table.recon_pending[slot as usize], idx, survivors);
+            sv_insert(
+                &mut self.table.recon_pending[slot as usize],
+                idx,
+                pack_pending(survivors, survivors),
+            );
         }
     }
 
@@ -1700,7 +1889,7 @@ impl Simulator {
         for disk in 0..self.queues.len() {
             self.flush_disk(disk);
         }
-        let span = u64::from(self.cfg.p - 1).max(1);
+        let span = self.group_span();
         let streaming = self.cfg.scheme == Scheme::StreamingRaid;
         // Streaming RAID disks work in long rounds; others every round.
         if streaming && !self.t.is_multiple_of(span) {
@@ -1804,8 +1993,10 @@ impl Simulator {
         if let Some(block_no) = fetch.rebuild_for {
             if let Some(rb) = &mut self.rebuild {
                 if let Some(outstanding) = rb.outstanding.get_mut(&block_no) {
+                    // Delivery: one fewer pending read; the arrival was
+                    // expected, so the high half is untouched.
                     *outstanding -= 1;
-                    if *outstanding == 0 {
+                    if *outstanding & 0xFFFF == 0 {
                         rb.outstanding.remove(&block_no);
                         rb.rebuilt += 1;
                         self.metrics.rebuilt_blocks += 1;
@@ -1834,35 +2025,48 @@ impl Simulator {
             sv_or_insert(&mut self.table.avail[slot], idx, self.t + 1);
         }
         if let Some(idx) = fetch.recon_for {
-            if let Some(pending) = sv_get_mut(&mut self.table.recon_pending[slot], idx) {
+            let done = if let Some(pending) = sv_get_mut(&mut self.table.recon_pending[slot], idx)
+            {
+                // Delivery: one fewer pending read; the arrival was
+                // expected, so the high half is untouched.
                 *pending -= 1;
-                if *pending == 0 {
-                    sv_remove(&mut self.table.recon_pending[slot], idx);
-                    sv_insert(&mut self.table.avail[slot], idx, self.t + 1);
-                    self.metrics.reconstructions += 1;
-                    emit(
-                        &mut self.tracer,
-                        self.t,
-                        EventKind::Reconstruction { request: fetch.client.raw(), block: idx },
-                    );
-                    if self.cfg.verify_parity {
-                        let placement = self.table.placement[slot];
-                        let mut vs = std::mem::take(&mut self.scratch.verify);
-                        let ok = self.verify_reconstruction(&mut vs, placement, idx);
-                        self.scratch.verify = vs;
-                        if !ok {
-                            self.metrics.parity_mismatches += 1;
-                        }
-                    }
-                }
+                *pending & 0xFFFF == 0
+            } else {
+                false
+            };
+            if done {
+                self.complete_reconstruction(fetch.client, fetch.slot, idx);
             }
         }
     }
 
-    /// Byte-level check: XOR of the surviving group members equals the
-    /// synthetic content of the lost block. All block buffers come from
+    /// The last pending survivor read for block `idx` of `(id, slot)`
+    /// arrived (or was harmlessly stranded): the block decodes. Makes it
+    /// available next round and runs the optional byte-level
+    /// verification.
+    fn complete_reconstruction(&mut self, id: RequestId, slot: u32, idx: u64) {
+        let s = slot as usize;
+        sv_remove(&mut self.table.recon_pending[s], idx);
+        sv_insert(&mut self.table.avail[s], idx, self.t + 1);
+        self.metrics.reconstructions += 1;
+        emit(&mut self.tracer, self.t, EventKind::Reconstruction { request: id.raw(), block: idx });
+        if self.cfg.verify_parity {
+            let placement = self.table.placement[s];
+            let mut vs = std::mem::take(&mut self.scratch.verify);
+            let ok = self.verify_reconstruction(&mut vs, placement, idx);
+            self.scratch.verify = vs;
+            if !ok {
+                self.metrics.parity_mismatches += 1;
+            }
+        }
+    }
+
+    /// Byte-level check: the group's codec — XOR for `m = 1`, GF(256)
+    /// Reed–Solomon for `m ≥ 2` — reproduces the synthetic content of
+    /// the lost block from its survivors. All block buffers come from
     /// `scratch` and are refilled in place — no allocation once the pool
-    /// has grown to the group size (DESIGN.md §7).
+    /// has grown to the group size (DESIGN.md §7); the RS arm keeps its
+    /// codec while the `(k, m)` geometry is stable.
     fn verify_reconstruction(
         &self,
         scratch: &mut VerifyScratch,
@@ -1872,39 +2076,74 @@ impl Simulator {
         let lost = StreamAddr::new(placement.stream, placement.start_index + idx);
         let group = self.layout.group(self.layout.group_id_of(lost));
         let n = self.cfg.content_bytes;
-        if scratch.data.len() < group.data.len() {
-            scratch.data.resize_with(group.data.len(), Block::default);
-        }
-        // Parity block content is the XOR of all the group's data blocks.
-        for (slot, &a) in scratch.data.iter_mut().zip(&group.data) {
-            slot.fill_synthetic(u64::from(a.stream), a.index, n);
-        }
-        let data = &scratch.data[..group.data.len()];
-        // A group that cannot produce parity (empty, or unequal block
-        // lengths) can never verify — report the mismatch instead of
-        // panicking mid-delivery.
-        if parity_into(&mut scratch.parity, data.iter()).is_err() {
+        let k = group.data.len();
+        let m = group.redundancy();
+        let VerifyScratch { data, parity, rebuilt, expect, codec, shards } = scratch;
+        let decoded = if m == 1 {
+            if data.len() < k {
+                data.resize_with(k, Block::default);
+            }
+            let data = &mut data[..k];
+            // Synthetic content for every data block of the group.
+            for (slot, &a) in data.iter_mut().zip(&group.data) {
+                slot.fill_synthetic(u64::from(a.stream), a.index, n);
+            }
+            // Parity block content is the XOR of all the group's data
+            // blocks. A group that cannot produce parity (empty, or
+            // unequal block lengths) can never verify — report the
+            // mismatch instead of panicking mid-delivery.
+            if parity_into(parity, data.iter()).is_err() {
+                return false;
+            }
+            // Reconstruct from survivors: all data except the lost one,
+            // plus parity.
+            let survivors = group
+                .data
+                .iter()
+                .zip(data.iter())
+                .filter_map(|(&a, b)| (a != lost).then_some(b))
+                .chain(std::iter::once(&*parity));
+            reconstruct_into(rebuilt, survivors).is_ok()
+        } else {
+            // Reed–Solomon group: recompute all `m` redundancy shards in
+            // the pooled `k + m` slice, then decode the lost data shard
+            // from its siblings plus the shards — the same codec the
+            // multi-failure schemes pin. The contiguous `_within` paths
+            // keep this arm allocation-free once the pool has grown.
+            let stale = codec
+                .as_ref()
+                .is_none_or(|c| c.data_shards() != k || c.parity_shards() != m);
+            if stale {
+                let Ok(c) = RsCodec::new(k, m) else { return false };
+                *codec = Some(c);
+            }
+            let Some(rs) = codec.as_mut() else { return false };
+            if shards.len() < k + m {
+                shards.resize_with(k + m, Block::default);
+            }
+            let all = &mut shards[..k + m];
+            for (slot, &a) in all.iter_mut().zip(&group.data) {
+                slot.fill_synthetic(u64::from(a.stream), a.index, n);
+            }
+            if rs.encode_within(all).is_err() {
+                return false;
+            }
+            let Some(lost_idx) = group.data.iter().position(|&a| a == lost) else {
+                return false;
+            };
+            rs.reconstruct_within(all, lost_idx, rebuilt).is_ok()
+        };
+        if !decoded {
             return false;
         }
-        // Reconstruct from survivors: all data except the lost one, plus
-        // parity.
-        let survivors = group
-            .data
-            .iter()
-            .zip(data)
-            .filter_map(|(&a, b)| (a != lost).then_some(b))
-            .chain(std::iter::once(&scratch.parity));
-        if reconstruct_into(&mut scratch.rebuilt, survivors).is_err() {
-            return false;
-        }
-        scratch.expect.fill_synthetic(u64::from(lost.stream), lost.index, n);
-        scratch.rebuilt == scratch.expect
+        expect.fill_synthetic(u64::from(lost.stream), lost.index, n);
+        *rebuilt == *expect
     }
 
     // lint: hot
     fn consume_and_complete(&mut self) {
         let scheme = self.cfg.scheme;
-        let p = self.cfg.p;
+        let span = self.group_span();
         let mut done = std::mem::take(&mut self.scratch.done);
         done.clear();
         let mut buffered = 0u64;
@@ -1916,7 +2155,7 @@ impl Simulator {
             let s = slot as usize;
             let len = self.table.placement[s].len;
             while self.table.consumed[s] < len
-                && self.t >= self.table.consume_round(slot, self.table.consumed[s], scheme, p)
+                && self.t >= self.table.consume_round(slot, self.table.consumed[s], scheme, span)
             {
                 let idx = self.table.consumed[s];
                 match sv_get(&self.table.avail[s], idx) {
@@ -2111,6 +2350,7 @@ mod tests {
             scheme,
             d: 8,
             p: 4,
+            m: 1,
             q: 8,
             f: 2,
             block_bytes: 1 << 20, // generous round so q = 8 fits Eq. 1

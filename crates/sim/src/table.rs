@@ -229,12 +229,13 @@ impl StreamTable {
     }
 
     /// The round at which clip-block `idx` of the stream in `slot` is
-    /// due for transmission.
+    /// due for transmission. `span` is the group span `k = p − m` (the
+    /// streaming-RAID long-round length).
     #[inline]
     // lint: hot
-    pub(crate) fn consume_round(&self, slot: u32, idx: u64, scheme: Scheme, p: u32) -> u64 {
+    pub(crate) fn consume_round(&self, slot: u32, idx: u64, scheme: Scheme, span: u64) -> u64 {
         match scheme {
-            Scheme::StreamingRaid => self.first_boundary[slot as usize] + u64::from(p - 1) + idx,
+            Scheme::StreamingRaid => self.first_boundary[slot as usize] + span + idx,
             _ => self.admitted_at[slot as usize] + idx + 1,
         }
     }

@@ -23,6 +23,7 @@ fn campaign_cfg() -> ClusterConfig {
     let point = CapacityPoint {
         scheme: Scheme::DeclusteredParity,
         p: 4,
+        m: 1,
         block_bytes: 1 << 20,
         q: 8,
         f: 2,

@@ -120,6 +120,54 @@ fn second_failure_during_rebuild_leaves_holes_but_completes() {
 }
 
 #[test]
+fn double_disk_failure_is_fatal_for_xor_but_masked_by_rs2() {
+    // The multi-failure differential pair: the same two-disk loss inside
+    // one cluster, under single XOR parity and under GF(256) RS(k, 2).
+    // XOR cannot decode two erasures per group — streams are lost and
+    // the rebuild punches counted holes. RS(k, 2) decodes both, so
+    // nothing is lost, nothing glitches, and (with `verify_parity` on in
+    // every campaign run) every reconstruction byte-verifies against the
+    // Reed–Solomon codec.
+    let xor = row("double_disk_failure", Scheme::PrefetchParityDisks);
+    assert_eq!(xor.m, 1);
+    assert!(xor.lost_streams > 0, "XOR must lose streams under a double failure");
+    assert!(xor.unrecoverable_blocks > 0, "the XOR rebuild must punch holes");
+
+    let rs = row("double_disk_failure_rs2", Scheme::PrefetchParityDisks);
+    assert_eq!(rs.m, 2);
+    assert_eq!(rs.lost_streams, 0, "RS(k, 2) must mask the double failure");
+    assert_eq!(rs.unrecoverable_blocks, 0, "RS(k, 2) rebuild leaves no holes");
+    assert_eq!(rs.hiccups, 0, "RS(k, 2) must stay glitch-free");
+    assert_eq!(rs.parity_mismatches, 0, "every RS reconstruction must byte-verify");
+    assert!(rs.guarantees_held, "RS(k, 2) must keep the §5 guarantee");
+    assert!(rs.recovery_reads > 0, "masking requires recovery reads");
+}
+
+#[test]
+fn rs2_double_failure_rebuild_completes_and_is_thread_invariant() {
+    // Both failed disks rebuild to completion given enough rounds (the
+    // 120-round sweep cuts the second rebuild short), and the whole
+    // degraded + rebuild pipeline is bit-identical at 1, 2 and 8 disk
+    // worker threads.
+    let rs2 = SCENARIOS
+        .iter()
+        .find(|sc| sc.name == "double_disk_failure_rs2")
+        .expect("rs2 scenario exists");
+    let run = |threads: usize| {
+        let cfg = campaign_config(rs2, Scheme::PrefetchParityDisks, 400, 7, threads);
+        Simulator::new(cfg).expect("constructs").run()
+    };
+    let base = run(1);
+    assert_eq!(base.lost_streams, 0, "RS(k, 2) must mask the double failure");
+    assert_eq!(base.unrecoverable_blocks, 0, "no holes with two redundancy shards");
+    assert!(base.rebuild_completed_round.is_some(), "both rebuilds must finish");
+    assert_eq!(base.parity_mismatches, 0, "every RS reconstruction must byte-verify");
+    for threads in [2usize, 8] {
+        assert_eq!(base, run(threads), "rs2 run diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn slow_disk_degrades_without_losing_streams() {
     // A slow disk is degraded-but-alive: service stretches (hiccups) but
     // nothing is down, so no recovery path and no losses.
